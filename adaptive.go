@@ -1,0 +1,288 @@
+// Package adaptive is a Go implementation of ADAPTIVE — "A Dynamically
+// Assembled Protocol Transformation, Integration, and Validation
+// Environment" (Schmidt, Box, Suda; HPDC 1992): a flexible and adaptive
+// transport system that configures lightweight protocol sessions from
+// application quality-of-service requirements and network characteristics,
+// and reconfigures them at run time under policy control.
+//
+// The three subsystems of the paper map onto this module as follows:
+//
+//   - MANTTS (Map Applications and Networks To Transport Systems) —
+//     internal/mantts: ACD (Table 2), Transport Service Classes (Table 1),
+//     the three-stage transformation, QoS negotiation, the network state
+//     descriptor, and the TSA policy engine.
+//   - TKO (Transport Kernel Objects) — internal/tko, internal/session and
+//     the mechanism packages: the mechanism repository, synthesizer,
+//     template cache, and the live session with segue.
+//   - UNITES (UNIform Transport Evaluation Subsystem) — internal/unites:
+//     blackbox/whitebox metric collection and the metric repository.
+//
+// A Node is one host's complete ADAPTIVE instance. Applications describe
+// what they need in an ACD and call Dial; MANTTS chooses the policies
+// (Stage I), derives the mechanisms (Stage II), and TKO synthesizes the
+// session (Stage III):
+//
+//	node, _ := adaptive.NewNode(adaptive.Options{Provider: network, Host: hostID})
+//	conn, _ := node.Dial(&adaptive.ACD{
+//	    Participants: []adaptive.Addr{peer},
+//	    RemotePort:   80,
+//	    Quant:        adaptive.QuantQoS{AvgThroughputBps: 2e6, MaxLatency: 100 * time.Millisecond},
+//	    Qual:         adaptive.QualQoS{Ordered: true},
+//	}, 0)
+//	conn.OnReceive(func(data []byte, eom bool) { ... })
+//	conn.Send(payload)
+//
+// The package runs unmodified over two network providers: the deterministic
+// discrete-event simulator (internal/netsim, used by every experiment) and
+// real UDP sockets (internal/udpnet).
+package adaptive
+
+import (
+	"fmt"
+	"time"
+
+	"adaptive/internal/mantts"
+	"adaptive/internal/mechanism"
+	"adaptive/internal/netapi"
+	"adaptive/internal/protograph"
+	"adaptive/internal/session"
+	"adaptive/internal/tko"
+	"adaptive/internal/unites"
+)
+
+// Re-exported core types: the public vocabulary of the system.
+type (
+	// Addr is a transport address (host or multicast group + port).
+	Addr = netapi.Addr
+	// HostID identifies a host or multicast group.
+	HostID = netapi.HostID
+	// Provider is a pluggable network environment.
+	Provider = netapi.Provider
+
+	// ACD is the ADAPTIVE Communication Descriptor (paper Table 2).
+	ACD = mantts.ACD
+	// QuantQoS holds quantitative QoS parameters.
+	QuantQoS = mantts.QuantQoS
+	// QualQoS holds qualitative QoS parameters.
+	QualQoS = mantts.QualQoS
+	// TMC is the Transport Measurement Component.
+	TMC = mantts.TMC
+	// Rule is a TSA <condition, action> pair.
+	Rule = mantts.Rule
+	// Cond is a TSA condition.
+	Cond = mantts.Cond
+	// Action is a TSA action.
+	Action = mantts.Action
+	// TSC is a Transport Service Class (paper Table 1).
+	TSC = mantts.TSC
+
+	// Spec is a Session Configuration Specification (SCS).
+	Spec = mechanism.Spec
+	// RecoveryKind, ConnKind, WindowKind, OrderKind name mechanism
+	// choices within a Spec.
+	RecoveryKind = mechanism.RecoveryKind
+	ConnKind     = mechanism.ConnKind
+	WindowKind   = mechanism.WindowKind
+	OrderKind    = mechanism.OrderKind
+	// Notification is a session event raised to the application.
+	Notification = mechanism.Notification
+	// NotificationKind enumerates session events.
+	NotificationKind = mechanism.NotificationKind
+	// Delivery is one received message unit.
+	Delivery = session.Delivery
+)
+
+// Re-exported notification kinds.
+const (
+	NoteEstablished     = mechanism.NoteEstablished
+	NoteClosed          = mechanism.NoteClosed
+	NoteEstablishFailed = mechanism.NoteEstablishFailed
+	NoteSegue           = mechanism.NoteSegue
+	NotePeerReconfig    = mechanism.NotePeerReconfig
+	NoteAppLoss         = mechanism.NoteAppLoss
+	NoteSendQueueEmpty  = mechanism.NoteSendQueueEmpty
+	NotePolicyAction    = mechanism.NotePolicyAction
+)
+
+// Re-exported TSC constants.
+const (
+	TSCInteractiveIsochronous    = mantts.TSCInteractiveIsochronous
+	TSCDistributionalIsochronous = mantts.TSCDistributionalIsochronous
+	TSCRealTimeNonIsochronous    = mantts.TSCRealTimeNonIsochronous
+	TSCNonRealTimeNonIsochronous = mantts.TSCNonRealTimeNonIsochronous
+)
+
+// Re-exported TSA vocabulary.
+const (
+	MetricRTT            = mantts.MetricRTT
+	MetricLossRate       = mantts.MetricLossRate
+	MetricCongestion     = mantts.MetricCongestion
+	MetricRetransmitRate = mantts.MetricRetransmitRate
+	MetricThroughputBps  = mantts.MetricThroughputBps
+	MetricRcvBufFill     = mantts.MetricRcvBufFill
+	MetricJitter         = mantts.MetricJitter
+
+	OpGT = mantts.OpGT
+	OpLT = mantts.OpLT
+
+	ActSetRecovery   = mantts.ActSetRecovery
+	ActScaleRate     = mantts.ActScaleRate
+	ActSetWindowSize = mantts.ActSetWindowSize
+	ActSetWindowKind = mantts.ActSetWindowKind
+	ActNotifyApp     = mantts.ActNotifyApp
+)
+
+// Re-exported mechanism kinds (for Specs, TSA actions, and templates).
+const (
+	ConnImplicit     = mechanism.ConnImplicit
+	ConnExplicit2Way = mechanism.ConnExplicit2Way
+	ConnExplicit3Way = mechanism.ConnExplicit3Way
+
+	RecoveryNone            = mechanism.RecoveryNone
+	RecoveryGoBackN         = mechanism.RecoveryGoBackN
+	RecoverySelectiveRepeat = mechanism.RecoverySelectiveRepeat
+	RecoveryFEC             = mechanism.RecoveryFEC
+	RecoveryFECHybrid       = mechanism.RecoveryFECHybrid
+
+	WindowFixed       = mechanism.WindowFixed
+	WindowStopAndWait = mechanism.WindowStopAndWait
+	WindowAdaptive    = mechanism.WindowAdaptive
+
+	OrderNone      = mechanism.OrderNone
+	OrderSequenced = mechanism.OrderSequenced
+)
+
+// Options configures a Node.
+type Options struct {
+	// Provider supplies the network and clock (netsim.Network or
+	// udpnet.Provider).
+	Provider Provider
+	// Host is this node's identity on the provider.
+	Host HostID
+	// SAPPort overrides the transport service access point port.
+	SAPPort uint16
+	// Seed feeds the node's deterministic randomness.
+	Seed int64
+	// Metrics, when set, receives UNITES instrumentation for every
+	// session on this node. Nil disables collection.
+	Metrics *unites.Repository
+	// Name tags this node's metrics scope.
+	Name string
+	// Synth overrides the TKO synthesizer (template experiments).
+	Synth *tko.Synthesizer
+}
+
+// Node is one host's complete ADAPTIVE transport system instance: a
+// protocol graph (TKO), a MANTTS entity, and UNITES instrumentation.
+type Node struct {
+	stack  *protograph.Stack
+	entity *mantts.Entity
+	name   string
+}
+
+// NewNode brings up ADAPTIVE on a host.
+func NewNode(opts Options) (*Node, error) {
+	if opts.Provider == nil {
+		return nil, fmt.Errorf("adaptive: Options.Provider is required")
+	}
+	name := opts.Name
+	if name == "" {
+		name = fmt.Sprintf("%v", opts.Host)
+	}
+	var mf protograph.MetricFactory
+	if opts.Metrics != nil {
+		sink := opts.Metrics.SinkFor(name)
+		mf = func(connID uint32) mechanism.MetricSink { return sink(connID) }
+	}
+	stack, err := protograph.NewStack(protograph.Config{
+		Provider: opts.Provider,
+		Host:     opts.Host,
+		SAPPort:  opts.SAPPort,
+		Seed:     opts.Seed,
+		Synth:    opts.Synth,
+		Metrics:  mf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{stack: stack, entity: mantts.NewEntity(stack), name: name}
+	return n, nil
+}
+
+// Stack exposes the protocol graph (advanced use and experiments).
+func (n *Node) Stack() *protograph.Stack { return n.stack }
+
+// Entity exposes the MANTTS entity (network seeding, probing, multicast
+// membership management).
+func (n *Node) Entity() *mantts.Entity { return n.entity }
+
+// Addr returns the node's transport SAP address.
+func (n *Node) Addr() Addr { return n.stack.LocalAddr() }
+
+// SeedPath installs a-priori network knowledge about a peer (bandwidth,
+// RTT, BER, MTU) into the MANTTS network state descriptor.
+func (n *Node) SeedPath(peer HostID, info mantts.StaticPathInfo) {
+	n.entity.NetState().Seed(peer, info)
+}
+
+// Probe starts periodic RTT probing toward a peer.
+func (n *Node) Probe(peer HostID, every time.Duration) {
+	n.entity.StartProbing(peer, every)
+}
+
+// OnNotification installs the node-wide application call-back for session
+// events (establishment, loss, policy actions, peer reconfigurations).
+func (n *Node) OnNotification(fn func(connID uint32, note Notification)) {
+	n.entity.Notify = fn
+}
+
+// Dial opens a connection described by an ACD. MANTTS performs the full
+// three-stage transformation; the returned Conn is usable immediately (data
+// queues until establishment completes).
+func (n *Node) Dial(acd *ACD, localPort uint16) (*Conn, error) {
+	m, err := n.entity.OpenSession(acd, localPort)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{node: n, managed: m, sess: m.Session}, nil
+}
+
+// DialSpec bypasses MANTTS and opens a session with an explicit SCS
+// (experiments and backward-compatibility templates).
+func (n *Node) DialSpec(spec Spec, peer Addr, localPort, peerPort uint16) (*Conn, error) {
+	s, _, err := n.stack.CreateActiveSession(&spec, peer, localPort, peerPort)
+	if err != nil {
+		return nil, err
+	}
+	s.Open()
+	return &Conn{node: n, sess: s}, nil
+}
+
+// Listen accepts connections on a transport port. The accept callback runs
+// before any data is delivered. adjust (optional) implements the local half
+// of QoS negotiation: it may modify the peer's proposed Spec.
+func (n *Node) Listen(port uint16, adjust func(proposed *Spec, from Addr) *Spec, accept func(*Conn)) error {
+	return n.stack.Listen(port, &protograph.Listener{
+		Adjust: adjust,
+		OnAccept: func(s *session.Session) {
+			// Sessions without an ack stream report delivered quality
+			// back over the signaling channel so the sender's policy
+			// engine sees loss (§4.3 feedback to MANTTS).
+			if !s.CurrentSlots().Recovery.Reliable() {
+				n.entity.StartQualityReports(s, s.PeerAddr())
+			}
+			accept(&Conn{node: n, sess: s})
+		},
+	})
+}
+
+// Unlisten removes a listener from a port.
+func (n *Node) Unlisten(port uint16) { n.stack.Unlisten(port) }
+
+// OnMulticastJoin installs the handler invoked when this node is invited
+// into a multicast session.
+func (n *Node) OnMulticastJoin(fn func(c *Conn, group HostID)) {
+	n.entity.OnMulticastAccept = func(s *session.Session, group HostID) {
+		fn(&Conn{node: n, sess: s}, group)
+	}
+}

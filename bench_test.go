@@ -1,0 +1,350 @@
+// Benchmarks: one per reproduced table/figure (see DESIGN.md §4), plus
+// micro-benchmarks of the data-path substrates. The experiment benches wrap
+// the same runners cmd/adaptivebench uses, so `go test -bench=.` regenerates
+// every artifact's workload under the Go benchmark harness; absolute wall
+// time per op is dominated by simulated-event processing, which is exactly
+// the cost a user of this library pays to run such an experiment.
+package adaptive_test
+
+import (
+	"testing"
+	"time"
+
+	"adaptive"
+	"adaptive/internal/experiment"
+	"adaptive/internal/mantts"
+	"adaptive/internal/mechanism"
+	"adaptive/internal/message"
+	"adaptive/internal/netsim"
+	"adaptive/internal/sim"
+	"adaptive/internal/tko"
+	"adaptive/internal/wire"
+	"adaptive/internal/workload"
+)
+
+// --- experiment-backed benches (tables and figures) ---
+
+func BenchmarkT1_TSCRows(b *testing.B) {
+	// Stage I+II for all nine Table 1 rows per iteration.
+	path := mantts.PathState{RTT: 10 * time.Millisecond, MTU: 1500, Bandwidth: 100e6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range mantts.Table1 {
+			acd := mantts.ACDForProfile(&mantts.Table1[j])
+			acd.Participants = []adaptive.Addr{{Host: 2}}
+			tsc := mantts.Classify(acd)
+			_ = mantts.DeriveSCS(tsc, acd, path)
+		}
+	}
+}
+
+func BenchmarkT2_ACDCodec(b *testing.B) {
+	acd := mantts.ACDForProfile(mantts.Profile("Tele-Conferencing"))
+	acd.Participants = []adaptive.Addr{{Host: 2, Port: 80}, {Host: 3, Port: 80}}
+	acd.TSA = []adaptive.Rule{{
+		Cond:   adaptive.Cond{Metric: adaptive.MetricRTT, Op: adaptive.OpGT, Threshold: 0.3},
+		Action: adaptive.Action{Kind: adaptive.ActSetRecovery, Recovery: adaptive.RecoveryFEC},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := mantts.EncodeACD(acd)
+		if _, err := mantts.DecodeACD(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF2_Transformation(b *testing.B) {
+	acd := mantts.ACDForProfile(mantts.Profile("File Transfer"))
+	acd.Participants = []adaptive.Addr{{Host: 2}}
+	path := mantts.PathState{RTT: 10 * time.Millisecond, MTU: 1500}
+	tsc := mantts.Classify(acd)
+	spec := mantts.DeriveSCS(tsc, acd, path)
+
+	b.Run("dynamic-synthesis", func(b *testing.B) {
+		reg := tko.DefaultRegistry()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sy := tko.NewSynthesizer(reg)
+			sp := *spec
+			if _, err := sy.Synthesize(&sp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("template-hit", func(b *testing.B) {
+		sy := tko.NewSynthesizer(tko.DefaultRegistry())
+		sy.InstallTemplate("bench", tko.TemplateReconfigurable, *spec)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := *spec
+			if _, err := sy.Synthesize(&sp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchScenario runs a short two-host transfer and reports simulated-time
+// metrics alongside wall time.
+func benchScenario(b *testing.B, spec adaptive.Spec, link netsim.LinkConfig, size int) {
+	b.Helper()
+	b.ReportAllocs()
+	var simTime time.Duration
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(int64(i + 1))
+		net := netsim.New(k)
+		ha, hb := net.AddHost(), net.AddHost()
+		net.SetRoute(ha.ID(), hb.ID(), net.NewLink(link))
+		net.SetRoute(hb.ID(), ha.ID(), net.NewLink(link))
+		na, _ := adaptive.NewNode(adaptive.Options{Provider: net, Host: ha.ID(), Seed: 1})
+		nb, _ := adaptive.NewNode(adaptive.Options{Provider: net, Host: hb.ID(), Seed: 2})
+		got := 0
+		var doneAt time.Duration
+		nb.Listen(80, nil, func(c *adaptive.Conn) {
+			c.OnReceive(func(data []byte, eom bool) {
+				got += len(data)
+				if got >= size && doneAt == 0 {
+					doneAt = k.Now()
+				}
+			})
+		})
+		conn, err := na.DialSpec(spec, nb.Addr(), 1000, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := &workload.Bulk{Out: conn, TotalSize: size, ChunkSize: 16 << 10}
+		g.Start(k)
+		k.RunUntil(5 * time.Minute)
+		if got < size {
+			b.Fatalf("transfer incomplete: %d of %d", got, size)
+		}
+		simTime += doneAt
+	}
+	b.ReportMetric(float64(simTime.Milliseconds())/float64(b.N), "simms/op")
+}
+
+func BenchmarkF3_ConnMgmt(b *testing.B) {
+	link := netsim.LinkConfig{Bandwidth: 10e6, PropDelay: 10 * time.Millisecond, MTU: 1500}
+	for _, cm := range []struct {
+		name string
+		kind adaptive.ConnKind
+	}{{"implicit", adaptive.ConnImplicit}, {"explicit-2way", adaptive.ConnExplicit2Way}, {"explicit-3way", adaptive.ConnExplicit3Way}} {
+		b.Run(cm.name, func(b *testing.B) {
+			spec := adaptive.Spec{
+				ConnMgmt: cm.kind, Recovery: adaptive.RecoverySelectiveRepeat,
+				Window: adaptive.WindowFixed, WindowSize: 32, Order: adaptive.OrderSequenced,
+			}
+			benchScenario(b, spec, link, 10<<10)
+		})
+	}
+}
+
+func BenchmarkE1_Retransmission(b *testing.B) {
+	link := netsim.LinkConfig{Bandwidth: 10e6, PropDelay: 10 * time.Millisecond, MTU: 1500, DropRate: 0.01}
+	for _, rec := range []struct {
+		name string
+		kind adaptive.RecoveryKind
+	}{{"go-back-n", adaptive.RecoveryGoBackN}, {"selective-repeat", adaptive.RecoverySelectiveRepeat}, {"fec-hybrid", adaptive.RecoveryFECHybrid}} {
+		b.Run(rec.name, func(b *testing.B) {
+			spec := adaptive.Spec{
+				ConnMgmt: adaptive.ConnExplicit2Way, Recovery: rec.kind,
+				Window: adaptive.WindowFixed, WindowSize: 32, Order: adaptive.OrderSequenced,
+				Checksum: wire.CkCRC32,
+			}
+			benchScenario(b, spec, link, 256<<10)
+		})
+	}
+}
+
+func BenchmarkE2_Weight(b *testing.B) {
+	b.Run("overweight-voice", func(b *testing.B) { benchRunTables(b, experiment.RunE2) })
+}
+
+func BenchmarkE3_CongestionPolicy(b *testing.B) { benchRunTables(b, experiment.RunE3) }
+func BenchmarkE4_RouteSwitch(b *testing.B)      { benchRunTables(b, experiment.RunE4) }
+func BenchmarkE7_Preservation(b *testing.B)     { benchRunTables(b, experiment.RunE7) }
+func BenchmarkE8_JoinLeave(b *testing.B)        { benchRunTables(b, experiment.RunE8) }
+
+// benchRunTables executes a full experiment runner per iteration.
+func benchRunTables(b *testing.B, run func() []experiment.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables := run()
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatal("experiment produced nothing")
+		}
+	}
+}
+
+func BenchmarkE5_Customization(b *testing.B) {
+	// Per-PDU receive-path cost: the core §4.2.2 trade-off, as testing.B
+	// numbers.
+	payload := make([]byte, 512)
+	mkPkt := func(seq uint32) []byte {
+		p := &wire.PDU{Header: wire.Header{Type: wire.TData, Seq: seq}, Payload: message.NewFromBytes(payload)}
+		enc := wire.Encode(p, wire.CkCRC32)
+		out := enc.CopyBytes()
+		enc.Release()
+		p.ReleasePayload()
+		return out
+	}
+	b.Run("customized", func(b *testing.B) {
+		c := tko.NewCustomizedReceiver(func([]byte, bool) {})
+		pkts := make([][]byte, b.N)
+		for i := range pkts {
+			pkts[i] = mkPkt(uint32(i))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Process(pkts[i])
+		}
+	})
+	b.Run("decode-only", func(b *testing.B) {
+		pkts := make([][]byte, b.N)
+		for i := range pkts {
+			pkts[i] = mkPkt(uint32(i))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Decode(pkts[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE6_TemplateCache(b *testing.B) {
+	spec := mechanism.DefaultSpec()
+	b.Run("cold", func(b *testing.B) {
+		reg := tko.DefaultRegistry()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sy := tko.NewSynthesizer(reg)
+			sp := spec
+			sy.Synthesize(&sp)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		sy := tko.NewSynthesizer(tko.DefaultRegistry())
+		sy.InstallTemplate("w", tko.TemplateReconfigurable, spec)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := spec
+			sy.Synthesize(&sp)
+		}
+	})
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkWireEncode(b *testing.B) {
+	payload := message.NewFromBytes(make([]byte, 1400))
+	p := &wire.PDU{Header: wire.Header{Type: wire.TData, Seq: 1}, Payload: payload}
+	b.SetBytes(1400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkt := wire.Encode(p, wire.CkCRC32)
+		pkt.Release()
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	payload := message.NewFromBytes(make([]byte, 1400))
+	p := &wire.PDU{Header: wire.Header{Type: wire.TData, Seq: 1}, Payload: payload}
+	enc := wire.Encode(p, wire.CkCRC32)
+	pkt := enc.CopyBytes()
+	b.SetBytes(1400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Decode(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChecksums(b *testing.B) {
+	body := make([]byte, 1400)
+	for _, ck := range []wire.ChecksumKind{wire.CkInternet, wire.CkCRC32} {
+		b.Run(ck.String(), func(b *testing.B) {
+			p := &wire.PDU{Header: wire.Header{Type: wire.TData}, Payload: message.NewFromBytes(body)}
+			b.SetBytes(1400)
+			for i := 0; i < b.N; i++ {
+				pkt := wire.Encode(p, ck)
+				pkt.Release()
+			}
+		})
+	}
+}
+
+func BenchmarkMessagePushPop(b *testing.B) {
+	m := message.Alloc(1400, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Push(wire.HeaderLen)
+		m.Pop(wire.HeaderLen)
+	}
+}
+
+func BenchmarkMessageSplitClone(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := message.Alloc(1400, 64)
+		rest := m.Split(700)
+		c := rest.Clone()
+		c.Release()
+		rest.Release()
+		m.Release()
+	}
+}
+
+func BenchmarkNetsimPacketForwarding(b *testing.B) {
+	k := sim.NewKernel(1)
+	net := netsim.New(k)
+	ha, hb := net.AddHost(), net.AddHost()
+	link := net.NewLink(netsim.LinkConfig{Bandwidth: 1e9, PropDelay: time.Microsecond, MTU: 1500})
+	net.SetRoute(ha.ID(), hb.ID(), link)
+	epA, _ := net.Open(ha.ID(), 1)
+	epB, _ := net.Open(hb.ID(), 2)
+	count := 0
+	epB.SetReceiver(func(pkt []byte, _ adaptive.Addr) { count++ })
+	pkt := make([]byte, 1000)
+	b.SetBytes(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		epA.Send(pkt, epB.LocalAddr())
+		k.Run()
+	}
+	if count != b.N {
+		b.Fatalf("delivered %d of %d", count, b.N)
+	}
+}
+
+func BenchmarkSimKernelEvents(b *testing.B) {
+	k := sim.NewKernel(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(time.Microsecond, func() {})
+		k.Run()
+	}
+}
+
+func BenchmarkEndToEndThroughput(b *testing.B) {
+	// Simulated bulk transfer through the full stack: how many simulated
+	// PDUs per wall second the library processes.
+	link := netsim.LinkConfig{Bandwidth: 622e6, PropDelay: time.Millisecond, MTU: 9180}
+	spec := adaptive.Spec{
+		ConnMgmt: adaptive.ConnExplicit2Way, Recovery: adaptive.RecoverySelectiveRepeat,
+		Window: adaptive.WindowFixed, WindowSize: 64, Order: adaptive.OrderSequenced,
+		MSS: 9000, RcvBufPDUs: 256,
+	}
+	benchScenario(b, spec, link, 4<<20)
+}
+
+func BenchmarkA1_DelayedAcks(b *testing.B)   { benchRunTables(b, experiment.RunA1) }
+func BenchmarkA2_FECGroupSweep(b *testing.B) { benchRunTables(b, experiment.RunA2) }
+func BenchmarkA3_NakThrottle(b *testing.B)   { benchRunTables(b, experiment.RunA3) }

@@ -1,0 +1,54 @@
+// Command adaptivebench regenerates every table and figure of the ADAPTIVE
+// reproduction (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+// for recorded results).
+//
+// Usage:
+//
+//	adaptivebench                  # run everything
+//	adaptivebench -experiment E1   # one experiment
+//	adaptivebench -list            # list experiment ids
+//	adaptivebench -workers 4       # parallel fan-out across experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"adaptive/internal/experiment"
+)
+
+func main() {
+	var (
+		which   = flag.String("experiment", "all", "experiment id (T1, T2, F2, F3, E1..E8) or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel experiment workers for -experiment all")
+	)
+	flag.Parse()
+
+	runners := experiment.All()
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+	if strings.EqualFold(*which, "all") {
+		for _, t := range experiment.RunAllParallel(*workers) {
+			fmt.Println(t.Render())
+		}
+		return
+	}
+	for _, r := range runners {
+		if strings.EqualFold(r.ID, *which) {
+			for _, t := range r.Run() {
+				fmt.Println(t.Render())
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *which)
+	os.Exit(2)
+}

@@ -1,0 +1,105 @@
+// Command adaptiveqos inspects the MANTTS transformation pipeline without
+// running traffic: it prints the Table 1 policy table, or maps an
+// application profile (or custom QoS flags) through Stage I (TSC selection)
+// and Stage II (SCS derivation) for a described network path.
+//
+// Usage:
+//
+//	adaptiveqos -table1                          # print the TSC policy table
+//	adaptiveqos -app "Voice Conversation"        # transform a Table 1 row
+//	adaptiveqos -latency 100ms -loss-tol 0.05 \
+//	            -rtt 550ms -ber 1e-7             # transform custom QoS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adaptive/internal/mantts"
+	"adaptive/internal/netapi"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "print the Table 1 policy table and exit")
+		app     = flag.String("app", "", "Table 1 application name to transform")
+		avgBps  = flag.Float64("avg-bps", 2e6, "average throughput requirement (bps)")
+		peakBps = flag.Float64("peak-bps", 0, "peak throughput requirement (bps; 0 = same as avg)")
+		latency = flag.Duration("latency", 0, "max end-to-end latency (0 = unconstrained)")
+		jitter  = flag.Duration("jitter", 0, "max jitter (0 = unconstrained)")
+		lossTol = flag.Float64("loss-tol", 0, "acceptable loss fraction [0,1]")
+		dur     = flag.Duration("duration", 0, "expected session duration")
+		ordered = flag.Bool("ordered", true, "require in-order delivery")
+		mcast   = flag.Int("multicast", 0, "number of receivers (0/1 = unicast)")
+
+		rtt  = flag.Duration("rtt", 20*time.Millisecond, "network path round-trip time")
+		bw   = flag.Float64("bw", 100e6, "network path bandwidth (bps)")
+		ber  = flag.Float64("ber", 1e-9, "channel bit-error rate")
+		mtu  = flag.Int("mtu", 1500, "path MTU")
+		cong = flag.Float64("congestion", 0, "congestion level estimate [0,1]")
+	)
+	flag.Parse()
+
+	if *table1 {
+		fmt.Print(mantts.RenderTable1())
+		return
+	}
+
+	var acd *mantts.ACD
+	if *app != "" {
+		p := mantts.Profile(*app)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "unknown application %q; Table 1 rows:\n%s", *app, mantts.RenderTable1())
+			os.Exit(2)
+		}
+		acd = mantts.ACDForProfile(p)
+		if p.Multicast {
+			acd.Participants = []netapi.Addr{{Host: netapi.MulticastBit | 1}, {Host: 2}, {Host: 3}}
+		} else {
+			acd.Participants = []netapi.Addr{{Host: 2}}
+		}
+	} else {
+		if *peakBps == 0 {
+			*peakBps = *avgBps
+		}
+		acd = &mantts.ACD{
+			Quant: mantts.QuantQoS{
+				AvgThroughputBps: *avgBps, PeakThroughputBps: *peakBps,
+				MaxLatency: *latency, MaxJitter: *jitter,
+				LossTolerance: *lossTol, Duration: *dur,
+			},
+			Qual: mantts.QualQoS{Ordered: *ordered},
+		}
+		acd.Participants = []netapi.Addr{{Host: 2}}
+		if *mcast > 1 {
+			acd.Participants = []netapi.Addr{{Host: netapi.MulticastBit | 1}}
+			for i := 0; i < *mcast; i++ {
+				acd.Participants = append(acd.Participants, netapi.Addr{Host: netapi.HostID(2 + i)})
+			}
+		}
+	}
+
+	path := mantts.PathState{RTT: *rtt, Bandwidth: *bw, BER: *ber, MTU: *mtu, Congestion: *cong}
+	tsc := mantts.Classify(acd)
+	spec := mantts.DeriveSCS(tsc, acd, path)
+
+	fmt.Printf("ACD (quantitative):  avg=%.0f bps peak=%.0f bps latency<=%v jitter<=%v loss<=%.1f%% duration=%v\n",
+		acd.Quant.AvgThroughputBps, acd.Quant.PeakThroughputBps, acd.Quant.MaxLatency,
+		acd.Quant.MaxJitter, acd.Quant.LossTolerance*100, acd.Quant.Duration)
+	fmt.Printf("ACD (qualitative):   ordered=%v dup-sensitive=%v participants=%d\n",
+		acd.Qual.Ordered, acd.Qual.DupSensitive, len(acd.Participants))
+	fmt.Printf("network descriptor:  rtt=%v bw=%.0f bps ber=%.0e mtu=%d congestion=%.2f\n\n",
+		path.RTT, path.Bandwidth, path.BER, path.MTU, path.Congestion)
+	fmt.Printf("Stage I  (TSC):      %v\n", tsc)
+	fmt.Printf("Stage II (SCS):      %v\n", *spec)
+	fmt.Printf("  connection:        %v\n", spec.ConnMgmt)
+	fmt.Printf("  reliability:       %v (fec group %d, checksum %v)\n", spec.Recovery, spec.FECGroup, spec.Checksum)
+	fmt.Printf("  transmission:      %v, window %d PDUs, pacing %.0f bps\n", spec.Window, spec.WindowSize, spec.RateBps)
+	fmt.Printf("  sequencing:        %v\n", spec.Order)
+	fmt.Printf("  timers:            rto init=%v min=%v max=%v gap-deadline=%v\n",
+		spec.RTOInit, spec.RTOMin, spec.RTOMax, spec.GapDeadline)
+	fmt.Printf("  semantics:         graceful-close=%v loss-tolerant=%v multicast=%v\n",
+		spec.Graceful, spec.LossTolerant, spec.Multicast)
+}

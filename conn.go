@@ -1,0 +1,116 @@
+package adaptive
+
+import (
+	"adaptive/internal/mantts"
+	"adaptive/internal/session"
+)
+
+// Conn is an open ADAPTIVE transport connection (one TKO_Session plus, when
+// opened through Dial, its MANTTS policy machinery).
+type Conn struct {
+	node    *Node
+	managed *mantts.Managed // nil for DialSpec / passive connections
+	sess    *session.Session
+}
+
+// Send queues data for transmission. Data larger than the negotiated
+// segment size is segmented; the final segment carries the end-of-message
+// marker, which the receiver sees as eom.
+func (c *Conn) Send(data []byte) error { return c.sess.Send(data) }
+
+// OnReceive installs the delivery callback. The data slice is only valid
+// during the callback.
+func (c *Conn) OnReceive(fn func(data []byte, eom bool)) {
+	c.sess.SetReceiver(func(d Delivery) {
+		fn(d.Msg.Bytes(), d.EOM)
+		d.Msg.Release()
+	})
+}
+
+// OnDelivery installs a zero-copy delivery callback; the callback owns the
+// message and must Release it.
+func (c *Conn) OnDelivery(fn func(d Delivery)) { c.sess.SetReceiver(fn) }
+
+// Close terminates the connection with the configured semantics (graceful
+// closes drain acknowledged data first).
+func (c *Conn) Close() { c.sess.Close() }
+
+// Established reports whether data may flow.
+func (c *Conn) Established() bool { return c.sess.Established() }
+
+// Closed reports whether termination completed.
+func (c *Conn) Closed() bool { return c.sess.Closed() }
+
+// ConnID returns the connection identifier.
+func (c *Conn) ConnID() uint32 { return c.sess.ConnID() }
+
+// Spec returns the connection's current configuration.
+func (c *Conn) Spec() Spec { return *c.sess.Spec() }
+
+// TSC returns the Transport Service Class MANTTS selected (Stage I), valid
+// for dialed connections.
+func (c *Conn) TSC() (TSC, bool) {
+	if c.managed == nil {
+		return 0, false
+	}
+	return c.managed.TSC, true
+}
+
+// Reconfigure applies an explicit SCS change (§4.1.2 "explicit
+// reconfiguration"): the mutation is negotiated with the peer over the
+// signaling channel and applied to the live session via segue. Connections
+// opened with DialSpec reconfigure locally only.
+func (c *Conn) Reconfigure(mutate func(s *Spec)) {
+	if c.managed != nil {
+		c.node.entity.Reconfigure(c.managed, mutate)
+		return
+	}
+	ns := *c.sess.Spec()
+	mutate(&ns)
+	c.sess.ApplySpec(&ns)
+}
+
+// AddParticipant invites a host into a multicast connection.
+func (c *Conn) AddParticipant(host HostID) {
+	if c.managed != nil {
+		c.node.entity.AddParticipant(c.managed, host)
+	}
+}
+
+// RemoveParticipant signals a member to leave a multicast connection.
+func (c *Conn) RemoveParticipant(host HostID) {
+	if c.managed != nil {
+		c.node.entity.RemoveParticipant(c.managed, host)
+	}
+}
+
+// Session exposes the underlying TKO_Session for whitebox inspection
+// (experiments read transfer state and counters through this).
+func (c *Conn) Session() *session.Session { return c.sess }
+
+// Stats summarizes the connection's whitebox counters.
+type Stats struct {
+	SentPDUs        uint64
+	SentBytes       uint64
+	RecvPDUs        uint64
+	DeliveredBytes  uint64
+	Retransmissions uint64
+	FECRecovered    uint64
+	GapsAbandoned   uint64
+	Segues          uint64
+}
+
+// Stats returns a snapshot of the connection counters.
+func (c *Conn) Stats() Stats {
+	st := c.sess.State()
+	return Stats{
+		SentPDUs:        c.sess.SentPDUs,
+		SentBytes:       c.sess.SentBytes,
+		RecvPDUs:        c.sess.RecvPDUs,
+		DeliveredBytes:  c.sess.DeliveredBytes,
+		Retransmissions: st.Retransmissions,
+		FECRecovered:    st.FECRecovered,
+		GapsAbandoned:   st.GapsAbandoned,
+		Segues:          c.sess.Segues(),
+	}
+}

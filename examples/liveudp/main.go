@@ -1,0 +1,85 @@
+// Live UDP: the identical ADAPTIVE stack over real sockets.
+//
+// Every other example (and every experiment) runs against the deterministic
+// simulator; this one swaps the provider for internal/udpnet — real loopback
+// UDP datagrams, real wall-clock timers — without changing a line of
+// protocol code. It transfers 1 MB reliably and prints the measured result.
+//
+//	go run ./examples/liveudp
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"adaptive"
+	"adaptive/internal/udpnet"
+)
+
+func main() {
+	provider := udpnet.New()
+	defer provider.Close()
+
+	sender, err := adaptive.NewNode(adaptive.Options{Provider: provider, Host: 1, Name: "udp-sender"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	receiver, err := adaptive.NewNode(adaptive.Options{Provider: provider, Host: 2, Name: "udp-receiver"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	payload := bytes.Repeat([]byte("real sockets, same transport system. "), 28000) // ~1 MB
+	done := make(chan []byte, 1)
+
+	// All interaction with connections happens on the provider's event
+	// loop (the same single-threaded discipline the simulator enforces).
+	provider.Wait(func() {
+		var got []byte
+		receiver.Listen(9000, nil, func(c *adaptive.Conn) {
+			fmt.Printf("receiver: accepted %08x, spec %v\n", c.ConnID(), c.Spec())
+			c.OnReceive(func(data []byte, eom bool) {
+				got = append(got, data...)
+				if len(got) >= len(payload) {
+					select {
+					case done <- got:
+					default:
+					}
+				}
+			})
+		})
+	})
+
+	start := time.Now()
+	provider.Wait(func() {
+		conn, err := sender.Dial(&adaptive.ACD{
+			Participants: []adaptive.Addr{receiver.Addr()},
+			RemotePort:   9000,
+			Quant:        adaptive.QuantQoS{AvgThroughputBps: 100e6},
+			Qual:         adaptive.QualQoS{Ordered: true},
+		}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sender: dialed with spec %v\n", conn.Spec())
+		if err := conn.Send(payload); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	select {
+	case got := <-done:
+		elapsed := time.Since(start)
+		fmt.Printf("\ntransferred %d bytes over loopback UDP in %v (%.1f Mbps)\n",
+			len(got), elapsed.Round(time.Millisecond),
+			float64(len(got))*8/elapsed.Seconds()/1e6)
+		fmt.Printf("intact: %v\n", bytes.Equal(got, payload))
+		if !bytes.Equal(got, payload) {
+			log.Fatal("corruption over UDP")
+		}
+	case <-time.After(30 * time.Second):
+		log.Fatal("transfer timed out")
+	}
+}

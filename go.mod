@@ -1,0 +1,3 @@
+module adaptive
+
+go 1.23

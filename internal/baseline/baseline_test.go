@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"adaptive/internal/mechanism"
+	"adaptive/internal/tko"
+)
+
+func TestRDTPSpecIsRigid(t *testing.T) {
+	s := RDTPSpec()
+	if s.ConnMgmt != mechanism.ConnExplicit3Way {
+		t.Fatal("RDTP must always handshake 3-way")
+	}
+	if s.Recovery != mechanism.RecoveryGoBackN {
+		t.Fatal("RDTP must use cumulative-ack go-back-n")
+	}
+	if s.WindowSize != RDTPWindowCap {
+		t.Fatalf("window %d, want the 64KB no-scaling cap %d", s.WindowSize, RDTPWindowCap)
+	}
+	if s.RateBps != 0 || s.Multicast {
+		t.Fatal("RDTP has no rate control or multicast")
+	}
+	if s.RTOMin < 200*time.Millisecond {
+		t.Fatal("RDTP timers must be coarse (legacy 200ms granularity)")
+	}
+}
+
+func TestUDTPSpecIsBare(t *testing.T) {
+	s := UDTPSpec()
+	if s.Recovery != mechanism.RecoveryNone || s.Order != mechanism.OrderNone {
+		t.Fatal("UDTP must be fire-and-forget")
+	}
+	if s.ConnMgmt != mechanism.ConnImplicit || s.Graceful {
+		t.Fatal("UDTP has no connection ceremony")
+	}
+}
+
+func TestCostModelRatio(t *testing.T) {
+	// The throughput-preservation experiment depends on the monolithic
+	// stack paying several times the lightweight per-byte cost (the
+	// copies) and a large fixed cost (interrupts, context switches).
+	if MonolithicCost.PerByte < 3*LightweightCost.PerByte {
+		t.Fatal("per-byte cost ratio too small to model copy elimination")
+	}
+	if MonolithicCost.PerPDU < 3*LightweightCost.PerPDU {
+		t.Fatal("per-PDU cost ratio too small")
+	}
+	// Sanity: a 1400-byte PDU costs more than a 28-byte ack.
+	if MonolithicCost.Cost(1400) <= MonolithicCost.Cost(28) {
+		t.Fatal("cost not size-dependent")
+	}
+}
+
+func TestTemplatesInstallAsStatic(t *testing.T) {
+	sy := tko.NewSynthesizer(tko.DefaultRegistry())
+	InstallTemplates(sy)
+	for _, spec := range []mechanism.Spec{RDTPSpec(), UDTPSpec()} {
+		sp := spec
+		res, err := sy.Synthesize(&sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Static {
+			t.Fatalf("%v not static", sp)
+		}
+	}
+	if sy.Stats().Synthesized != 0 {
+		t.Fatal("baseline specs missed their templates")
+	}
+}

@@ -1,0 +1,308 @@
+// Package conn provides the connection-management mechanisms (ADAPTIVE
+// §4.1.1): implicit setup, where the session configuration is piggybacked on
+// the first data PDU so latency-sensitive request-response applications pay
+// no handshake round trip, and explicit two-way / three-way handshakes that
+// carry QoS negotiation payloads. Termination (§4.1.3) supports graceful
+// (FIN/FINACK after drain) and abortive close.
+package conn
+
+import (
+	"bytes"
+	"time"
+
+	"adaptive/internal/event"
+	"adaptive/internal/mechanism"
+	"adaptive/internal/message"
+	"adaptive/internal/wire"
+)
+
+// state is the connection FSM state.
+type state int
+
+const (
+	stIdle    state = iota
+	stReqSent       // active: CONNREQ sent, awaiting CONNACK
+	stAckSent       // passive 3-way: CONNACK sent, awaiting CONNCONF
+	stEstablished
+	stFinSent // FIN sent, awaiting FINACK
+	stClosed
+)
+
+// MaxHandshakeRetries bounds CONNREQ/FIN retransmissions before giving up.
+const MaxHandshakeRetries = 5
+
+// base carries the machinery shared by all connection managers.
+type base struct {
+	st          state
+	retries     int
+	timer       *event.Event
+	handshakeT0 time.Duration // when the active open began (latency metric)
+}
+
+func (b *base) Established() bool { return b.st == stEstablished }
+func (b *base) Closed() bool      { return b.st == stClosed }
+
+func (b *base) stopTimer() {
+	if b.timer != nil {
+		b.timer.Cancel()
+		b.timer = nil
+	}
+}
+
+func (b *base) becomeEstablished(e mechanism.Env) {
+	b.stopTimer()
+	b.st = stEstablished
+	elapsed := e.Clock().Now() - b.handshakeT0
+	e.Metrics().Sample("conn.establish_latency_ns", float64(elapsed))
+	e.Notify(mechanism.Notification{Kind: mechanism.NoteEstablished})
+	e.Pump()
+}
+
+func (b *base) fail(e mechanism.Env, why string) {
+	b.stopTimer()
+	b.st = stClosed
+	e.Notify(mechanism.Notification{Kind: mechanism.NoteEstablishFailed, Detail: why})
+}
+
+// sendFin starts (or retries) graceful termination.
+func (b *base) sendFin(e mechanism.Env) {
+	if b.retries > MaxHandshakeRetries {
+		b.stopTimer()
+		b.st = stClosed
+		e.Notify(mechanism.Notification{Kind: mechanism.NoteClosed, Detail: "fin retries exhausted"})
+		return
+	}
+	b.retries++
+	e.EmitControl(&wire.PDU{Header: wire.Header{Type: wire.TFin, Seq: e.State().SndNxt}})
+	rto := e.State().RTO
+	b.timer = e.Timers().Schedule(rto, func() { b.sendFin(e) })
+}
+
+// handleCommonClose processes FIN/FINACK PDUs shared by all managers. It
+// reports whether the PDU was consumed.
+func (b *base) handleCommonClose(e mechanism.Env, p *wire.PDU) bool {
+	switch p.Type {
+	case wire.TFin:
+		// Peer is closing; acknowledge and close our side.
+		e.EmitControl(&wire.PDU{Header: wire.Header{Type: wire.TFinAck, Ack: p.Seq}})
+		if b.st != stClosed {
+			b.stopTimer()
+			b.st = stClosed
+			e.Notify(mechanism.Notification{Kind: mechanism.NoteClosed, Detail: "peer fin"})
+		}
+		return true
+	case wire.TFinAck:
+		if b.st == stFinSent {
+			b.stopTimer()
+			b.st = stClosed
+			e.Notify(mechanism.Notification{Kind: mechanism.NoteClosed})
+		}
+		return true
+	}
+	return false
+}
+
+func (b *base) close(e mechanism.Env, graceful bool) {
+	switch b.st {
+	case stClosed:
+		return
+	case stEstablished:
+		if graceful {
+			b.st = stFinSent
+			b.retries = 0
+			b.sendFin(e)
+			return
+		}
+		fallthrough
+	default:
+		b.stopTimer()
+		b.st = stClosed
+		e.Notify(mechanism.Notification{Kind: mechanism.NoteClosed, Detail: "abort"})
+	}
+}
+
+// Implicit performs no handshake: the active side is immediately
+// established and attaches its TLV-encoded Spec to the first data PDU
+// (FlagImplicitCfg); the passive side is spawned established by the listener.
+type Implicit struct {
+	base
+	piggybacked bool
+}
+
+var _ mechanism.ConnManager = (*Implicit)(nil)
+
+// NewImplicit returns an implicit connection manager.
+func NewImplicit() *Implicit { return &Implicit{} }
+
+func (c *Implicit) Name() string { return "implicit" }
+
+func (c *Implicit) StartActive(e mechanism.Env) {
+	c.handshakeT0 = e.Clock().Now()
+	c.becomeEstablished(e)
+}
+
+func (c *Implicit) StartPassive(e mechanism.Env) {
+	c.handshakeT0 = e.Clock().Now()
+	c.piggybacked = true // passive side never piggybacks
+	c.becomeEstablished(e)
+}
+
+func (c *Implicit) OnPDU(e mechanism.Env, p *wire.PDU) bool {
+	return c.handleCommonClose(e, p)
+}
+
+// Piggyback returns the Spec blob exactly once, for the first data PDU.
+func (c *Implicit) Piggyback(e mechanism.Env) []byte {
+	if c.piggybacked {
+		return nil
+	}
+	c.piggybacked = true
+	return mechanism.EncodeSpec(e.Spec())
+}
+
+func (c *Implicit) Close(e mechanism.Env, graceful bool) { c.close(e, graceful) }
+
+// Explicit performs a negotiated handshake: CONNREQ carries the proposed
+// Spec; CONNACK returns the (possibly adjusted) Spec the passive side
+// accepted; with ThreeWay set the active side confirms with CONNCONF before
+// either side trusts the connection.
+type Explicit struct {
+	base
+	ThreeWay bool
+	proposed []byte // Spec blob sent in CONNREQ, to detect peer adjustment
+}
+
+var _ mechanism.ConnManager = (*Explicit)(nil)
+
+// NewExplicit returns a handshaking connection manager; threeWay selects the
+// 3-way variant.
+func NewExplicit(threeWay bool) *Explicit { return &Explicit{ThreeWay: threeWay} }
+
+func (c *Explicit) Name() string {
+	if c.ThreeWay {
+		return "explicit-3way"
+	}
+	return "explicit-2way"
+}
+
+func (c *Explicit) StartActive(e mechanism.Env) {
+	c.handshakeT0 = e.Clock().Now()
+	c.st = stReqSent
+	c.retries = 0
+	c.sendReq(e)
+}
+
+func (c *Explicit) sendReq(e mechanism.Env) {
+	if c.retries > MaxHandshakeRetries {
+		c.fail(e, "connreq retries exhausted")
+		return
+	}
+	c.retries++
+	c.proposed = mechanism.EncodeSpec(e.Spec())
+	p := &wire.PDU{
+		Header:  wire.Header{Type: wire.TConnReq},
+		Payload: message.NewFromBytes(c.proposed),
+	}
+	if c.ThreeWay {
+		p.Aux = 3
+	} else {
+		p.Aux = 2
+	}
+	e.EmitControl(p)
+	p.ReleasePayload()
+	rto := e.State().RTO
+	c.timer = e.Timers().Schedule(rto, func() { c.sendReq(e) })
+}
+
+func (c *Explicit) StartPassive(e mechanism.Env) {
+	c.handshakeT0 = e.Clock().Now()
+	// The listener passes the triggering CONNREQ through OnPDU.
+}
+
+func (c *Explicit) sendAck(e mechanism.Env) {
+	p := &wire.PDU{
+		Header:  wire.Header{Type: wire.TConnAck},
+		Payload: message.NewFromBytes(mechanism.EncodeSpec(e.Spec())),
+	}
+	e.EmitControl(p)
+	p.ReleasePayload()
+}
+
+func (c *Explicit) OnPDU(e mechanism.Env, p *wire.PDU) bool {
+	if c.handleCommonClose(e, p) {
+		return true
+	}
+	switch p.Type {
+	case wire.TConnReq:
+		// Passive side (or a retransmitted request): acknowledge. The
+		// listener already installed the adjusted Spec before handing us
+		// the PDU, so the CONNACK we emit carries the negotiated result.
+		switch c.st {
+		case stIdle, stAckSent:
+			c.sendAck(e)
+			if c.ThreeWay {
+				if c.st == stIdle {
+					c.st = stAckSent
+					c.armAckRetry(e)
+				}
+			} else {
+				c.becomeEstablished(e)
+			}
+		case stEstablished:
+			// Duplicate request after establishment: re-ack so a lost
+			// CONNACK doesn't strand the peer.
+			c.sendAck(e)
+		}
+		return true
+	case wire.TConnAck:
+		if c.st != stReqSent {
+			if c.st == stEstablished && c.ThreeWay {
+				// Our CONNCONF was lost; repeat it.
+				e.EmitControl(&wire.PDU{Header: wire.Header{Type: wire.TConnConf}})
+			}
+			return true
+		}
+		// Adopt the peer-adjusted Spec (negotiation result) — but only
+		// when the peer actually adjusted it. Applying an unmodified
+		// echo of our own proposal would revert any reconfiguration
+		// that raced with the handshake.
+		if blob := p.PayloadBytes(); len(blob) > 0 && !bytes.Equal(blob, c.proposed) {
+			if sp, err := mechanism.DecodeSpec(blob); err == nil {
+				e.ApplySpec(sp)
+			}
+		}
+		if c.ThreeWay {
+			e.EmitControl(&wire.PDU{Header: wire.Header{Type: wire.TConnConf}})
+		}
+		c.becomeEstablished(e)
+		return true
+	case wire.TConnConf:
+		if c.st == stAckSent {
+			c.becomeEstablished(e)
+		}
+		return true
+	}
+	return false
+}
+
+func (c *Explicit) armAckRetry(e mechanism.Env) {
+	c.retries = 0
+	var retry func()
+	retry = func() {
+		if c.st != stAckSent {
+			return
+		}
+		c.retries++
+		if c.retries > MaxHandshakeRetries {
+			c.fail(e, "connconf never arrived")
+			return
+		}
+		c.sendAck(e)
+		c.timer = e.Timers().Schedule(e.State().RTO, retry)
+	}
+	c.timer = e.Timers().Schedule(e.State().RTO, retry)
+}
+
+func (c *Explicit) Piggyback(mechanism.Env) []byte { return nil }
+
+func (c *Explicit) Close(e mechanism.Env, graceful bool) { c.close(e, graceful) }

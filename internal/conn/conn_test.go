@@ -1,0 +1,273 @@
+package conn
+
+import (
+	"testing"
+	"time"
+
+	"adaptive/internal/mechanism"
+	"adaptive/internal/mechanism/mechtest"
+	"adaptive/internal/message"
+	"adaptive/internal/wire"
+)
+
+func established(e *mechtest.Env) bool {
+	for _, n := range e.Notes {
+		if n.Kind == mechanism.NoteEstablished {
+			return true
+		}
+	}
+	return false
+}
+
+func closed(e *mechtest.Env) bool {
+	for _, n := range e.Notes {
+		if n.Kind == mechanism.NoteClosed {
+			return true
+		}
+	}
+	return false
+}
+
+func TestImplicitEstablishedImmediately(t *testing.T) {
+	e := mechtest.New(nil)
+	c := NewImplicit()
+	c.StartActive(e)
+	if !c.Established() || !established(e) {
+		t.Fatal("implicit not established at StartActive")
+	}
+	if e.Pumps == 0 {
+		t.Fatal("session not pumped at establishment")
+	}
+	if len(e.Control) != 0 {
+		t.Fatal("implicit emitted handshake PDUs")
+	}
+	if len(e.Sink.Samples["conn.establish_latency_ns"]) != 1 {
+		t.Fatal("establishment latency not sampled")
+	}
+}
+
+func TestImplicitPiggybackOnce(t *testing.T) {
+	e := mechtest.New(nil)
+	c := NewImplicit()
+	c.StartActive(e)
+	blob := c.Piggyback(e)
+	if len(blob) == 0 {
+		t.Fatal("no piggyback on first data PDU")
+	}
+	if sp, err := mechanism.DecodeSpec(blob); err != nil || sp.Recovery != e.SpecV.Recovery {
+		t.Fatalf("piggyback blob undecodable: %v", err)
+	}
+	if c.Piggyback(e) != nil {
+		t.Fatal("piggybacked twice")
+	}
+}
+
+func TestImplicitPassiveNeverPiggybacks(t *testing.T) {
+	e := mechtest.New(nil)
+	c := NewImplicit()
+	c.StartPassive(e)
+	if !c.Established() {
+		t.Fatal("passive implicit not established")
+	}
+	if c.Piggyback(e) != nil {
+		t.Fatal("passive side piggybacked")
+	}
+}
+
+func TestExplicit2WayHandshake(t *testing.T) {
+	active, passive := mechtest.New(nil), mechtest.New(nil)
+	a, p := NewExplicit(false), NewExplicit(false)
+
+	a.StartActive(active)
+	req := active.LastControl(wire.TConnReq)
+	if req == nil || req.Aux != 2 {
+		t.Fatalf("no 2-way CONNREQ: %v", req)
+	}
+	if a.Established() {
+		t.Fatal("active established before CONNACK")
+	}
+
+	p.StartPassive(passive)
+	if !p.OnPDU(passive, req) {
+		t.Fatal("CONNREQ not consumed")
+	}
+	if !p.Established() {
+		t.Fatal("2-way passive not established after CONNREQ")
+	}
+	ack := passive.LastControl(wire.TConnAck)
+	if ack == nil {
+		t.Fatal("no CONNACK")
+	}
+	if !a.OnPDU(active, ack) {
+		t.Fatal("CONNACK not consumed")
+	}
+	if !a.Established() || !established(active) {
+		t.Fatal("active not established after CONNACK")
+	}
+	// No spurious ApplySpec when the peer echoed the proposal unchanged.
+	if len(active.Applied) != 0 {
+		t.Fatal("unchanged proposal re-applied")
+	}
+}
+
+func TestExplicit3WayHandshake(t *testing.T) {
+	active, passive := mechtest.New(nil), mechtest.New(nil)
+	a, p := NewExplicit(true), NewExplicit(true)
+
+	a.StartActive(active)
+	req := active.LastControl(wire.TConnReq)
+	if req.Aux != 3 {
+		t.Fatalf("CONNREQ aux %d", req.Aux)
+	}
+	p.StartPassive(passive)
+	p.OnPDU(passive, req)
+	if p.Established() {
+		t.Fatal("3-way passive established before CONNCONF")
+	}
+	ack := passive.LastControl(wire.TConnAck)
+	a.OnPDU(active, ack)
+	if !a.Established() {
+		t.Fatal("active not established after CONNACK")
+	}
+	conf := active.LastControl(wire.TConnConf)
+	if conf == nil {
+		t.Fatal("active sent no CONNCONF")
+	}
+	p.OnPDU(passive, conf)
+	if !p.Established() {
+		t.Fatal("passive not established after CONNCONF")
+	}
+}
+
+func TestExplicitAdjustedSpecApplied(t *testing.T) {
+	active := mechtest.New(nil)
+	a := NewExplicit(false)
+	a.StartActive(active)
+
+	adjusted := *active.SpecV
+	adjusted.WindowSize = 2
+	ack := &wire.PDU{Header: wire.Header{Type: wire.TConnAck}}
+	ack.Payload = payloadOf(mechanism.EncodeSpec(&adjusted))
+	a.OnPDU(active, ack)
+	if len(active.Applied) != 1 || active.Applied[0].WindowSize != 2 {
+		t.Fatalf("adjusted spec not applied: %v", active.Applied)
+	}
+}
+
+func TestConnReqRetransmitsAndFails(t *testing.T) {
+	e := mechtest.New(nil)
+	c := NewExplicit(false)
+	c.StartActive(e)
+	e.Kernel.RunUntil(time.Minute) // nobody answers
+	if got := e.ControlCount(wire.TConnReq); got != MaxHandshakeRetries+1 {
+		t.Fatalf("%d CONNREQ attempts, want %d", got, MaxHandshakeRetries+1)
+	}
+	var failed bool
+	for _, n := range e.Notes {
+		if n.Kind == mechanism.NoteEstablishFailed {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("establishment failure never reported")
+	}
+	if !c.Closed() {
+		t.Fatal("failed connection not closed")
+	}
+}
+
+func TestDuplicateConnReqReacked(t *testing.T) {
+	passive := mechtest.New(nil)
+	p := NewExplicit(false)
+	p.StartPassive(passive)
+	req := &wire.PDU{Header: wire.Header{Type: wire.TConnReq, Aux: 2}}
+	req.Payload = payloadOf(mechanism.EncodeSpec(passive.SpecV))
+	p.OnPDU(passive, req)
+	p.OnPDU(passive, req) // retransmitted request (our CONNACK was lost)
+	if got := passive.ControlCount(wire.TConnAck); got != 2 {
+		t.Fatalf("%d CONNACKs for duplicate request", got)
+	}
+}
+
+func TestLostConnConfRecovered(t *testing.T) {
+	active := mechtest.New(nil)
+	a := NewExplicit(true)
+	a.StartActive(active)
+	ack := &wire.PDU{Header: wire.Header{Type: wire.TConnAck}}
+	a.OnPDU(active, ack)
+	if got := active.ControlCount(wire.TConnConf); got != 1 {
+		t.Fatalf("%d CONNCONFs", got)
+	}
+	// Duplicate CONNACK means our CONNCONF was lost: repeat it.
+	a.OnPDU(active, ack)
+	if got := active.ControlCount(wire.TConnConf); got != 2 {
+		t.Fatalf("lost CONNCONF not repeated (%d)", got)
+	}
+}
+
+func TestGracefulClose(t *testing.T) {
+	a, b := mechtest.New(nil), mechtest.New(nil)
+	ca, cb := NewImplicit(), NewImplicit()
+	ca.StartActive(a)
+	cb.StartPassive(b)
+
+	ca.Close(a, true)
+	fin := a.LastControl(wire.TFin)
+	if fin == nil {
+		t.Fatal("no FIN")
+	}
+	if ca.Closed() {
+		t.Fatal("closed before FINACK")
+	}
+	cb.OnPDU(b, fin)
+	if !cb.Closed() || !closed(b) {
+		t.Fatal("peer not closed on FIN")
+	}
+	finack := b.LastControl(wire.TFinAck)
+	ca.OnPDU(a, finack)
+	if !ca.Closed() || !closed(a) {
+		t.Fatal("closer not closed on FINACK")
+	}
+}
+
+func TestAbortiveClose(t *testing.T) {
+	e := mechtest.New(nil)
+	c := NewImplicit()
+	c.StartActive(e)
+	c.Close(e, false)
+	if !c.Closed() {
+		t.Fatal("abort did not close")
+	}
+	if e.LastControl(wire.TFin) != nil {
+		t.Fatal("abortive close sent FIN")
+	}
+}
+
+func TestFinRetransmitsThenGivesUp(t *testing.T) {
+	e := mechtest.New(nil)
+	c := NewImplicit()
+	c.StartActive(e)
+	c.Close(e, true)
+	e.Kernel.RunUntil(10 * time.Minute) // FINACK never comes
+	if got := e.ControlCount(wire.TFin); got != MaxHandshakeRetries+1 {
+		t.Fatalf("%d FIN attempts", got)
+	}
+	if !c.Closed() {
+		t.Fatal("never gave up on close")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	e := mechtest.New(nil)
+	c := NewImplicit()
+	c.StartActive(e)
+	c.Close(e, false)
+	notes := len(e.Notes)
+	c.Close(e, false)
+	c.Close(e, true)
+	if len(e.Notes) != notes {
+		t.Fatal("repeated close re-notified")
+	}
+}
+
+func payloadOf(b []byte) *message.Message { return message.NewFromBytes(b) }

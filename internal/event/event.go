@@ -1,0 +1,127 @@
+// Package event implements the TKO_Event service (ADAPTIVE §4.2.1):
+// schedulable, cancellable, one-shot or periodic timer events for protocol
+// mechanisms (retransmission timers, rate-control gaps, periodic probes,
+// policy evaluation ticks).
+//
+// Events run on the clock provider's event loop, so mechanism code needs no
+// locking. The manager also keeps scheduling statistics, which UNITES exposes
+// as whitebox metrics.
+package event
+
+import (
+	"time"
+
+	"adaptive/internal/netapi"
+)
+
+// Stats counts timer activity for whitebox metrics.
+type Stats struct {
+	Scheduled uint64
+	Expired   uint64
+	Canceled  uint64
+}
+
+// Manager creates events against a clock.
+type Manager struct {
+	clock netapi.Clock
+	stats Stats
+}
+
+// NewManager returns a Manager driving timers from clock.
+func NewManager(clock netapi.Clock) *Manager {
+	return &Manager{clock: clock}
+}
+
+// Clock returns the underlying clock.
+func (m *Manager) Clock() netapi.Clock { return m.clock }
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Event is a scheduled timer. Methods must be called from the provider's
+// event loop (the same discipline as all protocol code).
+type Event struct {
+	mgr      *Manager
+	timer    netapi.Timer
+	period   time.Duration // 0 for one-shot
+	fn       func()
+	stopped  bool
+	pending  bool
+	fireSeen uint64
+}
+
+// Schedule runs fn once after d.
+func (m *Manager) Schedule(d time.Duration, fn func()) *Event {
+	return m.schedule(d, 0, fn)
+}
+
+// SchedulePeriodic runs fn after d and then every period thereafter until
+// canceled. A zero or negative period panics.
+func (m *Manager) SchedulePeriodic(d, period time.Duration, fn func()) *Event {
+	if period <= 0 {
+		panic("event: non-positive period")
+	}
+	return m.schedule(d, period, fn)
+}
+
+func (m *Manager) schedule(d, period time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("event: nil fn")
+	}
+	e := &Event{mgr: m, period: period, fn: fn}
+	m.arm(e, d)
+	return e
+}
+
+func (m *Manager) arm(e *Event, d time.Duration) {
+	m.stats.Scheduled++
+	e.pending = true
+	e.timer = m.clock.AfterFunc(d, func() { e.fire() })
+}
+
+func (e *Event) fire() {
+	if e.stopped {
+		return
+	}
+	e.pending = false
+	e.mgr.stats.Expired++
+	e.fireSeen++
+	e.fn()
+	if e.period > 0 && !e.stopped {
+		e.mgr.arm(e, e.period)
+	}
+}
+
+// Cancel stops the event (and all future periods). It reports whether a
+// firing was still pending.
+func (e *Event) Cancel() bool {
+	if e.stopped {
+		return false
+	}
+	e.stopped = true
+	was := e.pending
+	e.pending = false
+	if e.timer != nil {
+		e.timer.Stop()
+	}
+	if was {
+		e.mgr.stats.Canceled++
+	}
+	return was
+}
+
+// Reset re-arms a one-shot event to fire after d from now, canceling any
+// pending firing. Reset on a periodic event re-bases the next firing.
+func (e *Event) Reset(d time.Duration) {
+	if e.timer != nil {
+		e.timer.Stop()
+	}
+	e.stopped = false
+	e.mgr.arm(e, d)
+}
+
+// Pending reports whether a firing is scheduled.
+func (e *Event) Pending() bool { return e.pending && !e.stopped }
+
+// Fired returns how many times the event has expired.
+func (e *Event) Fired() uint64 { return e.fireSeen }

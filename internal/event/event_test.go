@@ -1,0 +1,133 @@
+package event
+
+import (
+	"testing"
+	"time"
+
+	"adaptive/internal/netsim"
+	"adaptive/internal/sim"
+)
+
+func newMgr() (*sim.Kernel, *Manager) {
+	k := sim.NewKernel(1)
+	n := netsim.New(k)
+	return k, NewManager(n.Clock())
+}
+
+func TestOneShot(t *testing.T) {
+	k, m := newMgr()
+	var at time.Duration
+	m.Schedule(7*time.Millisecond, func() { at = k.Now() })
+	k.Run()
+	if at != 7*time.Millisecond {
+		t.Fatalf("fired at %v", at)
+	}
+	if s := m.Stats(); s.Scheduled != 1 || s.Expired != 1 || s.Canceled != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCancelBeforeFire(t *testing.T) {
+	k, m := newMgr()
+	fired := false
+	e := m.Schedule(time.Millisecond, func() { fired = true })
+	if !e.Cancel() {
+		t.Fatal("Cancel returned false on pending event")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if e.Cancel() {
+		t.Fatal("double cancel returned true")
+	}
+	if s := m.Stats(); s.Canceled != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	k, m := newMgr()
+	var fires []time.Duration
+	var e *Event
+	e = m.SchedulePeriodic(time.Millisecond, 2*time.Millisecond, func() {
+		fires = append(fires, k.Now())
+		if len(fires) == 4 {
+			e.Cancel()
+		}
+	})
+	k.RunUntil(time.Second)
+	if len(fires) != 4 {
+		t.Fatalf("fired %d times: %v", len(fires), fires)
+	}
+	want := []time.Duration{1, 3, 5, 7}
+	for i, w := range want {
+		if fires[i] != w*time.Millisecond {
+			t.Fatalf("fire %d at %v, want %vms", i, fires[i], w)
+		}
+	}
+	if e.Fired() != 4 {
+		t.Fatalf("Fired() = %d", e.Fired())
+	}
+}
+
+func TestReset(t *testing.T) {
+	k, m := newMgr()
+	var at time.Duration
+	e := m.Schedule(5*time.Millisecond, func() { at = k.Now() })
+	k.RunUntil(2 * time.Millisecond)
+	e.Reset(10 * time.Millisecond) // now fires at t=12ms
+	k.Run()
+	if at != 12*time.Millisecond {
+		t.Fatalf("reset timer fired at %v, want 12ms", at)
+	}
+	if s := m.Stats(); s.Expired != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestResetAfterFire(t *testing.T) {
+	k, m := newMgr()
+	count := 0
+	e := m.Schedule(time.Millisecond, func() { count++ })
+	k.Run()
+	e.Reset(time.Millisecond)
+	k.Run()
+	if count != 2 {
+		t.Fatalf("retransmission-style reuse fired %d times", count)
+	}
+}
+
+func TestPending(t *testing.T) {
+	k, m := newMgr()
+	e := m.Schedule(time.Millisecond, func() {})
+	if !e.Pending() {
+		t.Fatal("not pending after schedule")
+	}
+	k.Run()
+	if e.Pending() {
+		t.Fatal("still pending after fire")
+	}
+}
+
+func TestNonPositivePeriodPanics(t *testing.T) {
+	_, m := newMgr()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for period 0")
+		}
+	}()
+	m.SchedulePeriodic(time.Millisecond, 0, func() {})
+}
+
+func TestCancelPeriodicStopsFuture(t *testing.T) {
+	k, m := newMgr()
+	count := 0
+	e := m.SchedulePeriodic(time.Millisecond, time.Millisecond, func() { count++ })
+	k.RunUntil(3500 * time.Microsecond)
+	e.Cancel()
+	k.RunUntil(time.Second)
+	if count != 3 {
+		t.Fatalf("periodic fired %d times after cancel at 3.5ms", count)
+	}
+}

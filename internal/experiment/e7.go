@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"time"
+
+	"adaptive"
+	"adaptive/internal/baseline"
+	"adaptive/internal/netsim"
+	"adaptive/internal/workload"
+)
+
+// RunE7 reproduces the throughput-preservation analysis (§2.1A/§2.2A): how
+// much of the raw channel bandwidth reaches the application as network
+// speed climbs from Ethernet (10 Mbps) through FDDI (100), ATM OC-3 (155),
+// and ATM OC-12 (622), for a monolithic stack (RDTP semantics + BSD-style
+// per-packet/ per-byte host costs) versus an ADAPTIVE lightweight
+// configuration (zero-copy buffers, trailer checksums, slim path).
+func RunE7() []Table {
+	t := Table{
+		ID:      "E7",
+		Title:   "Throughput preservation vs channel speed (8 MB transfer, 4 ms RTT)",
+		Headers: []string{"channel", "stack", "delivered", "delivered/raw", "host CPU busy"},
+	}
+	channels := []struct {
+		name string
+		bps  float64
+		mtu  int
+	}{
+		{"Ethernet 10 Mbps", 10e6, 1500},
+		{"FDDI 100 Mbps", 100e6, 4352},
+		{"ATM 155 Mbps", 155e6, 9180},
+		{"ATM 622 Mbps", 622e6, 9180},
+	}
+	for _, ch := range channels {
+		for _, heavy := range []bool{true, false} {
+			t.Rows = append(t.Rows, runE7Case(ch.name, ch.bps, ch.mtu, heavy))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"host model: monolithic = 150us+40ns/B per PDU (copies, interrupts, context switches);",
+		"lightweight = 30us+10ns/B (zero-copy, trailer checksum) — §2.2A cost structure",
+		"expected shape: both keep up at 10 Mbps; the delivered/raw ratio collapses with channel speed,",
+		"far faster for the monolithic stack (its window cap and CPU cost both bind)")
+	return []Table{t}
+}
+
+func runE7Case(name string, bps float64, mtu int, heavy bool) []string {
+	link := netsim.LinkConfig{Bandwidth: bps, PropDelay: 2 * time.Millisecond, MTU: mtu, QueueLen: 1 << 22}
+	tb, err := NewTestbed(2, link, int64(7000+int(bps/1e6)))
+	if err != nil {
+		panic(err)
+	}
+	tb.SeedPaths()
+
+	cost := baseline.LightweightCost
+	if heavy {
+		cost = baseline.MonolithicCost
+	}
+	for _, n := range tb.Nodes {
+		n.Stack().Endpoint().(*netsim.Endpoint).SetCPUCost(cost)
+	}
+
+	const total = 8 << 20
+	var got int
+	var doneAt time.Duration
+	tb.Nodes[1].Listen(80, nil, func(c *adaptive.Conn) {
+		c.OnDelivery(func(d adaptive.Delivery) {
+			got += d.Msg.Len()
+			if got >= total && doneAt == 0 {
+				doneAt = tb.K.Now()
+			}
+			d.Msg.Release()
+		})
+	})
+
+	var spec adaptive.Spec
+	if heavy {
+		spec = baseline.RDTPSpec()
+		spec.MSS = 1400 // monolithic stack ignores the larger path MTU
+	} else {
+		// Window sized to ~3x the bandwidth-delay product (the large
+		// scaled windows §2.2C says high-speed paths need), not beyond:
+		// grossly overshooting the BDP only builds standing queues.
+		mss := mtu - 28
+		bdp := int(bps/8*0.004/float64(mss)) + 1
+		spec = adaptive.Spec{
+			ConnMgmt:   adaptive.ConnExplicit2Way,
+			Recovery:   adaptive.RecoverySelectiveRepeat,
+			Window:     adaptive.WindowFixed,
+			WindowSize: 3*bdp + 4,
+			Order:      adaptive.OrderSequenced,
+			MSS:        mss,
+			RcvBufPDUs: 4 * (3*bdp + 4),
+		}
+	}
+	conn, err := tb.Nodes[0].DialSpec(spec, tb.hostAddr(1), 1000, 80)
+	if err != nil {
+		panic(err)
+	}
+	g := &workload.Bulk{Out: conn, TotalSize: total, ChunkSize: 256 << 10}
+	g.Start(tb.K)
+	tb.K.RunUntil(10 * time.Minute)
+
+	var delivered float64
+	if doneAt > 0 {
+		delivered = float64(total) * 8 / doneAt.Seconds()
+	}
+	stack := "ADAPTIVE lightweight"
+	if heavy {
+		stack = "monolithic (RDTP)"
+	}
+	cpu := tb.Hosts[0].Stats().CPUTime + tb.Hosts[1].Stats().CPUTime
+	var cpuFrac float64
+	if doneAt > 0 {
+		cpuFrac = cpu.Seconds() / (2 * doneAt.Seconds())
+	}
+	return []string{
+		name,
+		stack,
+		fmtBps(delivered),
+		fmtPct(delivered / bps),
+		fmtPct(cpuFrac),
+	}
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"adaptive/internal/baseline"
+	"adaptive/internal/mantts"
+	"adaptive/internal/netapi"
+	"adaptive/internal/tko"
+)
+
+// RunF2 measures the three-stage MANTTS transformation of Figure 2 — the
+// real host-CPU cost of Stage I (TSC selection), Stage II (SCS derivation),
+// and Stage III (TKO synthesis), the latter with and without a template
+// cache hit. The paper's concern: "the benefits of a dynamically configured
+// architecture are reduced if the configuration process is overly
+// time-consuming" (§4.1.1).
+func RunF2() []Table {
+	t := Table{
+		ID:      "F2",
+		Title:   "Figure 2 — transformation stage cost (wall time per invocation)",
+		Headers: []string{"stage", "operation", "cost/op"},
+	}
+	acd := mantts.ACDForProfile(mantts.Profile("File Transfer"))
+	acd.Participants = []netapi.Addr{{Host: 2, Port: 80}}
+	path := mantts.PathState{RTT: 10 * time.Millisecond, MTU: 1500, Bandwidth: 100e6}
+
+	const iters = 20000
+	stage1 := timePerOp(iters, func() { mantts.Classify(acd) })
+	tsc := mantts.Classify(acd)
+	stage2 := timePerOp(iters, func() { mantts.DeriveSCS(tsc, acd, path) })
+	spec := mantts.DeriveSCS(tsc, acd, path)
+
+	// Stage III, cold: a fresh synthesizer every round so the automatic
+	// template installed by the first synthesis never hits.
+	reg := tko.DefaultRegistry()
+	stage3Cold := timePerOp(iters/10, func() {
+		sy := tko.NewSynthesizer(reg)
+		sp := *spec
+		if _, err := sy.Synthesize(&sp); err != nil {
+			panic(err)
+		}
+	})
+	// Stage III, warm: one synthesizer, template installed, every request
+	// hits.
+	sy := tko.NewSynthesizer(reg)
+	baseline.InstallTemplates(sy)
+	sp := *spec
+	sy.InstallTemplate("warm", tko.TemplateReconfigurable, sp)
+	stage3Warm := timePerOp(iters, func() {
+		s2 := sp
+		if _, err := sy.Synthesize(&s2); err != nil {
+			panic(err)
+		}
+	})
+	stats := sy.Stats()
+
+	t.Rows = [][]string{
+		{"Stage I", "QoS -> TSC classification", fmtDur(stage1)},
+		{"Stage II", "TSC + network descriptor -> SCS", fmtDur(stage2)},
+		{"Stage III", "SCS -> session (dynamic synthesis, cold cache)", fmtDur(stage3Cold)},
+		{"Stage III", "SCS -> session (TKO_Template hit)", fmtDur(stage3Warm)},
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("template cache: %d hits, %d misses on the warm synthesizer", stats.TemplateHits, stats.TemplateMiss))
+	return []Table{t}
+}
+
+// timePerOp measures wall time per call (the transformations are pure CPU,
+// so real time is the honest measure).
+func timePerOp(n int, fn func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(n)
+}

@@ -1,0 +1,287 @@
+// Package mantts implements the MANTTS subsystem ("Map Applications and
+// Networks To Transport Systems", ADAPTIVE §4.1): the three-stage
+// transformation from application QoS requirements to an executable
+// transport session —
+//
+//	Stage I:   ACD  -> Transport Service Class (TSC)
+//	Stage II:  TSC  -> Session Configuration Specification (SCS)
+//	Stage III: SCS  -> synthesized session (delegated to TKO)
+//
+// — plus QoS negotiation with remote MANTTS entities, the network state
+// descriptor fed by the MANTTS Network Monitor Interface, and the
+// Transport Service Adjustment (TSA) policy engine that drives run-time
+// reconfiguration.
+package mantts
+
+import (
+	"fmt"
+	"time"
+
+	"adaptive/internal/netapi"
+	"adaptive/internal/wire"
+)
+
+// Level is a qualitative requirement level, matching the vocabulary of the
+// paper's Table 1 (low / moderate / high / very-high, plus variable and
+// not-defined).
+type Level int
+
+const (
+	None Level = iota
+	VeryLow
+	Low
+	Moderate
+	High
+	VeryHigh
+	Variable
+	NotDefined
+)
+
+func (l Level) String() string {
+	switch l {
+	case None:
+		return "none"
+	case VeryLow:
+		return "very-low"
+	case Low:
+		return "low"
+	case Moderate:
+		return "mod"
+	case High:
+		return "high"
+	case VeryHigh:
+		return "very-high"
+	case Variable:
+		return "var"
+	case NotDefined:
+		return "N/D"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// QuantQoS holds the quantitative quality-of-service parameters of the
+// ADAPTIVE Communication Descriptor (Table 2): "peak and average throughput,
+// minimum and maximum latency and jitter, error-rate probabilities,
+// duration".
+type QuantQoS struct {
+	PeakThroughputBps float64
+	AvgThroughputBps  float64
+	MaxLatency        time.Duration // 0 = unconstrained
+	MaxJitter         time.Duration // 0 = unconstrained
+	LossTolerance     float64       // acceptable fraction of data lost (0 = none)
+	Duration          time.Duration // expected session duration (0 = unknown)
+}
+
+// TransmissionUnit selects byte-, packet-, or block-based transmission and
+// acknowledgment semantics (a qualitative ACD parameter).
+type TransmissionUnit int
+
+const (
+	UnitPacket TransmissionUnit = iota
+	UnitByte
+	UnitBlock
+)
+
+// ConnPreference lets the application force a connection-management style;
+// the default lets MANTTS choose from duration and latency requirements.
+type ConnPreference int
+
+const (
+	ConnAuto ConnPreference = iota
+	ConnPreferImplicit
+	ConnPreferExplicit
+)
+
+// QualQoS holds the qualitative ACD parameters: "sequenced/non-sequenced
+// delivery, duplicate sensitivity, explicit/implicit connection management,
+// (byte/packet/block)-based transmission and acknowledgment".
+type QualQoS struct {
+	Ordered      bool
+	DupSensitive bool
+	ConnMgmt     ConnPreference
+	Unit         TransmissionUnit
+	Priority     int
+}
+
+// TMC is the Transport Measurement Component (Table 2): the metrics the
+// application wants UNITES to collect for this session, and how often the
+// policy engine samples them.
+type TMC struct {
+	Metrics    []string
+	SampleRate time.Duration
+}
+
+// ACD is the ADAPTIVE Communication Descriptor (Table 2) an application
+// passes through the MANTTS-API when initiating a connection.
+type ACD struct {
+	// Participants are the remote end systems in the association; more
+	// than one requests multicast service.
+	Participants []netapi.Addr
+	// RemotePort is the peer transport port (service).
+	RemotePort uint16
+	Quant      QuantQoS
+	Qual       QualQoS
+	// TSA holds <condition, action> pairs evaluated when conditions
+	// change in local or remote hosts or the network.
+	TSA []Rule
+	TMC TMC
+	// Class, if non-nil, explicitly selects a TSC ("applications may
+	// explicitly select a TSC to help simplify the subsequent
+	// configuration process", §4.1.1 Stage I).
+	Class *TSC
+}
+
+// Multicast reports whether the descriptor requests multicast service.
+func (a *ACD) Multicast() bool { return len(a.Participants) > 1 }
+
+// Validate rejects descriptors that cannot be configured.
+func (a *ACD) Validate() error {
+	if len(a.Participants) == 0 {
+		return fmt.Errorf("mantts: ACD needs at least one participant")
+	}
+	if a.Quant.LossTolerance < 0 || a.Quant.LossTolerance > 1 {
+		return fmt.Errorf("mantts: loss tolerance %v outside [0,1]", a.Quant.LossTolerance)
+	}
+	for _, r := range a.TSA {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- ACD wire codec (used by tests and the T2 experiment; negotiation
+// itself carries the derived Spec, but MANTTS entities exchange ACDs when
+// re-negotiating service levels). ---
+
+const (
+	acdTagParticipant uint16 = 1
+	acdTagRemotePort  uint16 = 2
+	acdTagPeakBps     uint16 = 3
+	acdTagAvgBps      uint16 = 4
+	acdTagMaxLatency  uint16 = 5
+	acdTagMaxJitter   uint16 = 6
+	acdTagLossTol     uint16 = 7
+	acdTagDuration    uint16 = 8
+	acdTagQualFlags   uint16 = 9
+	acdTagUnit        uint16 = 10
+	acdTagPriority    uint16 = 11
+	acdTagConnPref    uint16 = 12
+	acdTagTSARule     uint16 = 13
+	acdTagTMCMetric   uint16 = 14
+	acdTagTMCSample   uint16 = 15
+	acdTagClass       uint16 = 16
+)
+
+const (
+	qualOrdered      = 1 << 0
+	qualDupSensitive = 1 << 1
+)
+
+// EncodeACD serializes an ACD as TLV.
+func EncodeACD(a *ACD) []byte {
+	var w wire.TLVWriter
+	for _, p := range a.Participants {
+		var buf [6]byte
+		buf[0] = byte(p.Host >> 24)
+		buf[1] = byte(p.Host >> 16)
+		buf[2] = byte(p.Host >> 8)
+		buf[3] = byte(p.Host)
+		buf[4] = byte(p.Port >> 8)
+		buf[5] = byte(p.Port)
+		w.Put(acdTagParticipant, buf[:])
+	}
+	w.PutU16(acdTagRemotePort, a.RemotePort)
+	w.PutU64(acdTagPeakBps, uint64(a.Quant.PeakThroughputBps))
+	w.PutU64(acdTagAvgBps, uint64(a.Quant.AvgThroughputBps))
+	w.PutU64(acdTagMaxLatency, uint64(a.Quant.MaxLatency))
+	w.PutU64(acdTagMaxJitter, uint64(a.Quant.MaxJitter))
+	w.PutU64(acdTagLossTol, uint64(a.Quant.LossTolerance*1e9))
+	w.PutU64(acdTagDuration, uint64(a.Quant.Duration))
+	var qf uint8
+	if a.Qual.Ordered {
+		qf |= qualOrdered
+	}
+	if a.Qual.DupSensitive {
+		qf |= qualDupSensitive
+	}
+	w.PutU8(acdTagQualFlags, qf)
+	w.PutU8(acdTagUnit, uint8(a.Qual.Unit))
+	w.PutU32(acdTagPriority, uint32(a.Qual.Priority))
+	w.PutU8(acdTagConnPref, uint8(a.Qual.ConnMgmt))
+	for _, r := range a.TSA {
+		w.Put(acdTagTSARule, EncodeRule(&r))
+	}
+	for _, m := range a.TMC.Metrics {
+		w.PutString(acdTagTMCMetric, m)
+	}
+	if a.TMC.SampleRate > 0 {
+		w.PutU64(acdTagTMCSample, uint64(a.TMC.SampleRate))
+	}
+	if a.Class != nil {
+		w.PutU8(acdTagClass, uint8(*a.Class))
+	}
+	return w.Bytes()
+}
+
+// DecodeACD parses a TLV-encoded ACD.
+func DecodeACD(b []byte) (*ACD, error) {
+	a := &ACD{}
+	r := wire.NewTLVReader(b)
+	for {
+		tag, val, ok, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		switch tag {
+		case acdTagParticipant:
+			if len(val) >= 6 {
+				h := netapi.HostID(val[0])<<24 | netapi.HostID(val[1])<<16 |
+					netapi.HostID(val[2])<<8 | netapi.HostID(val[3])
+				port := uint16(val[4])<<8 | uint16(val[5])
+				a.Participants = append(a.Participants, netapi.Addr{Host: h, Port: port})
+			}
+		case acdTagRemotePort:
+			a.RemotePort = wire.U16(val)
+		case acdTagPeakBps:
+			a.Quant.PeakThroughputBps = float64(wire.U64(val))
+		case acdTagAvgBps:
+			a.Quant.AvgThroughputBps = float64(wire.U64(val))
+		case acdTagMaxLatency:
+			a.Quant.MaxLatency = time.Duration(wire.U64(val))
+		case acdTagMaxJitter:
+			a.Quant.MaxJitter = time.Duration(wire.U64(val))
+		case acdTagLossTol:
+			a.Quant.LossTolerance = float64(wire.U64(val)) / 1e9
+		case acdTagDuration:
+			a.Quant.Duration = time.Duration(wire.U64(val))
+		case acdTagQualFlags:
+			f := wire.U8(val)
+			a.Qual.Ordered = f&qualOrdered != 0
+			a.Qual.DupSensitive = f&qualDupSensitive != 0
+		case acdTagUnit:
+			a.Qual.Unit = TransmissionUnit(wire.U8(val))
+		case acdTagPriority:
+			a.Qual.Priority = int(wire.U32(val))
+		case acdTagConnPref:
+			a.Qual.ConnMgmt = ConnPreference(wire.U8(val))
+		case acdTagTSARule:
+			rule, err := DecodeRule(val)
+			if err != nil {
+				return nil, err
+			}
+			a.TSA = append(a.TSA, *rule)
+		case acdTagTMCMetric:
+			a.TMC.Metrics = append(a.TMC.Metrics, string(val))
+		case acdTagTMCSample:
+			a.TMC.SampleRate = time.Duration(wire.U64(val))
+		case acdTagClass:
+			c := TSC(wire.U8(val))
+			a.Class = &c
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,666 @@
+package mantts
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"adaptive/internal/event"
+	"adaptive/internal/mechanism"
+	"adaptive/internal/message"
+	"adaptive/internal/netapi"
+	"adaptive/internal/protograph"
+	"adaptive/internal/session"
+	"adaptive/internal/unites"
+	"adaptive/internal/wire"
+)
+
+// Signal message types (TLV tag sigTagType values) carried over the
+// out-of-band signaling channel (Figure 3: control path separate from the
+// data path).
+const (
+	sigReconfig   uint8 = 1 // coordinated SCS change for a live session
+	sigJoinInvite uint8 = 2 // multicast membership setup
+	sigJoinAck    uint8 = 3
+	sigLeave      uint8 = 4
+	sigAck        uint8 = 5 // signaling-level acknowledgment
+	sigQualReport uint8 = 6 // receiver quality report (loss feedback when
+	//                         acks are suppressed, e.g. multicast)
+)
+
+const (
+	sigTagType   uint16 = 1
+	sigTagSeq    uint16 = 2
+	sigTagConnID uint16 = 3
+	sigTagSpec   uint16 = 4
+	sigTagGroup  uint16 = 5
+	sigTagPort   uint16 = 6
+	sigTagLoss   uint16 = 7 // loss fraction * 1e9
+)
+
+// qualReportPeriod is how often a multicast receiver reports delivered
+// quality back to the sender's MANTTS entity.
+const qualReportPeriod = 250 * time.Millisecond
+
+// signalRetries bounds reliable-signal retransmissions.
+const signalRetries = 5
+
+// Managed couples a session with its policy machinery.
+type Managed struct {
+	Session *session.Session
+	ACD     *ACD
+	TSC     TSC
+	Engine  *Engine
+
+	peerHost netapi.HostID
+	members  map[netapi.HostID]bool // multicast membership (sender side)
+	group    netapi.Addr
+
+	sampler *event.Event
+	// Deltas for rate-style metrics.
+	lastSent, lastRetx, lastDelivered uint64
+	lastSampleAt                      time.Duration
+}
+
+// Members returns the current multicast membership (sender side).
+func (m *Managed) Members() []netapi.HostID {
+	out := make([]netapi.HostID, 0, len(m.members))
+	for h := range m.members {
+		out = append(out, h)
+	}
+	return out
+}
+
+// Entity is a host's MANTTS instance: it owns the signaling channel, the
+// network state descriptor, session configuration, and run-time policy.
+type Entity struct {
+	stack    *protograph.Stack
+	netstate *NetState
+	managed  map[uint32]*Managed
+
+	// Notify is the application-facing notification hook (call-back
+	// reconfiguration path, §4.1.2 "Application-Specific").
+	Notify func(connID uint32, n mechanism.Notification)
+
+	// OnMulticastAccept is invoked when a JoinInvite creates a local
+	// receiving session; applications install receivers here, and the
+	// harness joins the host to the group at the network level.
+	OnMulticastAccept func(s *session.Session, group netapi.HostID)
+
+	// pending reliable signals awaiting sigAck, keyed by signal seq.
+	pending map[uint32]*event.Event
+	sigSeq  uint32
+
+	probeTimers map[netapi.HostID]*event.Event
+
+	// Stats.
+	SignalsSent, SignalsRecv uint64
+	Reconfigs                uint64
+}
+
+// NewEntity attaches a MANTTS entity to a stack (installing itself as the
+// stack's out-of-band signal handler).
+func NewEntity(stack *protograph.Stack) *Entity {
+	e := &Entity{
+		stack:       stack,
+		netstate:    NewNetState(),
+		managed:     make(map[uint32]*Managed),
+		pending:     make(map[uint32]*event.Event),
+		probeTimers: make(map[netapi.HostID]*event.Event),
+	}
+	stack.SignalHandler = e.onSignal
+	return e
+}
+
+// NetState exposes the network state descriptor (seeding, inspection).
+func (e *Entity) NetState() *NetState { return e.netstate }
+
+// Stack returns the underlying protocol graph.
+func (e *Entity) Stack() *protograph.Stack { return e.stack }
+
+// Managed returns the policy wrapper for a connection, or nil.
+func (e *Entity) ManagedSession(connID uint32) *Managed { return e.managed[connID] }
+
+// --- connection negotiation and configuration phase (§4.1.1) ---
+
+// OpenSession runs the full three-stage transformation for an ACD and opens
+// the session. For multicast descriptors it first distributes JoinInvites to
+// every participant over the signaling channel.
+func (e *Entity) OpenSession(acd *ACD, localPort uint16) (*Managed, error) {
+	if err := acd.Validate(); err != nil {
+		return nil, err
+	}
+	tsc := Classify(acd) // Stage I
+	path := e.worstPath(acd)
+	spec := DeriveSCS(tsc, acd, path) // Stage II
+	if acd.TMC.SampleRate == 0 {
+		acd.TMC.SampleRate = 50 * time.Millisecond
+	}
+
+	var peer netapi.Addr
+	if acd.Multicast() {
+		if !acd.Participants[0].Host.IsMulticast() {
+			return nil, fmt.Errorf("mantts: multicast ACD must name the group as participant 0")
+		}
+		peer = acd.Participants[0]
+	} else {
+		peer = acd.Participants[0]
+	}
+
+	s, _, err := e.stack.CreateActiveSession(spec, peer, localPort, acd.RemotePort) // Stage III
+	if err != nil {
+		return nil, err
+	}
+	if len(acd.TMC.Metrics) > 0 {
+		// Selective instrumentation: only the metrics the application's
+		// Transport Measurement Component requested reach UNITES (§4.3).
+		s.SetMetricSink(&unites.FilteredSink{Next: s.MetricSink(), Allow: acd.TMC.Metrics})
+	}
+	m := &Managed{
+		Session:  s,
+		ACD:      acd,
+		TSC:      tsc,
+		Engine:   NewEngine(acd.TSA),
+		peerHost: peer.Host,
+	}
+	e.managed[s.ConnID()] = m
+	s.SetNotifier(func(n mechanism.Notification) { e.onNote(m, n) })
+
+	if acd.Multicast() {
+		m.group = peer
+		m.members = make(map[netapi.HostID]bool)
+		for _, p := range acd.Participants[1:] {
+			e.inviteMember(m, p.Host)
+		}
+	}
+	s.Open()
+	e.startSampler(m)
+	return m, nil
+}
+
+// worstPath merges descriptors across participants (multicast uses the
+// most pessimistic characteristics).
+func (e *Entity) worstPath(acd *ACD) PathState {
+	var worst PathState
+	first := true
+	for _, p := range acd.Participants {
+		if p.Host.IsMulticast() {
+			continue
+		}
+		ps := e.netstate.Path(p.Host)
+		if first {
+			worst = ps
+			first = false
+			continue
+		}
+		if ps.RTT > worst.RTT {
+			worst.RTT = ps.RTT
+		}
+		if ps.LossRate > worst.LossRate {
+			worst.LossRate = ps.LossRate
+		}
+		if ps.BER > worst.BER {
+			worst.BER = ps.BER
+		}
+		if ps.MTU < worst.MTU {
+			worst.MTU = ps.MTU
+		}
+		if ps.Congestion > worst.Congestion {
+			worst.Congestion = ps.Congestion
+		}
+	}
+	if first {
+		worst = e.netstate.Path(acd.Participants[0].Host)
+	}
+	return worst
+}
+
+// --- data transfer and reconfiguration phase (§4.1.2) ---
+
+// Reconfigure applies a coordinated SCS change to a live session: the new
+// Spec travels to the peer over the signaling channel, then applies locally.
+func (e *Entity) Reconfigure(m *Managed, mutate func(s *mechanism.Spec)) {
+	ns := *m.Session.Spec()
+	mutate(&ns)
+	ns.Normalize()
+	e.Reconfigs++
+	blob := mechanism.EncodeSpec(&ns)
+	var w wire.TLVWriter
+	w.PutU8(sigTagType, sigReconfig)
+	w.PutU32(sigTagConnID, m.Session.ConnID())
+	w.Put(sigTagSpec, blob)
+	if m.members != nil {
+		for h := range m.members {
+			e.sendSignalReliable(netapi.Addr{Host: h, Port: e.stack.LocalAddr().Port}, w.Bytes())
+		}
+	} else {
+		e.sendSignalReliable(m.Session.PeerAddr(), w.Bytes())
+	}
+	m.Session.ApplySpec(&ns)
+}
+
+// CoordinateRates divides a bandwidth budget among related sessions in
+// proportion to their priorities — MANTTS "coordinates multiple related
+// communication sessions (e.g., determining the scheduling priorities of
+// synchronized multimedia streams)" (§4.1). Weights are priority+1 so
+// priority-0 sessions still receive a share. Sessions not managed by this
+// entity are ignored.
+func (e *Entity) CoordinateRates(budgetBps float64, connIDs ...uint32) {
+	var total float64
+	var members []*Managed
+	for _, id := range connIDs {
+		if m := e.managed[id]; m != nil {
+			members = append(members, m)
+			total += float64(m.Session.Spec().Priority + 1)
+		}
+	}
+	if total == 0 || budgetBps <= 0 {
+		return
+	}
+	for _, m := range members {
+		share := budgetBps * float64(m.Session.Spec().Priority+1) / total
+		e.Reconfigure(m, func(s *mechanism.Spec) { s.RateBps = share })
+	}
+}
+
+// --- multicast membership ---
+
+// inviteMember signals a host to join the session's group.
+func (e *Entity) inviteMember(m *Managed, host netapi.HostID) {
+	var w wire.TLVWriter
+	w.PutU8(sigTagType, sigJoinInvite)
+	w.PutU32(sigTagConnID, m.Session.ConnID())
+	w.Put(sigTagSpec, mechanism.EncodeSpec(m.Session.Spec()))
+	w.PutU32(sigTagGroup, uint32(m.group.Host))
+	w.PutU16(sigTagPort, m.Session.LocalPort())
+	e.sendSignalReliable(netapi.Addr{Host: host, Port: e.stack.LocalAddr().Port}, w.Bytes())
+}
+
+// AddParticipant invites a new member into a live multicast session
+// (explicit reconfiguration: "a tele-conferencing application may switch
+// between unicast and multicast as participants join and leave").
+func (e *Entity) AddParticipant(m *Managed, host netapi.HostID) {
+	if m.members == nil {
+		return
+	}
+	e.inviteMember(m, host)
+}
+
+// RemoveParticipant signals a member to leave.
+func (e *Entity) RemoveParticipant(m *Managed, host netapi.HostID) {
+	if m.members == nil {
+		return
+	}
+	delete(m.members, host)
+	var w wire.TLVWriter
+	w.PutU8(sigTagType, sigLeave)
+	w.PutU32(sigTagConnID, m.Session.ConnID())
+	e.sendSignalReliable(netapi.Addr{Host: host, Port: e.stack.LocalAddr().Port}, w.Bytes())
+}
+
+// --- signaling channel ---
+
+// sendSignalReliable transmits a signal payload with retry-until-acked
+// semantics (the signaling channel rides the same unreliable network).
+func (e *Entity) sendSignalReliable(to netapi.Addr, payload []byte) {
+	e.sigSeq++
+	seq := e.sigSeq
+	var w wire.TLVWriter
+	w.PutU32(sigTagSeq, seq)
+	full := append(w.Bytes(), payload...)
+
+	tries := 0
+	var send func()
+	send = func() {
+		if tries > signalRetries {
+			delete(e.pending, seq)
+			return
+		}
+		tries++
+		e.transmitSignal(to, full)
+		rtt := e.netstate.Path(to.Host).RTT
+		if rtt <= 0 {
+			rtt = 50 * time.Millisecond
+		}
+		e.pending[seq] = e.stack.Timers().Schedule(2*rtt+10*time.Millisecond, send)
+	}
+	send()
+}
+
+func (e *Entity) transmitSignal(to netapi.Addr, payload []byte) {
+	p := &wire.PDU{
+		Header:  wire.Header{Type: wire.TSignal},
+		Payload: message.NewFromBytes(payload),
+	}
+	pkt := wire.Encode(p, wire.CkCRC32)
+	e.SignalsSent++
+	e.stack.Transmit(pkt.Bytes(), to)
+	pkt.Release()
+	p.ReleasePayload()
+}
+
+// onSignal is the stack's out-of-band upcall.
+func (e *Entity) onSignal(p *wire.PDU, from netapi.Addr) {
+	defer p.ReleasePayload()
+	if p.Type == wire.TProbe {
+		e.onProbe(p, from)
+		return
+	}
+	e.SignalsRecv++
+	var (
+		msgType uint8
+		seq     uint32
+		connID  uint32
+		specB   []byte
+		group   uint32
+		port    uint16
+	)
+	r := wire.NewTLVReader(p.PayloadBytes())
+	for {
+		tag, val, ok, err := r.Next()
+		if err != nil || !ok {
+			break
+		}
+		switch tag {
+		case sigTagType:
+			msgType = wire.U8(val)
+		case sigTagSeq:
+			seq = wire.U32(val)
+		case sigTagConnID:
+			connID = wire.U32(val)
+		case sigTagSpec:
+			specB = append([]byte(nil), val...)
+		case sigTagGroup:
+			group = wire.U32(val)
+		case sigTagPort:
+			port = wire.U16(val)
+		}
+	}
+	// Ack anything carrying a signal sequence (except acks themselves).
+	if msgType != sigAck && seq != 0 {
+		var w wire.TLVWriter
+		w.PutU8(sigTagType, sigAck)
+		w.PutU32(sigTagConnID, seq)
+		e.transmitSignal(from, w.Bytes())
+	}
+	switch msgType {
+	case sigAck:
+		// connID field carries the acked signal seq.
+		if t, ok := e.pending[connID]; ok {
+			t.Cancel()
+			delete(e.pending, connID)
+		}
+	case sigReconfig:
+		if s := e.stack.Session(connID); s != nil {
+			if sp, err := mechanism.DecodeSpec(specB); err == nil {
+				s.ApplySpec(sp)
+				e.notifyApp(connID, mechanism.Notification{Kind: mechanism.NotePeerReconfig, Detail: sp.String()})
+			}
+		}
+	case sigJoinInvite:
+		e.onJoinInvite(connID, specB, group, port, from)
+	case sigJoinAck:
+		if m := e.managed[connID]; m != nil && m.members != nil {
+			m.members[from.Host] = true
+			e.notifyApp(connID, mechanism.Notification{Kind: mechanism.NotePeerReconfig, Detail: fmt.Sprintf("member %v joined", from.Host)})
+		}
+	case sigLeave:
+		if s := e.stack.Session(connID); s != nil {
+			s.Close()
+			e.stack.Remove(connID)
+		}
+	case sigQualReport:
+		// A receiver's delivered-quality feedback: fold into the network
+		// state descriptor so loss-based TSA conditions see multicast
+		// reality despite suppressed acks.
+		var loss uint64
+		r2 := wire.NewTLVReader(p.PayloadBytes())
+		for {
+			tag, val, ok, err := r2.Next()
+			if err != nil || !ok {
+				break
+			}
+			if tag == sigTagLoss {
+				loss = wire.U64(val)
+			}
+		}
+		e.netstate.ObserveLoss(from.Host, float64(loss)/1e9)
+	}
+}
+
+// StartQualityReports arms the periodic receiver report for a passive
+// session whose recovery generates no ack stream (FEC or none): without it
+// the sender's MANTTS entity is blind to delivered loss. Reports are
+// fire-and-forget (no signal ack): the next period repeats them anyway.
+func (e *Entity) StartQualityReports(s *session.Session, sender netapi.Addr) {
+	var lastRecv, lastGaps uint64
+	ev := e.stack.Timers().SchedulePeriodic(qualReportPeriod, qualReportPeriod, func() {
+		st := s.State()
+		dRecv := s.RecvPDUs - lastRecv
+		dGaps := st.GapsAbandoned - lastGaps
+		lastRecv, lastGaps = s.RecvPDUs, st.GapsAbandoned
+		if dRecv+dGaps == 0 {
+			return
+		}
+		frac := float64(dGaps) / float64(dRecv+dGaps)
+		var w wire.TLVWriter
+		w.PutU8(sigTagType, sigQualReport)
+		w.PutU32(sigTagConnID, s.ConnID())
+		w.PutU64(sigTagLoss, uint64(frac*1e9))
+		e.transmitSignal(sender, w.Bytes())
+	})
+	// Stop reporting when the session dies.
+	s.SetNotifier(func(n mechanism.Notification) {
+		if n.Kind == mechanism.NoteClosed {
+			ev.Cancel()
+		}
+	})
+}
+
+// onJoinInvite creates (idempotently) the receiving side of a multicast
+// session and acks.
+func (e *Entity) onJoinInvite(connID uint32, specB []byte, group uint32, port uint16, from netapi.Addr) {
+	if e.stack.Session(connID) == nil {
+		sp, err := mechanism.DecodeSpec(specB)
+		if err != nil {
+			return
+		}
+		s, err := e.stack.CreatePassiveSession(connID, sp, from, port, port)
+		if err != nil {
+			return
+		}
+		s.Accept()
+		e.StartQualityReports(s, from)
+		if e.OnMulticastAccept != nil {
+			e.OnMulticastAccept(s, netapi.HostID(group))
+		}
+	}
+	var w wire.TLVWriter
+	w.PutU8(sigTagType, sigJoinAck)
+	w.PutU32(sigTagConnID, connID)
+	e.sendSignalReliable(from, w.Bytes())
+}
+
+// --- probing (MANTTS-NMI) ---
+
+// StartProbing begins periodic RTT probes toward a host.
+func (e *Entity) StartProbing(host netapi.HostID, interval time.Duration) {
+	e.StopProbing(host)
+	to := netapi.Addr{Host: host, Port: e.stack.LocalAddr().Port}
+	tick := func() {
+		now := e.stack.Clock().Now()
+		e.netstate.NoteProbeSent(host, now)
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(now))
+		p := &wire.PDU{
+			Header:  wire.Header{Type: wire.TProbe},
+			Payload: message.NewFromBytes(buf[:]),
+		}
+		pkt := wire.Encode(p, wire.CkCRC32)
+		e.stack.Transmit(pkt.Bytes(), to)
+		pkt.Release()
+		p.ReleasePayload()
+	}
+	e.probeTimers[host] = e.stack.Timers().SchedulePeriodic(0, interval, tick)
+}
+
+// StopProbing cancels probing toward a host.
+func (e *Entity) StopProbing(host netapi.HostID) {
+	if t, ok := e.probeTimers[host]; ok {
+		t.Cancel()
+		delete(e.probeTimers, host)
+	}
+}
+
+func (e *Entity) onProbe(p *wire.PDU, from netapi.Addr) {
+	if p.Flags&wire.FlagEcho == 0 {
+		// Reflect the probe (payload carries the sender's timestamp).
+		echo := &wire.PDU{Header: wire.Header{Type: wire.TProbe, Flags: wire.FlagEcho}}
+		if p.Payload != nil {
+			echo.Payload = message.NewFromBytes(p.PayloadBytes())
+		}
+		pkt := wire.Encode(echo, wire.CkCRC32)
+		e.stack.Transmit(pkt.Bytes(), from)
+		pkt.Release()
+		echo.ReleasePayload()
+		return
+	}
+	if b := p.PayloadBytes(); len(b) >= 8 {
+		sent := time.Duration(binary.BigEndian.Uint64(b))
+		e.netstate.ObserveRTT(from.Host, e.stack.Clock().Now()-sent)
+	}
+}
+
+// --- policy loop ---
+
+// startSampler arms the periodic TSA evaluation for a managed session.
+func (e *Entity) startSampler(m *Managed) {
+	period := m.ACD.TMC.SampleRate
+	m.lastSampleAt = e.stack.Clock().Now()
+	m.sampler = e.stack.Timers().SchedulePeriodic(period, period, func() { e.sample(m) })
+}
+
+// sample gathers the current metric vector and runs the TSA engine.
+func (e *Entity) sample(m *Managed) {
+	s := m.Session
+	if s.Closed() {
+		m.sampler.Cancel()
+		return
+	}
+	now := e.stack.Clock().Now()
+	dt := (now - m.lastSampleAt).Seconds()
+	if dt <= 0 {
+		return
+	}
+	st := s.State()
+
+	sent := s.SentPDUs
+	retx := st.Retransmissions
+	delivered := s.DeliveredBytes
+	dSent := sent - m.lastSent
+	dRetx := retx - m.lastRetx
+	dDeliv := delivered - m.lastDelivered
+	m.lastSent, m.lastRetx, m.lastDelivered = sent, retx, delivered
+	m.lastSampleAt = now
+
+	var retxRate float64
+	if dSent > 0 {
+		retxRate = float64(dRetx) / float64(dSent)
+	}
+	path := e.netstate.Path(m.peerHost)
+	if m.members != nil {
+		// Multicast: no ack stream to infer loss from; receiver quality
+		// reports maintain per-member paths — take the worst member.
+		for h := range m.members {
+			if ps := e.netstate.Path(h); ps.LossRate > path.LossRate {
+				path.LossRate = ps.LossRate
+			}
+		}
+	} else {
+		e.netstate.ObserveLoss(m.peerHost, retxRate)
+		path = e.netstate.Path(m.peerHost)
+	}
+
+	rtt := st.SRTT
+	if rtt == 0 {
+		rtt = path.RTT
+	}
+	values := map[MetricID]float64{
+		MetricRTT:            rtt.Seconds(),
+		MetricJitter:         st.RTTVar.Seconds(),
+		MetricLossRate:       path.LossRate,
+		MetricCongestion:     path.Congestion,
+		MetricRetransmitRate: retxRate,
+		MetricThroughputBps:  float64(dDeliv) * 8 / dt,
+		MetricRcvBufFill:     float64(len(st.RcvBuf)) / float64(st.RcvBufCap),
+	}
+	for _, act := range m.Engine.Evaluate(now, values) {
+		e.apply(m, act)
+	}
+}
+
+// apply executes one TSA action.
+func (e *Entity) apply(m *Managed, act Action) {
+	e.notifyApp(m.Session.ConnID(), mechanism.Notification{
+		Kind:   mechanism.NotePolicyAction,
+		Detail: act.String(),
+	})
+	switch act.Kind {
+	case ActSetRecovery:
+		if m.Session.Spec().Recovery == act.Recovery {
+			return
+		}
+		e.Reconfigure(m, func(s *mechanism.Spec) { s.Recovery = act.Recovery })
+	case ActScaleRate:
+		e.Reconfigure(m, func(s *mechanism.Spec) {
+			s.RateBps *= act.Factor
+			// Clamp to the ACD's nominal envelope: scaling rules must
+			// not run the rate away in either direction.
+			nominal := m.ACD.Quant.PeakThroughputBps
+			if nominal == 0 {
+				nominal = m.ACD.Quant.AvgThroughputBps
+			}
+			if nominal > 0 {
+				if ceil := nominal * 1.1; s.RateBps > ceil {
+					s.RateBps = ceil
+				}
+				if floor := nominal * 0.05; s.RateBps < floor {
+					s.RateBps = floor
+				}
+			}
+		})
+	case ActSetWindowSize:
+		e.Reconfigure(m, func(s *mechanism.Spec) {
+			s.WindowSize = act.Size
+			// Receiver buffering must keep pace with the window or the
+			// advertisement caps the sender anyway.
+			if s.RcvBufPDUs < 4*act.Size {
+				s.RcvBufPDUs = 4 * act.Size
+			}
+		})
+	case ActSetWindowKind:
+		e.Reconfigure(m, func(s *mechanism.Spec) { s.Window = act.Window })
+	case ActNotifyApp:
+		// notifyApp above already delivered the note.
+	}
+}
+
+// --- connection termination phase (§4.1.3) ---
+
+func (e *Entity) onNote(m *Managed, n mechanism.Notification) {
+	if n.Kind == mechanism.NoteClosed {
+		// Release resources and drop policy state.
+		if m.sampler != nil {
+			m.sampler.Cancel()
+		}
+		e.stack.Remove(m.Session.ConnID())
+		delete(e.managed, m.Session.ConnID())
+	}
+	e.notifyApp(m.Session.ConnID(), n)
+}
+
+func (e *Entity) notifyApp(connID uint32, n mechanism.Notification) {
+	if e.Notify != nil {
+		e.Notify(connID, n)
+	}
+}

@@ -1,0 +1,354 @@
+package mantts
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptive/internal/mechanism"
+	"adaptive/internal/netapi"
+	"adaptive/internal/netsim"
+	"adaptive/internal/protograph"
+	"adaptive/internal/session"
+	"adaptive/internal/sim"
+)
+
+// rig is a MANTTS end-to-end test bed: hosts with stacks+entities over a
+// simulated network.
+type rig struct {
+	k      *sim.Kernel
+	net    *netsim.Network
+	hosts  []*netsim.Host
+	stacks []*protograph.Stack
+	ents   []*Entity
+	links  map[[2]int]*netsim.Link
+}
+
+func newRig(t *testing.T, n int, link netsim.LinkConfig) *rig {
+	t.Helper()
+	k := sim.NewKernel(11)
+	k.SetEventLimit(20_000_000)
+	net := netsim.New(k)
+	r := &rig{k: k, net: net, links: make(map[[2]int]*netsim.Link)}
+	for i := 0; i < n; i++ {
+		r.hosts = append(r.hosts, net.AddHost())
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			l := net.NewLink(link)
+			net.SetRoute(r.hosts[i].ID(), r.hosts[j].ID(), l)
+			r.links[[2]int{i, j}] = l
+		}
+	}
+	for i := 0; i < n; i++ {
+		st, err := protograph.NewStack(protograph.Config{Provider: net, Host: r.hosts[i].ID(), Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.stacks = append(r.stacks, st)
+		r.ents = append(r.ents, NewEntity(st))
+	}
+	return r
+}
+
+func (r *rig) addr(i int) netapi.Addr { return r.stacks[i].LocalAddr() }
+
+func TestEntityOpensAndTransfers(t *testing.T) {
+	r := newRig(t, 2, netsim.LinkConfig{Bandwidth: 10e6, PropDelay: 2 * time.Millisecond, MTU: 1500})
+	var got []byte
+	r.stacks[1].Listen(80, &protograph.Listener{OnAccept: func(s *session.Session) {
+		s.SetReceiver(func(d session.Delivery) {
+			got = append(got, d.Msg.Bytes()...)
+			d.Msg.Release()
+		})
+	}})
+	acd := &ACD{
+		Participants: []netapi.Addr{r.addr(1)},
+		RemotePort:   80,
+		Quant:        QuantQoS{AvgThroughputBps: 5e6},
+		Qual:         QualQoS{Ordered: true},
+	}
+	r.ents[0].NetState().Seed(r.hosts[1].ID(), StaticPathInfo{Bandwidth: 10e6, RTT: 4 * time.Millisecond, MTU: 1500})
+	m, err := r.ents[0].OpenSession(acd, 555)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("entity"), 5000)
+	m.Session.Send(payload)
+	r.k.RunUntil(20 * time.Second)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("delivered %d of %d bytes", len(got), len(payload))
+	}
+	if m.TSC != TSCNonRealTimeNonIsochronous {
+		t.Fatalf("classified %v", m.TSC)
+	}
+}
+
+func TestEntityProbingMeasuresRTT(t *testing.T) {
+	r := newRig(t, 2, netsim.LinkConfig{Bandwidth: 10e6, PropDelay: 25 * time.Millisecond, MTU: 1500})
+	r.ents[0].StartProbing(r.hosts[1].ID(), 20*time.Millisecond)
+	r.k.RunUntil(2 * time.Second)
+	r.ents[0].StopProbing(r.hosts[1].ID())
+	p := r.ents[0].NetState().Path(r.hosts[1].ID())
+	if p.ProbesEchoed < 50 {
+		t.Fatalf("only %d probe echoes", p.ProbesEchoed)
+	}
+	// True RTT ~50ms prop + tiny serialization.
+	if p.RTT < 45*time.Millisecond || p.RTT > 60*time.Millisecond {
+		t.Fatalf("probed RTT %v, want ~50ms", p.RTT)
+	}
+	now := r.k.Now()
+	r.k.RunUntil(now + time.Second)
+	after := r.ents[0].NetState().Path(r.hosts[1].ID())
+	if after.ProbesSent != p.ProbesSent {
+		t.Fatal("probing continued after StopProbing")
+	}
+}
+
+func TestPolicyRuleTriggersRecoverySegue(t *testing.T) {
+	link := netsim.LinkConfig{Bandwidth: 10e6, PropDelay: 2 * time.Millisecond, MTU: 1500}
+	r := newRig(t, 2, link)
+	var got int
+	r.stacks[1].Listen(80, &protograph.Listener{OnAccept: func(s *session.Session) {
+		s.SetReceiver(func(d session.Delivery) { got += d.Msg.Len(); d.Msg.Release() })
+	}})
+	// Rule: when retransmit rate exceeds 2%, switch to go-back-n.
+	acd := &ACD{
+		Participants: []netapi.Addr{r.addr(1)},
+		RemotePort:   80,
+		Quant:        QuantQoS{AvgThroughputBps: 5e6},
+		Qual:         QualQoS{Ordered: true},
+		TSA: []Rule{{
+			Cond:    Cond{Metric: MetricRetransmitRate, Op: OpGT, Threshold: 0.02},
+			Action:  Action{Kind: ActSetRecovery, Recovery: mechanism.RecoveryGoBackN},
+			OneShot: true,
+		}},
+		TMC: TMC{SampleRate: 20 * time.Millisecond},
+	}
+	r.ents[0].NetState().Seed(r.hosts[1].ID(), StaticPathInfo{Bandwidth: 10e6, RTT: 4 * time.Millisecond, MTU: 1500})
+	m, err := r.ents[0].OpenSession(acd, 555)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Session.Spec().Recovery != mechanism.RecoverySelectiveRepeat {
+		t.Fatalf("initial recovery %v", m.Session.Spec().Recovery)
+	}
+	var notes []string
+	r.ents[0].Notify = func(_ uint32, n mechanism.Notification) {
+		notes = append(notes, n.Detail)
+	}
+	// Start clean, then loss appears mid-session.
+	payload := bytes.Repeat([]byte("x"), 800*1024)
+	m.Session.Send(payload)
+	r.k.Schedule(50*time.Millisecond, func() { r.links[[2]int{0, 1}].SetDropRate(0.08) })
+	r.k.RunUntil(60 * time.Second)
+	if m.Session.Spec().Recovery != mechanism.RecoveryGoBackN {
+		t.Fatalf("policy never switched recovery; spec=%v notes=%v", m.Session.Spec(), notes)
+	}
+	if m.Session.CurrentSlots().Recovery.Name() != "go-back-n" {
+		t.Fatal("spec changed but mechanism did not segue")
+	}
+	// Peer must have adopted the reconfiguration too.
+	peer := r.stacks[1].Sessions()
+	if len(peer) != 1 || peer[0].Spec().Recovery != mechanism.RecoveryGoBackN {
+		t.Fatal("peer did not adopt reconfigured spec")
+	}
+	if got != len(payload) {
+		t.Fatalf("delivered %d of %d across the policy switch", got, len(payload))
+	}
+}
+
+func TestMulticastJoinLeave(t *testing.T) {
+	link := netsim.LinkConfig{Bandwidth: 10e6, PropDelay: time.Millisecond, MTU: 1500}
+	r := newRig(t, 4, link)
+	group := r.net.NewGroup()
+	// All hosts join the group at the network layer; MANTTS signaling
+	// governs session membership.
+	for i := 1; i < 4; i++ {
+		r.net.Join(group, r.hosts[i].ID())
+	}
+	received := map[int]int{}
+	for i := 1; i < 4; i++ {
+		i := i
+		r.ents[i].OnMulticastAccept = func(s *session.Session, g netapi.HostID) {
+			s.SetReceiver(func(d session.Delivery) { received[i] += d.Msg.Len(); d.Msg.Release() })
+		}
+	}
+	acd := &ACD{
+		Participants: []netapi.Addr{
+			{Host: group, Port: r.addr(0).Port},
+			r.addr(1), r.addr(2),
+		},
+		RemotePort: 80,
+		Quant:      QuantQoS{AvgThroughputBps: 1e6, LossTolerance: 0.05, MaxJitter: 10 * time.Millisecond},
+	}
+	m, err := r.ents[0].OpenSession(acd, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Session.Spec().Multicast {
+		t.Fatal("session not multicast")
+	}
+	// Let invites settle, then stream.
+	r.k.RunUntil(200 * time.Millisecond)
+	if len(m.Members()) != 2 {
+		t.Fatalf("members after invite: %v", m.Members())
+	}
+	chunk := bytes.Repeat([]byte("m"), 10*1024)
+	m.Session.Send(chunk)
+	r.k.RunUntil(2 * time.Second)
+	if received[1] != len(chunk) || received[2] != len(chunk) {
+		t.Fatalf("members received %v", received)
+	}
+	if received[3] != 0 {
+		t.Fatal("uninvited host received data")
+	}
+	// Host 3 joins mid-session.
+	r.ents[0].AddParticipant(m, r.hosts[3].ID())
+	r.k.RunUntil(r.k.Now() + 200*time.Millisecond)
+	m.Session.Send(chunk)
+	r.k.RunUntil(r.k.Now() + 2*time.Second)
+	if received[3] != len(chunk) {
+		t.Fatalf("late joiner received %d, want %d", received[3], len(chunk))
+	}
+	// Host 1 leaves: its session closes and stops counting.
+	before := received[1]
+	r.ents[0].RemoveParticipant(m, r.hosts[1].ID())
+	r.net.Leave(group, r.hosts[1].ID())
+	r.k.RunUntil(r.k.Now() + 200*time.Millisecond)
+	m.Session.Send(chunk)
+	r.k.RunUntil(r.k.Now() + 2*time.Second)
+	if received[1] != before {
+		t.Fatal("departed member kept receiving")
+	}
+	if received[3] != 2*len(chunk) {
+		t.Fatalf("remaining member missed data: %d", received[3])
+	}
+}
+
+func TestReconfigSignalSurvivesLoss(t *testing.T) {
+	link := netsim.LinkConfig{Bandwidth: 10e6, PropDelay: 2 * time.Millisecond, MTU: 1500, DropRate: 0.3}
+	r := newRig(t, 2, link)
+	r.stacks[1].Listen(80, &protograph.Listener{OnAccept: func(s *session.Session) {
+		s.SetReceiver(func(d session.Delivery) { d.Msg.Release() })
+	}})
+	acd := &ACD{
+		Participants: []netapi.Addr{r.addr(1)},
+		RemotePort:   80,
+		Quant:        QuantQoS{AvgThroughputBps: 5e6},
+		Qual:         QualQoS{Ordered: true},
+	}
+	m, err := r.ents[0].OpenSession(acd, 555)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Session.Send(bytes.Repeat([]byte("z"), 20*1024))
+	r.k.RunUntil(2 * time.Second)
+	r.ents[0].Reconfigure(m, func(s *mechanism.Spec) { s.Recovery = mechanism.RecoveryGoBackN })
+	r.k.RunUntil(10 * time.Second)
+	peer := r.stacks[1].Sessions()
+	if len(peer) == 0 {
+		t.Fatal("no peer session")
+	}
+	if peer[0].Spec().Recovery != mechanism.RecoveryGoBackN {
+		t.Fatal("reconfig signal lost despite reliable signaling")
+	}
+}
+
+func TestTerminationReleasesResources(t *testing.T) {
+	r := newRig(t, 2, netsim.LinkConfig{Bandwidth: 10e6, PropDelay: time.Millisecond, MTU: 1500})
+	r.stacks[1].Listen(80, &protograph.Listener{OnAccept: func(s *session.Session) {
+		s.SetReceiver(func(d session.Delivery) { d.Msg.Release() })
+	}})
+	acd := &ACD{Participants: []netapi.Addr{r.addr(1)}, RemotePort: 80, Qual: QualQoS{Ordered: true}}
+	m, err := r.ents[0].OpenSession(acd, 555)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Session.Send([]byte("bye"))
+	r.k.RunUntil(time.Second)
+	m.Session.Close()
+	r.k.RunUntil(5 * time.Second)
+	if !m.Session.Closed() {
+		t.Fatal("session never closed")
+	}
+	if r.ents[0].ManagedSession(m.Session.ConnID()) != nil {
+		t.Fatal("entity kept managed state after close")
+	}
+	if r.stacks[0].Session(m.Session.ConnID()) != nil {
+		t.Fatal("stack kept session after close")
+	}
+}
+
+func TestCoordinateRatesByPriority(t *testing.T) {
+	r := newRig(t, 2, netsim.LinkConfig{Bandwidth: 10e6, PropDelay: time.Millisecond, MTU: 1500})
+	r.stacks[1].Listen(80, &protograph.Listener{OnAccept: func(s *session.Session) {
+		s.SetReceiver(func(d session.Delivery) { d.Msg.Release() })
+	}})
+	r.stacks[1].Listen(81, &protograph.Listener{OnAccept: func(s *session.Session) {
+		s.SetReceiver(func(d session.Delivery) { d.Msg.Release() })
+	}})
+	mk := func(port uint16, prio int) *Managed {
+		addr := r.addr(1)
+		addr.Port = r.addr(1).Port
+		m, err := r.ents[0].OpenSession(&ACD{
+			Participants: []netapi.Addr{r.addr(1)},
+			RemotePort:   port,
+			Quant: QuantQoS{AvgThroughputBps: 1e6, MaxJitter: 5 * time.Millisecond,
+				LossTolerance: 0.05},
+			Qual: QualQoS{Priority: prio},
+		}, port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	low := mk(80, 0)  // weight 1
+	high := mk(81, 3) // weight 4
+	r.ents[0].CoordinateRates(10e6, low.Session.ConnID(), high.Session.ConnID())
+	r.k.RunUntil(time.Second)
+	lo, hi := low.Session.Spec().RateBps, high.Session.Spec().RateBps
+	if lo != 2e6 || hi != 8e6 {
+		t.Fatalf("coordinated rates %v / %v, want 2e6 / 8e6", lo, hi)
+	}
+	// Unknown connection IDs are ignored, budget 0 is a no-op.
+	r.ents[0].CoordinateRates(0, low.Session.ConnID())
+	r.ents[0].CoordinateRates(5e6, 0xdeadbeef)
+	if low.Session.Spec().RateBps != 2e6 {
+		t.Fatal("no-op coordination changed rates")
+	}
+}
+
+func TestNotifyAppRuleDelivery(t *testing.T) {
+	r := newRig(t, 2, netsim.LinkConfig{Bandwidth: 10e6, PropDelay: time.Millisecond, MTU: 1500})
+	r.stacks[1].Listen(80, &protograph.Listener{OnAccept: func(s *session.Session) {
+		s.SetReceiver(func(d session.Delivery) { d.Msg.Release() })
+	}})
+	var seen []string
+	r.ents[0].Notify = func(_ uint32, n mechanism.Notification) {
+		if n.Kind == mechanism.NotePolicyAction {
+			seen = append(seen, n.Detail)
+		}
+	}
+	acd := &ACD{
+		Participants: []netapi.Addr{r.addr(1)},
+		RemotePort:   80,
+		Qual:         QualQoS{Ordered: true},
+		TSA: []Rule{{
+			Cond:    Cond{Metric: MetricThroughputBps, Op: OpLT, Threshold: 1e12},
+			Action:  Action{Kind: ActNotifyApp, Note: "slow"},
+			OneShot: true,
+		}},
+		TMC: TMC{SampleRate: 10 * time.Millisecond},
+	}
+	m, _ := r.ents[0].OpenSession(acd, 555)
+	m.Session.Send([]byte("hello"))
+	r.k.RunUntil(time.Second)
+	if len(seen) != 1 || !strings.Contains(seen[0], "slow") {
+		t.Fatalf("app notification: %v", seen)
+	}
+}

@@ -1,0 +1,116 @@
+package mantts
+
+import (
+	"sync"
+	"time"
+
+	"adaptive/internal/netapi"
+)
+
+// PathState is the network state descriptor for one remote participant:
+// "samples, records, and estimates the current state of dynamic network
+// characteristics" (§4.1.1, MANTTS-NMI).
+type PathState struct {
+	RTT          time.Duration // smoothed round-trip estimate
+	RTTVar       time.Duration
+	LossRate     float64 // estimated packet loss fraction (EWMA)
+	BER          float64 // configured/assumed channel bit-error rate
+	Bandwidth    float64 // bottleneck bits/sec (static config or discovered)
+	MTU          int
+	Congestion   float64 // 0..1 congestion level estimate
+	LastProbeAt  time.Duration
+	ProbesSent   uint64
+	ProbesEchoed uint64
+}
+
+// StaticPathInfo seeds a descriptor with link-layer knowledge the host has a
+// priori ("participant addresses indicate certain characteristics ... such
+// as available bandwidth, MTU, latency, and bit error rates").
+type StaticPathInfo struct {
+	Bandwidth float64
+	RTT       time.Duration
+	BER       float64
+	MTU       int
+}
+
+// NetState aggregates descriptors for every known peer.
+type NetState struct {
+	mu    sync.Mutex
+	paths map[netapi.HostID]*PathState
+}
+
+// NewNetState returns an empty descriptor table.
+func NewNetState() *NetState {
+	return &NetState{paths: make(map[netapi.HostID]*PathState)}
+}
+
+// Seed installs static characteristics for a peer.
+func (n *NetState) Seed(host netapi.HostID, info StaticPathInfo) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := n.path(host)
+	p.Bandwidth = info.Bandwidth
+	p.RTT = info.RTT
+	p.BER = info.BER
+	p.MTU = info.MTU
+}
+
+func (n *NetState) path(host netapi.HostID) *PathState {
+	p, ok := n.paths[host]
+	if !ok {
+		p = &PathState{MTU: 1500, RTT: 50 * time.Millisecond}
+		n.paths[host] = p
+	}
+	return p
+}
+
+// Path returns a copy of the descriptor for host (defaults if unknown).
+func (n *NetState) Path(host netapi.HostID) PathState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return *n.path(host)
+}
+
+// ObserveRTT folds a probe round-trip sample into the descriptor.
+func (n *NetState) ObserveRTT(host netapi.HostID, sample time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := n.path(host)
+	if p.ProbesEchoed == 0 {
+		p.RTT = sample
+		p.RTTVar = sample / 2
+	} else {
+		diff := sample - p.RTT
+		if diff < 0 {
+			diff = -diff
+		}
+		p.RTTVar += (diff - p.RTTVar) / 4
+		p.RTT += (sample - p.RTT) / 8
+	}
+	p.ProbesEchoed++
+}
+
+// ObserveLoss folds a loss-rate observation (e.g. retransmission fraction
+// over a sampling window) into the descriptor.
+func (n *NetState) ObserveLoss(host netapi.HostID, lossFrac float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := n.path(host)
+	p.LossRate = 0.75*p.LossRate + 0.25*lossFrac
+	// Loss above a few percent on a known-clean channel reads as queue
+	// overflow: raise the congestion estimate.
+	if lossFrac > 0.01 {
+		p.Congestion = 0.5*p.Congestion + 0.5
+	} else {
+		p.Congestion *= 0.5
+	}
+}
+
+// NoteProbeSent records an outstanding probe.
+func (n *NetState) NoteProbeSent(host netapi.HostID, at time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := n.path(host)
+	p.ProbesSent++
+	p.LastProbeAt = at
+}

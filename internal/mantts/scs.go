@@ -1,0 +1,207 @@
+package mantts
+
+import (
+	"time"
+
+	"adaptive/internal/mechanism"
+	"adaptive/internal/wire"
+)
+
+// DeriveSCS performs Stage II of the MANTTS transformation: reconcile the
+// selected TSC (Stage I) with the application's ACD and the network state
+// descriptor for the peer, producing the Session Configuration Specification
+// that TKO synthesizes in Stage III (Figure 2).
+//
+// The derivation encodes the paper's policy/mechanism mappings:
+//
+//   - loss-tolerant isochronous traffic gets FEC or no recovery (never
+//     retransmission — an overweight configuration "simply slows down the
+//     protocol processing" for constrained-latency applications, §2.2B);
+//   - reliable traffic gets selective repeat by default, go-back-n when the
+//     receiver advertises scarce buffers, and FEC-hybrid when the path's RTT
+//     dwarfs the latency budget;
+//   - multicast excludes ack-based recovery (ack implosion);
+//   - windows are sized from the bandwidth-delay product;
+//   - isochronous senders are rate-paced at their peak rate;
+//   - implicit connection management is chosen for short or latency-bound
+//     sessions, explicit negotiation for long high-bandwidth ones (§4.1.1);
+//   - checksums follow channel BER and the application's corruption
+//     sensitivity.
+func DeriveSCS(tsc TSC, acd *ACD, path PathState) *mechanism.Spec {
+	s := &mechanism.Spec{}
+
+	// --- reliability management ---
+	lossOK := acd.Quant.LossTolerance > 0
+	switch {
+	case acd.Multicast():
+		// No ack-based recovery over multicast. FEC still repairs
+		// isolated losses without feedback.
+		if lossOK {
+			s.Recovery = mechanism.RecoveryFEC
+		} else {
+			s.Recovery = mechanism.RecoveryFEC // best effort; reliability requires ARQ unicast
+		}
+	case tsc == TSCInteractiveIsochronous:
+		// Retransmission cannot meet conversational latency; tolerate.
+		if path.RTT > acd.Quant.MaxLatency && acd.Quant.MaxLatency > 0 {
+			s.Recovery = mechanism.RecoveryNone
+		} else {
+			s.Recovery = mechanism.RecoveryFEC
+		}
+	case tsc == TSCDistributionalIsochronous:
+		s.Recovery = mechanism.RecoveryFEC
+	case lossOK && acd.Quant.MaxLatency > 0 && path.RTT*2 > acd.Quant.MaxLatency:
+		// The latency budget cannot fund a retransmission round trip.
+		s.Recovery = mechanism.RecoveryFEC
+	case !lossOK && acd.Quant.MaxLatency > 0 && path.RTT*2 > acd.Quant.MaxLatency:
+		// Reliable but the RTT dwarfs the budget: hybrid FEC absorbs
+		// most losses without the round trip.
+		s.Recovery = mechanism.RecoveryFECHybrid
+	case path.Congestion > 0.5:
+		// Congested path, buffers presumed tight: go-back-n keeps the
+		// receiver bufferless (§3C policy example 1).
+		s.Recovery = mechanism.RecoveryGoBackN
+	default:
+		s.Recovery = mechanism.RecoverySelectiveRepeat
+	}
+	s.LossTolerant = lossOK
+
+	// --- transmission management ---
+	mss := path.MTU - wire.Overhead
+	switch s.Recovery {
+	case mechanism.RecoveryFEC, mechanism.RecoveryFECHybrid:
+		// FEC parity blocks carry a 2-byte length prefix over the
+		// largest payload in the group; keep them under the MTU.
+		mss -= 2
+	}
+	if mss < 256 {
+		mss = 256
+	}
+	s.MSS = mss
+	bdp := bdpPDUs(acd.Quant.PeakThroughputBps, path.RTT, mss)
+	switch {
+	case acd.Quant.AvgThroughputBps > 0 && acd.Quant.AvgThroughputBps < 50e3 && !acd.Multicast():
+		// Keystroke/transaction traffic: stop-and-wait suffices.
+		s.Window = mechanism.WindowStopAndWait
+		s.WindowSize = 1
+	case path.Congestion > 0.5 && s.Recovery != mechanism.RecoveryFEC:
+		s.Window = mechanism.WindowAdaptive
+		s.WindowSize = bdp
+	default:
+		s.Window = mechanism.WindowFixed
+		s.WindowSize = bdp
+	}
+
+	// Isochronous flows are paced at (slightly above) their peak rate so
+	// they neither burst into queues nor starve the decoder.
+	if tsc == TSCInteractiveIsochronous || tsc == TSCDistributionalIsochronous {
+		rate := acd.Quant.PeakThroughputBps
+		if rate == 0 {
+			rate = acd.Quant.AvgThroughputBps
+		}
+		s.RateBps = rate * 1.1
+	}
+
+	// --- sequencing ---
+	if acd.Qual.Ordered {
+		s.Order = mechanism.OrderSequenced
+	} else {
+		s.Order = mechanism.OrderNone
+	}
+
+	// --- error detection ---
+	switch {
+	case acd.Quant.LossTolerance >= 0.05 && !acd.Qual.DupSensitive:
+		// Highly loss-tolerant media can use corrupted payloads; spare
+		// the per-byte checksum cost.
+		s.Checksum = wire.CkNone
+	case path.BER > 1e-7:
+		s.Checksum = wire.CkCRC32
+	default:
+		s.Checksum = wire.CkInternet
+	}
+
+	// --- connection management ---
+	switch acd.Qual.ConnMgmt {
+	case ConnPreferImplicit:
+		s.ConnMgmt = mechanism.ConnImplicit
+	case ConnPreferExplicit:
+		s.ConnMgmt = mechanism.ConnExplicit3Way
+	default:
+		shortLived := acd.Quant.Duration > 0 && acd.Quant.Duration < time.Second
+		latencyBound := acd.Quant.MaxLatency > 0 && acd.Quant.MaxLatency < 4*path.RTT
+		longDelay := path.RTT > 200*time.Millisecond
+		switch {
+		case acd.Multicast():
+			s.ConnMgmt = mechanism.ConnImplicit // membership set up via signaling
+		case shortLived || latencyBound || longDelay:
+			s.ConnMgmt = mechanism.ConnImplicit
+		case s.Recovery == mechanism.RecoverySelectiveRepeat || s.Recovery == mechanism.RecoveryGoBackN:
+			s.ConnMgmt = mechanism.ConnExplicit2Way
+		default:
+			s.ConnMgmt = mechanism.ConnExplicit2Way
+		}
+	}
+
+	// --- timers and buffers ---
+	s.RTOInit = path.RTT * 2
+	if s.RTOInit < 20*time.Millisecond {
+		s.RTOInit = 20 * time.Millisecond
+	}
+	s.RTOMin = path.RTT / 2
+	if s.RTOMin < 2*time.Millisecond {
+		s.RTOMin = 2 * time.Millisecond
+	}
+	s.RTOMax = 10 * time.Second
+	s.RcvBufPDUs = bdp * 4
+	// Bulk reliable flows with no latency bound coalesce acknowledgments
+	// (a negotiated "timer setting for delayed acknowledgments", §4.1.1);
+	// latency-bound or loss-tolerant flows keep feedback immediate.
+	if acd.Quant.MaxLatency == 0 && !lossOK &&
+		(s.Recovery == mechanism.RecoverySelectiveRepeat || s.Recovery == mechanism.RecoveryGoBackN) {
+		s.AckDelay = path.RTT / 4
+		if s.AckDelay > 20*time.Millisecond {
+			s.AckDelay = 20 * time.Millisecond
+		}
+	}
+	if acd.Quant.MaxJitter > 0 {
+		s.GapDeadline = 2 * acd.Quant.MaxJitter
+	} else if acd.Quant.MaxLatency > 0 {
+		s.GapDeadline = acd.Quant.MaxLatency / 2
+	}
+	// FEC group size trades redundancy overhead (1/k parity) against
+	// protection (one repair per group): the less loss the application
+	// tolerates, the smaller the group.
+	switch {
+	case acd.Quant.LossTolerance > 0 && acd.Quant.LossTolerance < 0.01:
+		s.FECGroup = 4
+	case acd.Quant.LossTolerance < 0.05:
+		s.FECGroup = 8
+	default:
+		s.FECGroup = 16
+	}
+	s.Graceful = !lossOK
+	s.Multicast = acd.Multicast()
+	s.Priority = acd.Qual.Priority
+	s.Normalize()
+	return s
+}
+
+// bdpPDUs sizes a window from the bandwidth-delay product.
+func bdpPDUs(bps float64, rtt time.Duration, mss int) int {
+	if bps <= 0 {
+		bps = 10e6
+	}
+	if rtt <= 0 {
+		rtt = 10 * time.Millisecond
+	}
+	bytes := bps / 8 * rtt.Seconds()
+	w := int(bytes/float64(mss)) + 1
+	if w < 4 {
+		w = 4
+	}
+	if w > 1024 {
+		w = 1024
+	}
+	return w
+}

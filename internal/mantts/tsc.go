@@ -1,0 +1,183 @@
+package mantts
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TSC is a Transport Service Class: a bundle of related policy decisions
+// that satisfy one family of application QoS requests (ADAPTIVE Table 1 and
+// §4.1.1 Stage I).
+type TSC int
+
+const (
+	// TSCInteractiveIsochronous covers conversational continuous media
+	// (voice conversation, tele-conferencing): jitter- and delay-
+	// sensitive, loss-tolerant, order-insensitive.
+	TSCInteractiveIsochronous TSC = iota
+	// TSCDistributionalIsochronous covers one-to-many continuous media
+	// (full-motion video, raw or compressed): very high throughput,
+	// delay-sensitive, moderately loss-tolerant.
+	TSCDistributionalIsochronous
+	// TSCRealTimeNonIsochronous covers control traffic (manufacturing
+	// control): delay-sensitive, order-sensitive, low loss tolerance.
+	TSCRealTimeNonIsochronous
+	// TSCNonRealTimeNonIsochronous covers traditional data (file
+	// transfer, TELNET, OLTP, remote file service): zero loss tolerance,
+	// no isochrony.
+	TSCNonRealTimeNonIsochronous
+)
+
+func (t TSC) String() string {
+	switch t {
+	case TSCInteractiveIsochronous:
+		return "Interactive Isochronous"
+	case TSCDistributionalIsochronous:
+		return "Distributional Isochronous"
+	case TSCRealTimeNonIsochronous:
+		return "Real-Time Non-Isochronous"
+	case TSCNonRealTimeNonIsochronous:
+		return "Non-Real-Time Non-Isochronous"
+	}
+	return fmt.Sprintf("TSC(%d)", int(t))
+}
+
+// AppProfile is one row of the paper's Table 1: the transport requirements
+// of a representative application class.
+type AppProfile struct {
+	Class       TSC
+	Application string
+	AvgThruput  Level
+	BurstFactor Level
+	DelaySens   Level
+	JitterSens  Level
+	OrderSens   Level
+	LossTol     Level
+	Priority    bool
+	Multicast   bool
+}
+
+// Table1 reproduces the paper's Table 1 ("Application Transport Service
+// Classes") verbatim, row for row.
+var Table1 = []AppProfile{
+	{TSCInteractiveIsochronous, "Voice Conversation", Low, Low, High, High, Low, High, false, false},
+	{TSCInteractiveIsochronous, "Tele-Conferencing", Moderate, Moderate, High, High, Low, Moderate, true, true},
+	{TSCDistributionalIsochronous, "Full-Motion Video (comp)", High, High, High, Moderate, Low, Moderate, true, true},
+	{TSCDistributionalIsochronous, "Full-Motion Video (raw)", VeryHigh, Low, High, High, Low, Moderate, true, true},
+	{TSCRealTimeNonIsochronous, "Manufacturing Control", Moderate, Moderate, High, Variable, High, Low, true, true},
+	{TSCNonRealTimeNonIsochronous, "File Transfer", Moderate, Low, Low, NotDefined, High, None, false, false},
+	{TSCNonRealTimeNonIsochronous, "TELNET", VeryLow, High, High, Low, High, None, true, false},
+	{TSCNonRealTimeNonIsochronous, "On-Line Transaction Processing", Low, High, High, Low, Variable, None, false, false},
+	{TSCNonRealTimeNonIsochronous, "Remote File Service", Low, High, High, Low, Variable, None, false, true},
+}
+
+// Profile returns the Table 1 row for a named application, or nil.
+func Profile(application string) *AppProfile {
+	for i := range Table1 {
+		if strings.EqualFold(Table1[i].Application, application) {
+			return &Table1[i]
+		}
+	}
+	return nil
+}
+
+// RenderTable1 formats Table 1 exactly as a text table (the T1 artifact).
+func RenderTable1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-30s %-33s %-9s %-6s %-5s %-6s %-5s %-9s %-8s %-5s\n",
+		"Transport Service Class", "Example Application", "AvgThru", "Burst", "Delay", "Jitter", "Order", "LossTol", "Priority", "Mcast")
+	yn := func(v bool) string {
+		if v {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, r := range Table1 {
+		fmt.Fprintf(&b, "%-30s %-33s %-9s %-6s %-5s %-6s %-5s %-9s %-8s %-5s\n",
+			r.Class, r.Application, r.AvgThruput, r.BurstFactor, r.DelaySens,
+			r.JitterSens, r.OrderSens, r.LossTol, yn(r.Priority), yn(r.Multicast))
+	}
+	return b.String()
+}
+
+// ACDForProfile converts a Table 1 row into a concrete ACD with quantitative
+// parameters representative of the qualitative levels, so every row can be
+// driven end-to-end through the transformation (experiment T1).
+func ACDForProfile(p *AppProfile) *ACD {
+	a := &ACD{Qual: QualQoS{Priority: 0}}
+	switch p.AvgThruput {
+	case VeryLow:
+		a.Quant.AvgThroughputBps = 10e3
+	case Low:
+		a.Quant.AvgThroughputBps = 100e3
+	case Moderate:
+		a.Quant.AvgThroughputBps = 2e6
+	case High:
+		a.Quant.AvgThroughputBps = 20e6
+	case VeryHigh:
+		a.Quant.AvgThroughputBps = 120e6
+	}
+	burst := 1.0
+	switch p.BurstFactor {
+	case Moderate:
+		burst = 2
+	case High:
+		burst = 5
+	}
+	a.Quant.PeakThroughputBps = a.Quant.AvgThroughputBps * burst
+	switch p.DelaySens {
+	case High:
+		a.Quant.MaxLatency = 100 * time.Millisecond
+	case Moderate:
+		a.Quant.MaxLatency = 500 * time.Millisecond
+	}
+	switch p.JitterSens {
+	case High:
+		a.Quant.MaxJitter = 10 * time.Millisecond
+	case Moderate:
+		a.Quant.MaxJitter = 50 * time.Millisecond
+	}
+	switch p.LossTol {
+	case High:
+		a.Quant.LossTolerance = 0.10
+	case Moderate:
+		a.Quant.LossTolerance = 0.02
+	case Low:
+		a.Quant.LossTolerance = 0.001
+	case None:
+		a.Quant.LossTolerance = 0
+	}
+	a.Qual.Ordered = p.OrderSens == High || p.OrderSens == Variable
+	a.Qual.DupSensitive = p.LossTol == None
+	if p.Priority {
+		a.Qual.Priority = 1
+	}
+	cls := p.Class
+	a.Class = &cls
+	return a
+}
+
+// Classify performs Stage I of the MANTTS transformation: select the TSC
+// matching an ACD's QoS requirements. An explicit ACD.Class short-circuits
+// classification.
+func Classify(a *ACD) TSC {
+	if a.Class != nil {
+		return *a.Class
+	}
+	isochronous := a.Quant.MaxJitter > 0 && a.Quant.MaxJitter <= 50*time.Millisecond &&
+		a.Quant.LossTolerance > 0
+	if isochronous {
+		// Distributional when the flow is one-to-many or very high
+		// bandwidth; interactive when conversational.
+		if a.Multicast() && a.Quant.AvgThroughputBps >= 5e6 || a.Quant.AvgThroughputBps >= 10e6 {
+			return TSCDistributionalIsochronous
+		}
+		return TSCInteractiveIsochronous
+	}
+	if a.Quant.MaxLatency > 0 && a.Quant.MaxLatency <= 200*time.Millisecond &&
+		a.Qual.Ordered && a.Quant.LossTolerance < 0.01 && a.Quant.LossTolerance > 0 {
+		return TSCRealTimeNonIsochronous
+	}
+	return TSCNonRealTimeNonIsochronous
+}

@@ -1,0 +1,154 @@
+package mechanism
+
+import (
+	"time"
+
+	"adaptive/internal/wire"
+)
+
+// SentPDU is a retransmission-buffer entry.
+type SentPDU struct {
+	PDU         *wire.PDU
+	SentAt      time.Duration
+	Retransmits int
+}
+
+// RecvPDU is an out-of-order reassembly entry.
+type RecvPDU struct {
+	PDU       *wire.PDU
+	ArrivedAt time.Duration
+	Recovered bool // reconstructed by FEC rather than received
+}
+
+// TransferState is the session context that must survive mechanism
+// replacement: the paper's MSP-inspired requirement that a retransmission
+// scheme can switch from go-back-n to selective repeat "within an active
+// connection without loss of data" (§2.3) is met by keeping sequence state
+// and both buffers here, outside any individual mechanism.
+type TransferState struct {
+	// Sender.
+	SndUna  uint32              // oldest unacknowledged sequence
+	SndNxt  uint32              // next sequence to assign
+	Unacked map[uint32]*SentPDU // in-flight data, nil values never stored
+	DupAcks int
+
+	// Receiver.
+	RcvNxt    uint32              // next expected in-order sequence
+	RcvBuf    map[uint32]*RecvPDU // buffered out-of-order data
+	RcvBufCap int                 // advertised-buffer capacity in PDUs
+
+	// Round-trip estimation (Jacobson/Karels, with Karn's rule applied by
+	// callers: retransmitted PDUs are never timed).
+	SRTT   time.Duration
+	RTTVar time.Duration
+	RTO    time.Duration
+
+	// Counters strategies share.
+	Retransmissions uint64
+	FECRecovered    uint64
+	GapsAbandoned   uint64
+}
+
+// NewTransferState returns ready-to-use state.
+func NewTransferState(rcvBufCap int, rtoInit time.Duration) *TransferState {
+	if rcvBufCap <= 0 {
+		rcvBufCap = 256
+	}
+	if rtoInit <= 0 {
+		rtoInit = 200 * time.Millisecond
+	}
+	return &TransferState{
+		Unacked:   make(map[uint32]*SentPDU),
+		RcvBuf:    make(map[uint32]*RecvPDU),
+		RcvBufCap: rcvBufCap,
+		RTO:       rtoInit,
+	}
+}
+
+// InFlight returns the number of unacknowledged data PDUs.
+func (s *TransferState) InFlight() int { return len(s.Unacked) }
+
+// Advertise returns the receive-window advertisement in PDUs.
+func (s *TransferState) Advertise() uint16 {
+	free := s.RcvBufCap - len(s.RcvBuf)
+	if free < 0 {
+		free = 0
+	}
+	if free > 0xffff {
+		free = 0xffff
+	}
+	return uint16(free)
+}
+
+// ObserveRTT folds a fresh round-trip sample into SRTT/RTTVar/RTO.
+func (s *TransferState) ObserveRTT(sample, rtoMin, rtoMax time.Duration) {
+	if s.SRTT == 0 {
+		s.SRTT = sample
+		s.RTTVar = sample / 2
+	} else {
+		diff := sample - s.SRTT
+		if diff < 0 {
+			diff = -diff
+		}
+		s.RTTVar += (diff - s.RTTVar) / 4
+		s.SRTT += (sample - s.SRTT) / 8
+	}
+	rto := s.SRTT + 4*s.RTTVar
+	if rto < rtoMin {
+		rto = rtoMin
+	}
+	if rtoMax > 0 && rto > rtoMax {
+		rto = rtoMax
+	}
+	s.RTO = rto
+}
+
+// BackoffRTO doubles the retransmission timeout (exponential backoff) up to
+// max.
+func (s *TransferState) BackoffRTO(max time.Duration) {
+	s.RTO *= 2
+	if max > 0 && s.RTO > max {
+		s.RTO = max
+	}
+}
+
+// AckThrough removes all entries with seq < ack from the retransmission
+// buffer and advances SndUna. It returns the number of PDUs acknowledged and
+// the send timestamp of the newest acked, untimed==false entry (for RTT
+// sampling); ok is false when no timeable sample exists.
+func (s *TransferState) AckThrough(ack uint32) (acked int, sentAt time.Duration, ok bool) {
+	if ack <= s.SndUna {
+		return 0, 0, false
+	}
+	for seq := s.SndUna; seq < ack; seq++ {
+		if e, present := s.Unacked[seq]; present {
+			acked++
+			if e.Retransmits == 0 { // Karn's rule
+				if !ok || e.SentAt > sentAt {
+					sentAt, ok = e.SentAt, true
+				}
+			}
+			e.PDU.ReleasePayload()
+			delete(s.Unacked, seq)
+		}
+	}
+	s.SndUna = ack
+	s.DupAcks = 0
+	return acked, sentAt, ok
+}
+
+// DrainInOrder removes and returns the contiguous run of buffered PDUs
+// starting at RcvNxt, advancing RcvNxt past them. Recovery strategies call
+// it after inserting arrivals into RcvBuf.
+func (s *TransferState) DrainInOrder() []*RecvPDU {
+	var out []*RecvPDU
+	for {
+		e, present := s.RcvBuf[s.RcvNxt]
+		if !present {
+			return out
+		}
+		delete(s.RcvBuf, s.RcvNxt)
+		s.RcvNxt++
+		out = append(out, e)
+	}
+}

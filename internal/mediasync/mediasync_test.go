@@ -1,0 +1,147 @@
+package mediasync
+
+import (
+	"testing"
+	"time"
+
+	"adaptive/internal/event"
+	"adaptive/internal/message"
+	"adaptive/internal/netsim"
+	"adaptive/internal/sim"
+)
+
+func rig() (*sim.Kernel, *event.Manager) {
+	k := sim.NewKernel(4)
+	n := netsim.New(k)
+	return k, event.NewManager(n.Clock())
+}
+
+func msg(s string) *message.Message { return message.NewFromBytes([]byte(s)) }
+
+func TestUnitsPlayAtCapturePlusDelay(t *testing.T) {
+	k, timers := rig()
+	var played []Unit
+	var at []time.Duration
+	sy := New(timers, 100*time.Millisecond, func(u Unit) {
+		played = append(played, u)
+		at = append(at, k.Now())
+	})
+	// A unit captured at t=0 arrives at t=10ms.
+	k.RunUntil(10 * time.Millisecond)
+	sy.Submit(1, 0, msg("a"))
+	k.RunUntil(time.Second)
+	if len(played) != 1 {
+		t.Fatalf("played %d", len(played))
+	}
+	if at[0] != 100*time.Millisecond {
+		t.Fatalf("played at %v, want capture+delay = 100ms", at[0])
+	}
+}
+
+func TestInterStreamSkewRemoved(t *testing.T) {
+	// Audio arrives fast (5 ms transit), video slow (60 ms). Both captured
+	// at the same instants must play at the same instants.
+	k, timers := rig()
+	playAt := map[int][]time.Duration{}
+	sy := New(timers, 80*time.Millisecond, func(u Unit) {
+		playAt[u.Stream] = append(playAt[u.Stream], k.Now())
+	})
+	for i := 0; i < 10; i++ {
+		captured := time.Duration(i) * 20 * time.Millisecond
+		k.ScheduleAt(captured+5*time.Millisecond, func() { sy.Submit(1, captured, msg("audio")) })
+		k.ScheduleAt(captured+60*time.Millisecond, func() { sy.Submit(2, captured, msg("video")) })
+	}
+	k.RunUntil(time.Second)
+	if len(playAt[1]) != 10 || len(playAt[2]) != 10 {
+		t.Fatalf("played %d/%d", len(playAt[1]), len(playAt[2]))
+	}
+	for i := range playAt[1] {
+		if playAt[1][i] != playAt[2][i] {
+			t.Fatalf("unit %d skewed: audio %v video %v", i, playAt[1][i], playAt[2][i])
+		}
+	}
+	// Arrival skew was 55 ms; MaxTransit records it per stream.
+	if sy.Stats(2).MaxTransit < 55*time.Millisecond {
+		t.Fatalf("video MaxTransit %v", sy.Stats(2).MaxTransit)
+	}
+}
+
+func TestLateUnitsReleasedImmediately(t *testing.T) {
+	k, timers := rig()
+	var played int
+	sy := New(timers, 20*time.Millisecond, func(u Unit) { played++ })
+	k.RunUntil(500 * time.Millisecond)
+	sy.Submit(1, 0, msg("ancient")) // playout point long past
+	if played != 1 {
+		t.Fatal("late unit held back")
+	}
+	if sy.Stats(1).Late != 1 {
+		t.Fatalf("late count %d", sy.Stats(1).Late)
+	}
+	k.RunUntil(time.Second)
+	if played != 1 {
+		t.Fatal("late unit double-played")
+	}
+}
+
+func TestOutOfOrderSubmissionPlaysInCaptureOrder(t *testing.T) {
+	k, timers := rig()
+	var order []string
+	sy := New(timers, 100*time.Millisecond, func(u Unit) {
+		order = append(order, string(u.Msg.Bytes()))
+		u.Msg.Release()
+	})
+	sy.Submit(1, 40*time.Millisecond, msg("b"))
+	sy.Submit(1, 20*time.Millisecond, msg("a"))
+	sy.Submit(1, 60*time.Millisecond, msg("c"))
+	k.RunUntil(time.Second)
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("playout order %v", order)
+	}
+}
+
+func TestSetDelayAffectsFutureUnits(t *testing.T) {
+	k, timers := rig()
+	var at []time.Duration
+	sy := New(timers, 50*time.Millisecond, func(u Unit) { at = append(at, k.Now()) })
+	sy.Submit(1, 0, msg("x"))
+	sy.SetDelay(200 * time.Millisecond)
+	sy.Submit(1, 10*time.Millisecond, msg("y"))
+	k.RunUntil(time.Second)
+	if at[0] != 50*time.Millisecond || at[1] != 210*time.Millisecond {
+		t.Fatalf("playout times %v", at)
+	}
+}
+
+func TestFlushReleasesEverything(t *testing.T) {
+	k, timers := rig()
+	var played int
+	sy := New(timers, time.Hour, func(u Unit) { played++; u.Msg.Release() })
+	sy.Submit(1, 0, msg("a"))
+	sy.Submit(2, 0, msg("b"))
+	if sy.Pending() != 2 {
+		t.Fatalf("pending %d", sy.Pending())
+	}
+	sy.Flush()
+	if played != 2 || sy.Pending() != 0 {
+		t.Fatalf("flush played %d, pending %d", played, sy.Pending())
+	}
+	k.RunUntil(time.Second)
+	if played != 2 {
+		t.Fatal("flush left a live timer")
+	}
+}
+
+func TestStatsPerStream(t *testing.T) {
+	k, timers := rig()
+	sy := New(timers, 10*time.Millisecond, func(u Unit) { u.Msg.Release() })
+	sy.Submit(7, k.Now(), msg("x"))
+	k.RunUntil(time.Second)
+	st := sy.Stats(7)
+	if st.Received != 1 || st.Played != 1 || st.Late != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if sy.Stats(99) != (StreamStats{}) {
+		t.Fatal("unknown stream has stats")
+	}
+}

@@ -1,0 +1,197 @@
+// Package message implements the TKO_Message buffer manager (ADAPTIVE
+// §4.2.1).
+//
+// The paper identifies memory-to-memory copying as a dominant source of
+// transport system overhead and requires a message abstraction that supports
+// (1) moving messages between protocol layers without copying, (2) cheap
+// prepend/strip of headers, and (3) lazy copying plus fragmentation and
+// reassembly. Message provides exactly that: a view (offset, length) onto a
+// reference-counted backing buffer with reserved headroom, so Push/Pop adjust
+// the view, Split shares the buffer, and Clone is O(1).
+package message
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DefaultHeadroom is the space reserved in front of payload data for headers
+// pushed by lower layers. 64 bytes comfortably holds the ADAPTIVE wire header
+// plus a provider header.
+const DefaultHeadroom = 64
+
+// buffer is the shared, reference-counted backing store.
+type buffer struct {
+	data []byte
+	refs atomic.Int32
+}
+
+// Message is a view onto a shared buffer. The zero value is not usable; use
+// New, NewFromBytes, or Alloc.
+type Message struct {
+	buf *buffer
+	off int // start of the visible region within buf.data
+	n   int // visible length
+}
+
+// Alloc returns a message with n bytes of zeroed payload and room for
+// headroom bytes of headers in front of it.
+func Alloc(n, headroom int) *Message {
+	if n < 0 || headroom < 0 {
+		panic("message: negative size")
+	}
+	b := &buffer{data: make([]byte, headroom+n)}
+	b.refs.Store(1)
+	return &Message{buf: b, off: headroom, n: n}
+}
+
+// New returns an empty message with DefaultHeadroom of header space and
+// capacity hint cap for payload appends.
+func New(capHint int) *Message {
+	if capHint < 0 {
+		capHint = 0
+	}
+	b := &buffer{data: make([]byte, DefaultHeadroom, DefaultHeadroom+capHint)}
+	b.refs.Store(1)
+	return &Message{buf: b, off: DefaultHeadroom, n: 0}
+}
+
+// NewFromBytes copies p into a fresh message with default headroom.
+func NewFromBytes(p []byte) *Message {
+	m := Alloc(len(p), DefaultHeadroom)
+	copy(m.Bytes(), p)
+	return m
+}
+
+// Retain increments the reference count, signaling an additional owner of the
+// backing buffer.
+func (m *Message) Retain() *Message {
+	m.buf.refs.Add(1)
+	return m
+}
+
+// Release drops one reference. After the final release the message must not
+// be used.
+func (m *Message) Release() {
+	if m.buf.refs.Add(-1) < 0 {
+		panic("message: over-released")
+	}
+}
+
+// Refs returns the current reference count (for tests and leak accounting).
+func (m *Message) Refs() int32 { return m.buf.refs.Load() }
+
+// Len returns the visible payload length.
+func (m *Message) Len() int { return m.n }
+
+// Bytes returns the visible region. The slice aliases the shared buffer:
+// callers must not write to it if Refs() > 1 (use CopyOnWrite first).
+func (m *Message) Bytes() []byte { return m.buf.data[m.off : m.off+m.n] }
+
+// Headroom returns the bytes available for Push.
+func (m *Message) Headroom() int { return m.off }
+
+// Push prepends n bytes and returns the slice covering them, for the caller
+// to fill with header contents. It panics if headroom is exhausted — header
+// budgets are static in this system, so exhaustion is a programming error.
+func (m *Message) Push(n int) []byte {
+	if n < 0 || n > m.off {
+		panic(fmt.Sprintf("message: Push(%d) with headroom %d", n, m.off))
+	}
+	m.off -= n
+	m.n += n
+	return m.buf.data[m.off : m.off+n]
+}
+
+// Pop strips n bytes from the front and returns them (still aliasing the
+// buffer). It panics if n exceeds Len.
+func (m *Message) Pop(n int) []byte {
+	if n < 0 || n > m.n {
+		panic(fmt.Sprintf("message: Pop(%d) with len %d", n, m.n))
+	}
+	p := m.buf.data[m.off : m.off+n]
+	m.off += n
+	m.n -= n
+	return p
+}
+
+// PushTail appends n bytes at the end (for trailer checksums) and returns the
+// slice covering them, growing the buffer if this message is the sole owner.
+func (m *Message) PushTail(n int) []byte {
+	if n < 0 {
+		panic("message: negative PushTail")
+	}
+	end := m.off + m.n
+	if end+n > len(m.buf.data) {
+		if m.Refs() > 1 {
+			panic("message: PushTail on shared buffer without capacity")
+		}
+		grown := make([]byte, end+n)
+		copy(grown, m.buf.data[:end])
+		m.buf.data = grown
+	}
+	m.n += n
+	return m.buf.data[end : end+n]
+}
+
+// TrimTail removes n bytes from the end and returns them.
+func (m *Message) TrimTail(n int) []byte {
+	if n < 0 || n > m.n {
+		panic(fmt.Sprintf("message: TrimTail(%d) with len %d", n, m.n))
+	}
+	m.n -= n
+	return m.buf.data[m.off+m.n : m.off+m.n+n]
+}
+
+// Append copies p onto the end of the payload (sole-owner only).
+func (m *Message) Append(p []byte) {
+	copy(m.PushTail(len(p)), p)
+}
+
+// Clone returns a new view of the same buffer ("lazy copy"): O(1), shares
+// storage, bumps the reference count.
+func (m *Message) Clone() *Message {
+	m.buf.refs.Add(1)
+	return &Message{buf: m.buf, off: m.off, n: m.n}
+}
+
+// Split divides the message at offset at: the receiver keeps [0,at) and the
+// returned message views [at,len). Both share the buffer (fragmentation
+// without copying). The returned fragment has no headroom of its own beyond
+// the shared prefix, so providers push fragment headers via CopyOnWrite.
+func (m *Message) Split(at int) *Message {
+	if at < 0 || at > m.n {
+		panic(fmt.Sprintf("message: Split(%d) with len %d", at, m.n))
+	}
+	m.buf.refs.Add(1)
+	rest := &Message{buf: m.buf, off: m.off + at, n: m.n - at}
+	m.n = at
+	return rest
+}
+
+// CopyOnWrite ensures the message exclusively owns its bytes, copying them
+// (with headroom bytes of fresh header space) if the buffer is shared.
+func (m *Message) CopyOnWrite(headroom int) *Message {
+	if m.Refs() == 1 && m.off >= headroom {
+		return m
+	}
+	nb := &buffer{data: make([]byte, headroom+m.n)}
+	nb.refs.Store(1)
+	copy(nb.data[headroom:], m.Bytes())
+	m.Release()
+	m.buf = nb
+	m.off = headroom
+	return m
+}
+
+// CopyBytes returns an independent copy of the visible payload.
+func (m *Message) CopyBytes() []byte {
+	out := make([]byte, m.n)
+	copy(out, m.Bytes())
+	return out
+}
+
+// String summarizes the view for debugging.
+func (m *Message) String() string {
+	return fmt.Sprintf("msg{len=%d off=%d refs=%d}", m.n, m.off, m.Refs())
+}

@@ -1,0 +1,30 @@
+package netapi
+
+import "testing"
+
+func TestMulticastBit(t *testing.T) {
+	var h HostID = 5
+	if h.IsMulticast() {
+		t.Fatal("plain host claims multicast")
+	}
+	g := MulticastBit | 5
+	if !g.IsMulticast() {
+		t.Fatal("group not multicast")
+	}
+	if (Addr{Host: g}).IsMulticast() != true || (Addr{Host: h}).IsMulticast() {
+		t.Fatal("Addr.IsMulticast wrong")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if HostID(3).String() != "host-3" {
+		t.Fatalf("host string %q", HostID(3).String())
+	}
+	if (MulticastBit | 3).String() != "mcast-3" {
+		t.Fatalf("group string %q", (MulticastBit | 3).String())
+	}
+	a := Addr{Host: 3, Port: 80}
+	if a.String() != "host-3:80" {
+		t.Fatalf("addr string %q", a.String())
+	}
+}

@@ -1,0 +1,181 @@
+// Package netsim is the simulated high-performance network substrate.
+//
+// The paper's experiments vary network characteristics — channel speed
+// (Ethernet 10 Mbps through ATM 622 Mbps), bit-error rate (copper 1e-4 vs
+// fiber 1e-9), propagation delay (LAN vs satellite WAN), MTU (ATM cells vs
+// FDDI frames), congestion at intermediate nodes, and multicast support
+// (ADAPTIVE §2.1B). netsim models exactly those knobs on a deterministic
+// discrete-event kernel:
+//
+//   - Link: bandwidth, propagation delay, MTU, finite queue (tail-drop
+//     congestion loss), bit-error corruption, optional random drop/dup and
+//     jitter.
+//   - Host: a shared CPU that serializes per-PDU protocol processing; each
+//     endpoint declares its processing cost, which is how the
+//     throughput-preservation experiment (§2.1A) contrasts lightweight and
+//     heavyweight stacks on identical hardware.
+//   - Network: routing tables (mutable mid-run, for the terrestrial→satellite
+//     route-switch experiment), multicast groups, cross-traffic generators.
+package netsim
+
+import (
+	"time"
+
+	"adaptive/internal/sim"
+)
+
+// LinkConfig sets the static characteristics of a link.
+type LinkConfig struct {
+	Name      string
+	Bandwidth float64       // bits per second
+	PropDelay time.Duration // one-way propagation
+	MTU       int           // max packet bytes; larger packets are dropped
+	QueueLen  int           // queue capacity in bytes; 0 means unbounded
+	BER       float64       // per-bit corruption probability
+	DropRate  float64       // per-packet silent drop probability
+	DupRate   float64       // per-packet duplication probability
+	Jitter    time.Duration // uniform [0,Jitter) extra propagation delay
+}
+
+// LinkStats counts traffic through a link.
+type LinkStats struct {
+	TxPackets   uint64
+	TxBytes     uint64
+	DropsQueue  uint64 // tail-drop due to full queue (congestion)
+	DropsMTU    uint64 // packet exceeded link MTU
+	DropsRandom uint64 // DropRate losses
+	Corrupted   uint64 // BER bit-flips (delivered corrupted)
+	Duplicated  uint64
+}
+
+// Link is a simplex transmission channel between two switching nodes. Links
+// are directional; CreateDuplexLink builds the usual pair.
+type Link struct {
+	net       *Network
+	cfg       LinkConfig
+	busyUntil time.Duration
+	stats     LinkStats
+	crossStop *sim.Event
+}
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// SetDropRate changes the random-loss probability mid-run (loss sweeps).
+func (l *Link) SetDropRate(p float64) { l.cfg.DropRate = p }
+
+// SetBER changes the bit-error rate mid-run.
+func (l *Link) SetBER(p float64) { l.cfg.BER = p }
+
+// QueuedBytes estimates the bytes currently awaiting serialization.
+func (l *Link) QueuedBytes() int {
+	backlog := l.busyUntil - l.net.kernel.Now()
+	if backlog <= 0 {
+		return 0
+	}
+	return int(backlog.Seconds() * l.cfg.Bandwidth / 8)
+}
+
+// serialize models queueing + transmission of one packet. It returns the
+// time the last bit leaves the link and whether the packet survived the
+// queue/MTU checks.
+func (l *Link) serialize(size int) (departure time.Duration, ok bool) {
+	now := l.net.kernel.Now()
+	if l.cfg.MTU > 0 && size > l.cfg.MTU {
+		l.stats.DropsMTU++
+		return 0, false
+	}
+	if l.cfg.QueueLen > 0 && l.QueuedBytes()+size > l.cfg.QueueLen {
+		l.stats.DropsQueue++
+		return 0, false
+	}
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	txTime := time.Duration(float64(size*8) / l.cfg.Bandwidth * float64(time.Second))
+	l.busyUntil = start + txTime
+	l.stats.TxPackets++
+	l.stats.TxBytes += uint64(size)
+	return l.busyUntil, true
+}
+
+// transit pushes pkt through the link and calls deliver with the (possibly
+// corrupted) packet at its arrival time. The packet slice is owned by the
+// link from this call on.
+func (l *Link) transit(pkt []byte, deliver func([]byte)) {
+	rng := l.net.kernel.Rand()
+	if l.cfg.DropRate > 0 && rng.Float64() < l.cfg.DropRate {
+		l.stats.DropsRandom++
+		return
+	}
+	departure, ok := l.serialize(len(pkt))
+	if !ok {
+		return
+	}
+	if l.cfg.BER > 0 {
+		bits := float64(len(pkt) * 8)
+		pCorrupt := 1 - pow1m(l.cfg.BER, bits)
+		if rng.Float64() < pCorrupt {
+			l.stats.Corrupted++
+			idx := rng.Intn(len(pkt) * 8)
+			pkt[idx/8] ^= 1 << (idx % 8)
+		}
+	}
+	arrive := departure + l.cfg.PropDelay
+	if l.cfg.Jitter > 0 {
+		arrive += time.Duration(rng.Int63n(int64(l.cfg.Jitter)))
+	}
+	l.net.kernel.ScheduleAt(arrive, func() { deliver(pkt) })
+	if l.cfg.DupRate > 0 && rng.Float64() < l.cfg.DupRate {
+		l.stats.Duplicated++
+		dup := make([]byte, len(pkt))
+		copy(dup, pkt)
+		l.net.kernel.ScheduleAt(arrive+time.Microsecond, func() { deliver(dup) })
+	}
+}
+
+// pow1m computes (1-p)^n for tiny p without math.Pow blowups; for p*n << 1
+// it is ≈ 1-p*n.
+func pow1m(p, n float64) float64 {
+	x := p * n
+	if x < 1e-4 {
+		return 1 - x + x*x/2
+	}
+	r := 1.0
+	base := 1 - p
+	for i := 0; i < int(n); i++ {
+		r *= base
+		if r == 0 {
+			break
+		}
+	}
+	return r
+}
+
+// StartCrossTraffic injects competing load onto the link: packets of pktSize
+// bytes at rate bits/sec occupy queue and serialization capacity but are
+// never delivered anywhere. Calling it again replaces the previous load;
+// rate 0 stops it.
+func (l *Link) StartCrossTraffic(rate float64, pktSize int) {
+	if l.crossStop != nil {
+		l.net.kernel.Cancel(l.crossStop)
+		l.crossStop = nil
+	}
+	if rate <= 0 {
+		return
+	}
+	interval := time.Duration(float64(pktSize*8) / rate * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	var tick func()
+	tick = func() {
+		l.serialize(pktSize)
+		l.crossStop = l.net.kernel.Schedule(interval, tick)
+	}
+	l.crossStop = l.net.kernel.Schedule(interval, tick)
+}

@@ -1,0 +1,272 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"adaptive/internal/netapi"
+	"adaptive/internal/sim"
+)
+
+// CPUCost models the host processing expended on one PDU by a transport
+// stack. The paper attributes the throughput-preservation problem to exactly
+// this per-packet software overhead (memory copies, context switches,
+// interrupt handling — §2.2A); endpoints of lightweight configurations
+// declare smaller costs than monolithic ones.
+type CPUCost struct {
+	PerPDU  time.Duration // fixed protocol-processing cost per packet
+	PerByte time.Duration // data-touching cost (copies, checksums in software)
+}
+
+// Cost returns the CPU time to process a packet of size bytes.
+func (c CPUCost) Cost(size int) time.Duration {
+	return c.PerPDU + time.Duration(size)*c.PerByte
+}
+
+// Host is a simulated end system with a single CPU shared by its endpoints.
+type Host struct {
+	net        *Network
+	id         netapi.HostID
+	endpoints  map[uint16]*Endpoint
+	nextPort   uint16
+	cpuBusy    time.Duration
+	CPUDropCap int // pending receive work beyond which packets drop (0 = ∞)
+	cpuPending int
+	stats      HostStats
+}
+
+// HostStats counts host-level activity.
+type HostStats struct {
+	Sent        uint64
+	Received    uint64
+	DropsNoPort uint64
+	DropsCPU    uint64
+	CPUTime     time.Duration
+}
+
+// Stats returns a copy of the host counters.
+func (h *Host) Stats() HostStats { return h.stats }
+
+// ID returns the host identifier.
+func (h *Host) ID() netapi.HostID { return h.id }
+
+// cpu serializes processing through the host CPU and returns the completion
+// time of this unit of work.
+func (h *Host) cpu(cost time.Duration) time.Duration {
+	now := h.net.kernel.Now()
+	start := h.cpuBusy
+	if start < now {
+		start = now
+	}
+	h.cpuBusy = start + cost
+	h.stats.CPUTime += cost
+	return h.cpuBusy
+}
+
+// Network is the simulated internetwork.
+type Network struct {
+	kernel *sim.Kernel
+	hosts  map[netapi.HostID]*Host
+	routes map[[2]netapi.HostID][]*Link
+	groups map[netapi.HostID]map[netapi.HostID]bool
+	nextID netapi.HostID
+}
+
+// New creates an empty network on the kernel.
+func New(k *sim.Kernel) *Network {
+	return &Network{
+		kernel: k,
+		hosts:  make(map[netapi.HostID]*Host),
+		routes: make(map[[2]netapi.HostID][]*Link),
+		groups: make(map[netapi.HostID]map[netapi.HostID]bool),
+		nextID: 1,
+	}
+}
+
+// Kernel returns the simulation kernel driving this network.
+func (n *Network) Kernel() *sim.Kernel { return n.kernel }
+
+// AddHost creates a host and returns it.
+func (n *Network) AddHost() *Host {
+	id := n.nextID
+	n.nextID++
+	h := &Host{net: n, id: id, endpoints: make(map[uint16]*Endpoint), nextPort: 49152}
+	n.hosts[id] = h
+	return h
+}
+
+// Host returns the host with the given id, or nil.
+func (n *Network) Host(id netapi.HostID) *Host { return n.hosts[id] }
+
+// NewLink creates a simplex link with the given characteristics.
+func (n *Network) NewLink(cfg LinkConfig) *Link {
+	if cfg.Bandwidth <= 0 {
+		panic("netsim: link needs positive bandwidth")
+	}
+	return &Link{net: n, cfg: cfg}
+}
+
+// SetRoute installs the unidirectional path from a to b as a sequence of
+// links. Routes may be replaced at any time; packets already in flight finish
+// on the path they started on (the paper's route-change scenario).
+func (n *Network) SetRoute(a, b netapi.HostID, path ...*Link) {
+	if len(path) == 0 {
+		panic("netsim: empty route")
+	}
+	n.routes[[2]netapi.HostID{a, b}] = path
+}
+
+// SetDuplexRoute installs the same path in both directions (each direction
+// gets its own Link instances via the caller; this helper simply installs
+// forward and reverse entries).
+func (n *Network) SetDuplexRoute(a, b netapi.HostID, forward, reverse []*Link) {
+	n.SetRoute(a, b, forward...)
+	n.SetRoute(b, a, reverse...)
+}
+
+// Route returns the current path from a to b, or nil.
+func (n *Network) Route(a, b netapi.HostID) []*Link {
+	return n.routes[[2]netapi.HostID{a, b}]
+}
+
+// NewGroup allocates a fresh multicast group address.
+func (n *Network) NewGroup() netapi.HostID {
+	id := n.nextID | netapi.MulticastBit
+	n.nextID++
+	n.groups[id] = make(map[netapi.HostID]bool)
+	return id
+}
+
+// Join adds host to group; Leave removes it.
+func (n *Network) Join(group, host netapi.HostID) {
+	g, ok := n.groups[group]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown group %v", group))
+	}
+	g[host] = true
+}
+
+// Leave removes host from group.
+func (n *Network) Leave(group, host netapi.HostID) {
+	if g, ok := n.groups[group]; ok {
+		delete(g, host)
+	}
+}
+
+// Members returns the current group membership.
+func (n *Network) Members(group netapi.HostID) []netapi.HostID {
+	var out []netapi.HostID
+	for h := range n.groups[group] {
+		out = append(out, h)
+	}
+	return out
+}
+
+// PathMTU computes the usable MTU between two hosts (minimum along the
+// route), or a large default when no route is installed yet.
+func (n *Network) PathMTU(a, b netapi.HostID) int {
+	mtu := 1 << 16
+	path := n.routes[[2]netapi.HostID{a, b}]
+	for _, l := range path {
+		if l.cfg.MTU > 0 && l.cfg.MTU < mtu {
+			mtu = l.cfg.MTU
+		}
+	}
+	return mtu
+}
+
+// PathRTT estimates the round-trip propagation+serialization delay for a
+// probe-sized packet (used by tests and the network state descriptor).
+func (n *Network) PathRTT(a, b netapi.HostID, size int) time.Duration {
+	var rtt time.Duration
+	for _, l := range n.routes[[2]netapi.HostID{a, b}] {
+		rtt += l.cfg.PropDelay + time.Duration(float64(size*8)/l.cfg.Bandwidth*float64(time.Second))
+	}
+	for _, l := range n.routes[[2]netapi.HostID{b, a}] {
+		rtt += l.cfg.PropDelay + time.Duration(float64(size*8)/l.cfg.Bandwidth*float64(time.Second))
+	}
+	return rtt
+}
+
+var errNoRoute = errors.New("netsim: no route to host")
+
+// send pushes pkt from src toward dst (unicast or multicast), beginning after
+// the sender-side CPU cost.
+func (n *Network) send(src *Host, pkt []byte, srcAddr, dst netapi.Addr, cost CPUCost) error {
+	src.stats.Sent++
+	done := src.cpu(cost.Cost(len(pkt)))
+	if dst.Host.IsMulticast() {
+		members, ok := n.groups[dst.Host]
+		if !ok {
+			return fmt.Errorf("netsim: unknown multicast group %v", dst.Host)
+		}
+		n.kernel.ScheduleAt(done, func() {
+			for m := range members {
+				if m == src.id {
+					continue
+				}
+				dup := make([]byte, len(pkt))
+				copy(dup, pkt)
+				n.forward(src.id, m, dup, srcAddr, netapi.Addr{Host: dst.Host, Port: dst.Port})
+			}
+		})
+		return nil
+	}
+	if _, ok := n.hosts[dst.Host]; !ok {
+		return fmt.Errorf("netsim: unknown host %v", dst.Host)
+	}
+	if n.routes[[2]netapi.HostID{src.id, dst.Host}] == nil {
+		return errNoRoute
+	}
+	n.kernel.ScheduleAt(done, func() {
+		n.forward(src.id, dst.Host, pkt, srcAddr, dst)
+	})
+	return nil
+}
+
+// forward walks pkt across the route's links hop by hop. The route is
+// resolved once at injection time (in-flight packets keep their path across
+// route changes).
+func (n *Network) forward(from, to netapi.HostID, pkt []byte, srcAddr, dstAddr netapi.Addr) {
+	path := n.routes[[2]netapi.HostID{from, to}]
+	if path == nil {
+		return // destination became unreachable; packet lost
+	}
+	n.hop(path, 0, to, pkt, srcAddr, dstAddr)
+}
+
+func (n *Network) hop(path []*Link, i int, to netapi.HostID, pkt []byte, srcAddr, dstAddr netapi.Addr) {
+	if i == len(path) {
+		n.arrive(to, pkt, srcAddr, dstAddr)
+		return
+	}
+	path[i].transit(pkt, func(delivered []byte) {
+		n.hop(path, i+1, to, delivered, srcAddr, dstAddr)
+	})
+}
+
+// arrive delivers pkt to the destination host's endpoint after receive-side
+// CPU processing.
+func (n *Network) arrive(to netapi.HostID, pkt []byte, srcAddr, dstAddr netapi.Addr) {
+	h, ok := n.hosts[to]
+	if !ok {
+		return
+	}
+	ep, ok := h.endpoints[dstAddr.Port]
+	if !ok || ep.recv == nil {
+		h.stats.DropsNoPort++
+		return
+	}
+	if h.CPUDropCap > 0 && h.cpuPending >= h.CPUDropCap {
+		h.stats.DropsCPU++
+		return
+	}
+	h.cpuPending++
+	done := h.cpu(ep.cost.Cost(len(pkt)))
+	n.kernel.ScheduleAt(done, func() {
+		h.cpuPending--
+		h.stats.Received++
+		ep.recv(pkt, srcAddr)
+	})
+}

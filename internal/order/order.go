@@ -1,0 +1,168 @@
+// Package order provides the sequencing mechanisms (the paper's
+// order-sensitivity column in Table 1): strict in-order delivery for
+// order-sensitive applications, and duplicate-filtered as-they-arrive
+// delivery for order-insensitive media streams.
+//
+// Recovery strategies already release reliable traffic in order; the orderer
+// matters for unreliable ("none") and loss-tolerant (FEC) recovery, where
+// arrival order is network order.
+package order
+
+import (
+	"adaptive/internal/mechanism"
+	"adaptive/internal/message"
+)
+
+// Sequenced delivers strictly in sequence order; anything arriving early is
+// held until the gap fills (or a loss-tolerant recovery advances past it via
+// Skip).
+type Sequenced struct {
+	next    uint32
+	held    map[uint32]mechanism.Delivery
+	max     int // cap on held entries; overflow drops newest (backpressure)
+	Dropped uint64
+}
+
+var _ mechanism.Orderer = (*Sequenced)(nil)
+
+// NewSequenced returns an in-order delivery mechanism starting at sequence 0
+// holding at most maxHeld out-of-order messages.
+func NewSequenced(maxHeld int) *Sequenced {
+	if maxHeld <= 0 {
+		maxHeld = 1024
+	}
+	return &Sequenced{held: make(map[uint32]mechanism.Delivery), max: maxHeld}
+}
+
+func (s *Sequenced) Name() string { return "sequenced" }
+
+// Submit accepts seq and returns the contiguous run now deliverable.
+func (s *Sequenced) Submit(seq uint32, m *message.Message, eom bool) []mechanism.Delivery {
+	if seq < s.next {
+		m.Release() // duplicate of already-delivered data
+		return nil
+	}
+	if _, dup := s.held[seq]; dup {
+		m.Release()
+		return nil
+	}
+	if len(s.held) >= s.max {
+		s.Dropped++
+		m.Release()
+		return nil
+	}
+	s.held[seq] = mechanism.Delivery{Seq: seq, Msg: m, EOM: eom}
+	var out []mechanism.Delivery
+	for {
+		d, ok := s.held[s.next]
+		if !ok {
+			return out
+		}
+		delete(s.held, s.next)
+		s.next++
+		out = append(out, d)
+	}
+}
+
+// Skip abandons sequences below seq (loss-tolerant gap abandonment): held
+// messages past the gap become deliverable.
+func (s *Sequenced) Skip(seq uint32) []mechanism.Delivery {
+	if seq <= s.next {
+		return nil
+	}
+	// Deliver everything in [next, seq) that did arrive, in order, then
+	// continue the contiguous run from seq.
+	var out []mechanism.Delivery
+	for q := s.next; q < seq; q++ {
+		if d, ok := s.held[q]; ok {
+			delete(s.held, q)
+			out = append(out, d)
+		}
+	}
+	s.next = seq
+	for {
+		d, ok := s.held[s.next]
+		if !ok {
+			return out
+		}
+		delete(s.held, s.next)
+		s.next++
+		out = append(out, d)
+	}
+}
+
+// Flush releases all held messages in sequence order (teardown).
+func (s *Sequenced) Flush() []mechanism.Delivery {
+	var out []mechanism.Delivery
+	for len(s.held) > 0 {
+		// find smallest held seq
+		var min uint32
+		first := true
+		for q := range s.held {
+			if first || q < min {
+				min, first = q, false
+			}
+		}
+		d := s.held[min]
+		delete(s.held, min)
+		out = append(out, d)
+		if min >= s.next {
+			s.next = min + 1
+		}
+	}
+	return out
+}
+
+// Held returns the number of messages waiting on a gap.
+func (s *Sequenced) Held() int { return len(s.held) }
+
+// Unordered delivers immediately in arrival order, filtering duplicates with
+// a sliding window of seen sequence numbers.
+type Unordered struct {
+	seen       map[uint32]bool
+	ring       []uint32
+	ringPos    int
+	Duplicates uint64
+}
+
+var _ mechanism.Orderer = (*Unordered)(nil)
+
+// NewUnordered returns an arrival-order delivery mechanism remembering the
+// last window sequence numbers for duplicate suppression (0 disables the
+// filter).
+func NewUnordered(window int) *Unordered {
+	u := &Unordered{}
+	if window > 0 {
+		u.seen = make(map[uint32]bool, window)
+		u.ring = make([]uint32, window)
+		for i := range u.ring {
+			u.ring[i] = ^uint32(0)
+		}
+	}
+	return u
+}
+
+func (u *Unordered) Name() string { return "unordered" }
+
+func (u *Unordered) Submit(seq uint32, m *message.Message, eom bool) []mechanism.Delivery {
+	if u.seen != nil {
+		if u.seen[seq] {
+			u.Duplicates++
+			m.Release()
+			return nil
+		}
+		old := u.ring[u.ringPos]
+		if old != ^uint32(0) {
+			delete(u.seen, old)
+		}
+		u.ring[u.ringPos] = seq
+		u.seen[seq] = true
+		u.ringPos = (u.ringPos + 1) % len(u.ring)
+	}
+	return []mechanism.Delivery{{Seq: seq, Msg: m, EOM: eom}}
+}
+
+// Skip is a no-op for unordered delivery: nothing is ever held back.
+func (u *Unordered) Skip(uint32) []mechanism.Delivery { return nil }
+
+func (u *Unordered) Flush() []mechanism.Delivery { return nil }

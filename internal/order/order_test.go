@@ -1,0 +1,179 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptive/internal/mechanism"
+	"adaptive/internal/message"
+)
+
+func msg(s string) *message.Message { return message.NewFromBytes([]byte(s)) }
+
+func payloads(ds []mechanism.Delivery) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = string(d.Msg.Bytes())
+	}
+	return out
+}
+
+func TestSequencedInOrder(t *testing.T) {
+	s := NewSequenced(16)
+	if got := s.Submit(0, msg("a"), true); len(got) != 1 || string(got[0].Msg.Bytes()) != "a" {
+		t.Fatalf("got %v", payloads(got))
+	}
+	if got := s.Submit(1, msg("b"), true); len(got) != 1 {
+		t.Fatalf("got %v", payloads(got))
+	}
+}
+
+func TestSequencedHoldsGap(t *testing.T) {
+	s := NewSequenced(16)
+	if got := s.Submit(2, msg("c"), true); got != nil {
+		t.Fatal("delivered past a gap")
+	}
+	if got := s.Submit(1, msg("b"), true); got != nil {
+		t.Fatal("delivered past a gap")
+	}
+	if s.Held() != 2 {
+		t.Fatalf("held %d", s.Held())
+	}
+	got := s.Submit(0, msg("a"), true)
+	if p := payloads(got); len(p) != 3 || p[0] != "a" || p[1] != "b" || p[2] != "c" {
+		t.Fatalf("drained %v", p)
+	}
+	if s.Held() != 0 {
+		t.Fatal("still holding after drain")
+	}
+}
+
+func TestSequencedDuplicatesReleased(t *testing.T) {
+	s := NewSequenced(16)
+	s.Submit(0, msg("a"), true)
+	dup := msg("a")
+	if got := s.Submit(0, dup, true); got != nil {
+		t.Fatal("old duplicate delivered")
+	}
+	held := msg("c")
+	s.Submit(2, held, true)
+	dup2 := msg("c")
+	if got := s.Submit(2, dup2, true); got != nil {
+		t.Fatal("held duplicate delivered")
+	}
+}
+
+func TestSequencedSkip(t *testing.T) {
+	s := NewSequenced(16)
+	s.Submit(3, msg("d"), true)
+	s.Submit(1, msg("b"), true)
+	// Abandon seqs < 3: delivers what arrived in the skipped range (1),
+	// then the contiguous run from 3.
+	got := s.Skip(3)
+	if p := payloads(got); len(p) != 2 || p[0] != "b" || p[1] != "d" {
+		t.Fatalf("skip delivered %v", p)
+	}
+	// Next in-order is 4.
+	if got := s.Submit(4, msg("e"), true); len(got) != 1 {
+		t.Fatal("post-skip sequencing wrong")
+	}
+	if got := s.Skip(2); got != nil {
+		t.Fatal("backward skip did something")
+	}
+}
+
+func TestSequencedOverflowDrops(t *testing.T) {
+	s := NewSequenced(2)
+	s.Submit(5, msg("x"), true)
+	s.Submit(6, msg("y"), true)
+	if got := s.Submit(7, msg("z"), true); got != nil {
+		t.Fatal("overflow delivered")
+	}
+	if s.Dropped != 1 {
+		t.Fatalf("dropped %d", s.Dropped)
+	}
+}
+
+func TestSequencedFlushInOrder(t *testing.T) {
+	s := NewSequenced(16)
+	s.Submit(5, msg("f"), true)
+	s.Submit(3, msg("d"), true)
+	s.Submit(9, msg("j"), true)
+	got := s.Flush()
+	if p := payloads(got); len(p) != 3 || p[0] != "d" || p[1] != "f" || p[2] != "j" {
+		t.Fatalf("flush order %v", p)
+	}
+}
+
+func TestUnorderedPassthrough(t *testing.T) {
+	u := NewUnordered(8)
+	if got := u.Submit(5, msg("x"), true); len(got) != 1 {
+		t.Fatal("unordered held a message")
+	}
+	if got := u.Submit(1, msg("y"), false); len(got) != 1 || got[0].EOM {
+		t.Fatal("metadata mangled")
+	}
+}
+
+func TestUnorderedDupFilter(t *testing.T) {
+	u := NewUnordered(4)
+	u.Submit(1, msg("a"), true)
+	if got := u.Submit(1, msg("a"), true); got != nil {
+		t.Fatal("duplicate passed")
+	}
+	if u.Duplicates != 1 {
+		t.Fatalf("dup count %d", u.Duplicates)
+	}
+	// The filter window slides: after 4 more seqs, seq 1 is forgotten.
+	for q := uint32(2); q <= 5; q++ {
+		u.Submit(q, msg("z"), true)
+	}
+	if got := u.Submit(1, msg("a"), true); got == nil {
+		t.Fatal("filter window did not slide")
+	}
+}
+
+func TestUnorderedNoFilter(t *testing.T) {
+	u := NewUnordered(0)
+	u.Submit(1, msg("a"), true)
+	if got := u.Submit(1, msg("a"), true); got == nil {
+		t.Fatal("window 0 still filtered")
+	}
+}
+
+func TestUnorderedSkipAndFlushNoOp(t *testing.T) {
+	u := NewUnordered(4)
+	if u.Skip(10) != nil || u.Flush() != nil {
+		t.Fatal("unordered held something")
+	}
+}
+
+// Property: submitting any permutation of 0..n-1 to Sequenced delivers
+// exactly 0..n-1 in order.
+func TestSequencedPermutationProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		count := int(n%32) + 1
+		perm := rand.New(rand.NewSource(seed)).Perm(count)
+		s := NewSequenced(64)
+		var delivered []uint32
+		for _, i := range perm {
+			for _, d := range s.Submit(uint32(i), msg("p"), true) {
+				delivered = append(delivered, d.Seq)
+				d.Msg.Release()
+			}
+		}
+		if len(delivered) != count {
+			return false
+		}
+		for i, q := range delivered {
+			if q != uint32(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package protograph
+
+import (
+	"fmt"
+	"io"
+
+	"adaptive/internal/netapi"
+)
+
+// Concrete protocol-graph layers. The paper's TKO_Protocol supports
+// "management operations for manipulating protocol graphs (which express
+// the relationships between various protocol objects)"; these layers are
+// insertable/removable protocol objects on the packet path, used by tests,
+// experiments, and applications (tracing, fault injection, lightweight
+// payload obfuscation).
+
+// TraceLayer logs packet flow to a writer and counts traffic. It never
+// alters packets.
+type TraceLayer struct {
+	W    io.Writer // nil = count only
+	Tag  string
+	Out  uint64
+	In   uint64
+	OutB uint64
+	InB  uint64
+}
+
+var _ Layer = (*TraceLayer)(nil)
+
+// Name identifies the layer ("trace" or "trace:<tag>").
+func (t *TraceLayer) Name() string {
+	if t.Tag == "" {
+		return "trace"
+	}
+	return "trace:" + t.Tag
+}
+
+// Outbound counts and logs a departing packet.
+func (t *TraceLayer) Outbound(pkt []byte, dst netapi.Addr) ([]byte, bool) {
+	t.Out++
+	t.OutB += uint64(len(pkt))
+	if t.W != nil {
+		fmt.Fprintf(t.W, "%s -> %v %dB\n", t.Name(), dst, len(pkt))
+	}
+	return pkt, true
+}
+
+// Inbound counts and logs an arriving packet.
+func (t *TraceLayer) Inbound(pkt []byte, from netapi.Addr) ([]byte, bool) {
+	t.In++
+	t.InB += uint64(len(pkt))
+	if t.W != nil {
+		fmt.Fprintf(t.W, "%s <- %v %dB\n", t.Name(), from, len(pkt))
+	}
+	return pkt, true
+}
+
+// XorLayer applies a keyed XOR whitening over the whole packet — a toy
+// stand-in for the security layer §2.2C says standard suites lack. Both
+// stacks must insert it with the same key; a missing or mismatched layer
+// makes every packet fail checksum verification (and thus count as loss),
+// which is itself a useful failure-injection property in tests.
+type XorLayer struct {
+	Key []byte
+}
+
+var _ Layer = (*XorLayer)(nil)
+
+// Name identifies the layer.
+func (x *XorLayer) Name() string { return "xor" }
+
+func (x *XorLayer) apply(pkt []byte) []byte {
+	if len(x.Key) == 0 {
+		return pkt
+	}
+	out := make([]byte, len(pkt))
+	for i, b := range pkt {
+		out[i] = b ^ x.Key[i%len(x.Key)]
+	}
+	return out
+}
+
+// Outbound whitens a departing packet.
+func (x *XorLayer) Outbound(pkt []byte, _ netapi.Addr) ([]byte, bool) {
+	return x.apply(pkt), true
+}
+
+// Inbound un-whitens an arriving packet.
+func (x *XorLayer) Inbound(pkt []byte, _ netapi.Addr) ([]byte, bool) {
+	return x.apply(pkt), true
+}
+
+// LossLayer drops a deterministic subset of packets (fault injection for
+// tests: unlike link-level DropRate, it sits inside the protocol graph and
+// can target one direction of one stack).
+type LossLayer struct {
+	// DropEveryNth drops packets where count%N == N-1 (0 disables).
+	DropEveryNth int
+	// Direction: drop outbound (true) or inbound (false) packets.
+	Outbound_ bool
+
+	count   int
+	Dropped uint64
+}
+
+var _ Layer = (*LossLayer)(nil)
+
+// Name identifies the layer.
+func (l *LossLayer) Name() string { return "loss" }
+
+func (l *LossLayer) maybe(pkt []byte) ([]byte, bool) {
+	if l.DropEveryNth <= 0 {
+		return pkt, true
+	}
+	l.count++
+	if l.count%l.DropEveryNth == 0 {
+		l.Dropped++
+		return nil, false
+	}
+	return pkt, true
+}
+
+// Outbound drops a deterministic subset of departing packets.
+func (l *LossLayer) Outbound(pkt []byte, _ netapi.Addr) ([]byte, bool) {
+	if !l.Outbound_ {
+		return pkt, true
+	}
+	return l.maybe(pkt)
+}
+
+// Inbound drops a deterministic subset of arriving packets.
+func (l *LossLayer) Inbound(pkt []byte, _ netapi.Addr) ([]byte, bool) {
+	if l.Outbound_ {
+		return pkt, true
+	}
+	return l.maybe(pkt)
+}

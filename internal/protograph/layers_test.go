@@ -1,0 +1,147 @@
+package protograph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptive/internal/mechanism"
+	"adaptive/internal/session"
+)
+
+func TestTraceLayerCountsAndLogs(t *testing.T) {
+	p := newPair(t, fastLink())
+	var log strings.Builder
+	tr := &TraceLayer{W: &log, Tag: "a"}
+	p.a.InsertLayer(tr)
+	spec := mechanism.DefaultSpec()
+	spec.ConnMgmt = mechanism.ConnImplicit
+	s, _, _ := p.a.CreateActiveSession(&spec, p.b.LocalAddr(), 1000, 80)
+	s.Open()
+	s.Send([]byte("traced"))
+	p.k.RunUntil(5 * time.Second)
+	if string(p.received) != "traced" {
+		t.Fatalf("trace layer altered traffic: %q", p.received)
+	}
+	if tr.Out == 0 || tr.In == 0 || tr.OutB == 0 {
+		t.Fatalf("trace counters empty: %+v", tr)
+	}
+	if !strings.Contains(log.String(), "trace:a ->") || !strings.Contains(log.String(), "trace:a <-") {
+		t.Fatalf("trace log missing directions:\n%s", log.String())
+	}
+}
+
+func TestXorLayerSymmetric(t *testing.T) {
+	p := newPair(t, fastLink())
+	key := []byte{0x5a, 0xc3, 0x99}
+	p.a.InsertLayer(&XorLayer{Key: key})
+	p.b.InsertLayer(&XorLayer{Key: key})
+	spec := mechanism.DefaultSpec()
+	payload := bytes.Repeat([]byte("secret"), 3000)
+	p.openAndTransfer(t, spec, payload)
+	if !bytes.Equal(p.received, payload) {
+		t.Fatalf("xor round trip broke payload: %d of %d", len(p.received), len(payload))
+	}
+}
+
+func TestXorLayerMismatchIsLoss(t *testing.T) {
+	p := newPair(t, fastLink())
+	p.a.InsertLayer(&XorLayer{Key: []byte{0xff}})
+	// Receiver has no matching layer: every packet fails checksum.
+	spec := mechanism.DefaultSpec()
+	spec.ConnMgmt = mechanism.ConnImplicit
+	spec.Graceful = false
+	s, _, _ := p.a.CreateActiveSession(&spec, p.b.LocalAddr(), 1000, 80)
+	s.Open()
+	s.Send([]byte("garbled"))
+	p.k.RunUntil(500 * time.Millisecond)
+	if len(p.received) != 0 {
+		t.Fatal("mismatched key still delivered data")
+	}
+	if p.b.Stats().DecodeErrors == 0 {
+		t.Fatal("whitened packets not rejected by checksum")
+	}
+}
+
+func TestLossLayerDeterministicFaultInjection(t *testing.T) {
+	p := newPair(t, fastLink())
+	ll := &LossLayer{DropEveryNth: 5, Outbound_: true}
+	p.a.InsertLayer(ll)
+	spec := mechanism.DefaultSpec()
+	payload := bytes.Repeat([]byte("L"), 100*1024)
+	s := p.openAndTransfer(t, spec, payload)
+	if !bytes.Equal(p.received, payload) {
+		t.Fatalf("reliable transfer did not survive 20%% injected loss: %d of %d", len(p.received), len(payload))
+	}
+	if ll.Dropped == 0 {
+		t.Fatal("loss layer dropped nothing")
+	}
+	if s.State().Retransmissions == 0 {
+		t.Fatal("no retransmissions despite injected loss")
+	}
+}
+
+func TestLayerOrderingOutermostLast(t *testing.T) {
+	// Layers apply outbound in insertion order and inbound in reverse:
+	// insert trace-then-xor on A; xor-then-trace equivalence on B means
+	// B's trace sees whitened bytes only if inserted before xor.
+	p := newPair(t, fastLink())
+	key := []byte{0xaa}
+	aTrace := &TraceLayer{Tag: "inner"}
+	p.a.InsertLayer(aTrace) // sees plaintext (outbound first)
+	p.a.InsertLayer(&XorLayer{Key: key})
+	p.b.InsertLayer(&TraceLayer{Tag: "outer"})
+	p.b.InsertLayer(&XorLayer{Key: key}) // inbound runs reverse: xor first
+	spec := mechanism.DefaultSpec()
+	payload := []byte("ordering")
+	p.openAndTransfer(t, spec, payload)
+	if !bytes.Equal(p.received, payload) {
+		t.Fatalf("layer composition broke transfer: %q", p.received)
+	}
+}
+
+func TestRemoveLayerMidSession(t *testing.T) {
+	p := newPair(t, fastLink())
+	ll := &LossLayer{DropEveryNth: 2, Outbound_: true}
+	p.a.InsertLayer(ll)
+	spec := mechanism.DefaultSpec()
+	s, _, _ := p.a.CreateActiveSession(&spec, p.b.LocalAddr(), 1000, 80)
+	s.Open()
+	s.Send(bytes.Repeat([]byte("R"), 40*1024))
+	p.k.RunUntil(200 * time.Millisecond)
+	// Pull the fault injector; the transfer must then finish cleanly.
+	if !p.a.RemoveLayer("loss") {
+		t.Fatal("RemoveLayer failed")
+	}
+	p.k.RunUntil(time.Minute)
+	if len(p.received) != 40*1024 {
+		t.Fatalf("transfer stuck after layer removal: %d", len(p.received))
+	}
+}
+
+func TestListenerPortConflict(t *testing.T) {
+	p := newPair(t, fastLink())
+	if err := p.b.Listen(80, &Listener{}); err == nil {
+		t.Fatal("double listen on port 80 accepted")
+	}
+	p.b.Unlisten(80)
+	if err := p.b.Listen(80, &Listener{OnAccept: func(s *session.Session) {}}); err != nil {
+		t.Fatalf("relisten after unlisten: %v", err)
+	}
+}
+
+func TestUnmatchedControlPDUCounted(t *testing.T) {
+	p := newPair(t, fastLink())
+	// An ACK for a nonexistent connection has no listener path.
+	spec := mechanism.DefaultSpec()
+	s, _, _ := p.a.CreateActiveSession(&spec, p.b.LocalAddr(), 1000, 9999)
+	s.Open() // CONNREQ to a port nobody listens on
+	p.k.RunUntil(5 * time.Second)
+	if p.b.Stats().UnmatchedPDUs == 0 {
+		t.Fatal("orphan handshake not counted as unmatched")
+	}
+	if s.Established() {
+		t.Fatal("established against a dead port")
+	}
+}

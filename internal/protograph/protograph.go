@@ -1,0 +1,360 @@
+// Package protograph implements the TKO_Protocol abstraction (ADAPTIVE
+// §4.2.1): the protocol-graph node that owns a network endpoint,
+// demultiplexes arriving PDUs to TKO_Session objects, spawns passive
+// sessions through listeners, and supports run-time protocol-graph editing
+// (inserting and removing layers on the packet path).
+package protograph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"adaptive/internal/event"
+	"adaptive/internal/mechanism"
+	"adaptive/internal/netapi"
+	"adaptive/internal/session"
+	"adaptive/internal/tko"
+	"adaptive/internal/wire"
+)
+
+// Layer is a protocol-graph element on the packet path. Layers see raw
+// packets in both directions and may transform or drop them (compression,
+// tracing, fault injection). The protocol graph is editable at run time —
+// the paper's "management operations for manipulating protocol graphs".
+type Layer interface {
+	Name() string
+	// Outbound processes a departing packet; ok=false drops it.
+	Outbound(pkt []byte, dst netapi.Addr) (out []byte, ok bool)
+	// Inbound processes an arriving packet; ok=false drops it.
+	Inbound(pkt []byte, from netapi.Addr) (out []byte, ok bool)
+}
+
+// Listener accepts passive connections on a transport port.
+type Listener struct {
+	// Adjust reconciles a peer's proposed Spec with local resources and
+	// policy, returning the Spec the new session will run (nil accepts
+	// the proposal unchanged). This is the local half of QoS negotiation.
+	Adjust func(proposed *mechanism.Spec, from netapi.Addr) *mechanism.Spec
+	// OnAccept is invoked with each newly created passive session before
+	// any data is delivered, so the application can install receivers.
+	OnAccept func(s *session.Session)
+}
+
+// Stats counts stack-level demux activity.
+type Stats struct {
+	DecodeErrors   uint64 // checksum failures and malformed packets
+	UnmatchedPDUs  uint64 // no session and no listener
+	SessionsActive int
+	SessionsTotal  uint64
+}
+
+// MetricFactory supplies a metric sink per session (UNITES instrumentation
+// point). Nil sinks are replaced by no-ops.
+type MetricFactory func(connID uint32) mechanism.MetricSink
+
+// Stack is one host's transport protocol graph.
+type Stack struct {
+	ep      netapi.Endpoint
+	clock   netapi.Clock
+	timers  *event.Manager
+	rng     *rand.Rand
+	synth   *tko.Synthesizer
+	metrics MetricFactory
+
+	sessions  map[uint32]*session.Session
+	listeners map[uint16]*Listener
+	layers    []Layer
+
+	// SignalHandler receives out-of-band Signal and Probe PDUs (the
+	// MANTTS entity installs itself here).
+	SignalHandler func(p *wire.PDU, from netapi.Addr)
+
+	stats Stats
+}
+
+// Config assembles a Stack.
+type Config struct {
+	Provider netapi.Provider
+	Host     netapi.HostID
+	SAPPort  uint16 // the well-known transport service access point port
+	Seed     int64
+	Synth    *tko.Synthesizer
+	Metrics  MetricFactory
+}
+
+// DefaultSAPPort is the conventional transport SAP.
+const DefaultSAPPort = 7700
+
+// NewStack binds a stack on the host.
+func NewStack(cfg Config) (*Stack, error) {
+	if cfg.SAPPort == 0 {
+		cfg.SAPPort = DefaultSAPPort
+	}
+	if cfg.Synth == nil {
+		cfg.Synth = tko.NewSynthesizer(tko.DefaultRegistry())
+	}
+	ep, err := cfg.Provider.Open(cfg.Host, cfg.SAPPort)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stack{
+		ep:        ep,
+		clock:     cfg.Provider.Clock(),
+		timers:    event.NewManager(cfg.Provider.Clock()),
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Host)<<20)),
+		synth:     cfg.Synth,
+		metrics:   cfg.Metrics,
+		sessions:  make(map[uint32]*session.Session),
+		listeners: make(map[uint16]*Listener),
+	}
+	ep.SetReceiver(st.onPacket)
+	return st, nil
+}
+
+// Endpoint exposes the bound endpoint (experiments set CPU costs on it).
+func (st *Stack) Endpoint() netapi.Endpoint { return st.ep }
+
+// Clock returns the stack's clock.
+func (st *Stack) Clock() netapi.Clock { return st.clock }
+
+// Timers returns the stack's timer manager.
+func (st *Stack) Timers() *event.Manager { return st.timers }
+
+// Synth returns the stack's synthesizer.
+func (st *Stack) Synth() *tko.Synthesizer { return st.synth }
+
+// LocalAddr returns the stack's SAP address.
+func (st *Stack) LocalAddr() netapi.Addr { return st.ep.LocalAddr() }
+
+// Stats returns a copy of the demux counters.
+func (st *Stack) Stats() Stats {
+	s := st.stats
+	s.SessionsActive = len(st.sessions)
+	return s
+}
+
+// --- protocol graph editing ---
+
+// InsertLayer pushes a layer onto the packet path (outermost first).
+func (st *Stack) InsertLayer(l Layer) { st.layers = append(st.layers, l) }
+
+// RemoveLayer deletes the first layer with the given name; it reports
+// whether one was found.
+func (st *Stack) RemoveLayer(name string) bool {
+	for i, l := range st.layers {
+		if l.Name() == name {
+			st.layers = append(st.layers[:i], st.layers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Layers lists the current layer names in outbound order.
+func (st *Stack) Layers() []string {
+	out := make([]string, len(st.layers))
+	for i, l := range st.layers {
+		out[i] = l.Name()
+	}
+	return out
+}
+
+// --- session.Outbound ---
+
+// Transmit sends an encoded packet through the layer chain to the network.
+func (st *Stack) Transmit(pkt []byte, dst netapi.Addr) error {
+	p := pkt
+	for _, l := range st.layers {
+		var ok bool
+		p, ok = l.Outbound(p, dst)
+		if !ok {
+			return nil // layer swallowed the packet
+		}
+	}
+	return st.ep.Send(p, dst)
+}
+
+// PathMTU reports the usable packet size toward dst.
+func (st *Stack) PathMTU(dst netapi.Addr) int { return st.ep.PathMTU(dst) }
+
+// --- listeners and session management ---
+
+// Listen installs a listener on a transport port.
+func (st *Stack) Listen(port uint16, l *Listener) error {
+	if _, busy := st.listeners[port]; busy {
+		return fmt.Errorf("protograph: port %d already listening", port)
+	}
+	st.listeners[port] = l
+	return nil
+}
+
+// Unlisten removes a listener.
+func (st *Stack) Unlisten(port uint16) { delete(st.listeners, port) }
+
+// Session returns the session with the given connection ID, or nil.
+func (st *Stack) Session(connID uint32) *session.Session { return st.sessions[connID] }
+
+// Sessions returns all live sessions (iteration order unspecified).
+func (st *Stack) Sessions() []*session.Session {
+	out := make([]*session.Session, 0, len(st.sessions))
+	for _, s := range st.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Remove drops a session from the demux table (after close).
+func (st *Stack) Remove(connID uint32) { delete(st.sessions, connID) }
+
+var errNoMechanism = errors.New("protograph: synthesis failed")
+
+// CreateActiveSession synthesizes and registers an actively-opening session.
+// MANTTS calls this in Stage III after producing the SCS. The caller must
+// invoke Open on the returned session (after installing callbacks).
+func (st *Stack) CreateActiveSession(spec *mechanism.Spec, peerNet netapi.Addr, localPort, peerPort uint16) (*session.Session, *tko.Result, error) {
+	res, err := st.synth.Synthesize(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	connID := st.allocConnID()
+	s := st.buildSession(connID, spec, res, peerNet, localPort, peerPort)
+	return s, &res, nil
+}
+
+// CreatePassiveSession synthesizes and registers a listener-spawned session.
+func (st *Stack) CreatePassiveSession(connID uint32, spec *mechanism.Spec, peerNet netapi.Addr, localPort, peerPort uint16) (*session.Session, error) {
+	res, err := st.synth.Synthesize(spec)
+	if err != nil {
+		return nil, err
+	}
+	s := st.buildSession(connID, spec, res, peerNet, localPort, peerPort)
+	return s, nil
+}
+
+func (st *Stack) buildSession(connID uint32, spec *mechanism.Spec, res tko.Result, peerNet netapi.Addr, localPort, peerPort uint16) *session.Session {
+	var sink mechanism.MetricSink
+	if st.metrics != nil {
+		sink = st.metrics(connID)
+	}
+	s := session.New(session.Params{
+		ConnID:    connID,
+		LocalPort: localPort,
+		PeerPort:  peerPort,
+		PeerNet:   peerNet,
+		Spec:      spec,
+		Slots:     res.Slots,
+		Factory:   st.synth.Factory(),
+		Clock:     st.clock,
+		Timers:    st.timers,
+		Rand:      st.rng,
+		Metrics:   sink,
+		Out:       st,
+	})
+	if res.Static {
+		s.SetReconfigurable(false)
+	}
+	st.sessions[connID] = s
+	st.stats.SessionsTotal++
+	return s
+}
+
+func (st *Stack) allocConnID() uint32 {
+	for {
+		id := st.rng.Uint32()
+		if id != 0 && st.sessions[id] == nil {
+			return id
+		}
+	}
+}
+
+// --- demultiplexing ---
+
+// onPacket is the endpoint receive upcall: decode, walk inbound layers,
+// demux.
+func (st *Stack) onPacket(pkt []byte, from netapi.Addr) {
+	p := pkt
+	for i := len(st.layers) - 1; i >= 0; i-- {
+		var ok bool
+		p, ok = st.layers[i].Inbound(p, from)
+		if !ok {
+			return
+		}
+	}
+	pdu, err := wire.Decode(p)
+	if err != nil {
+		st.stats.DecodeErrors++
+		return
+	}
+	st.dispatch(pdu, from)
+}
+
+func (st *Stack) dispatch(p *wire.PDU, from netapi.Addr) {
+	switch p.Type {
+	case wire.TSignal, wire.TProbe:
+		if st.SignalHandler != nil {
+			st.SignalHandler(p, from)
+		} else {
+			p.ReleasePayload()
+		}
+		return
+	}
+	if s := st.sessions[p.ConnID]; s != nil {
+		s.HandlePDU(p)
+		return
+	}
+	// No session: a listener may accept it.
+	l := st.listeners[p.DstPort]
+	if l == nil {
+		st.stats.UnmatchedPDUs++
+		p.ReleasePayload()
+		return
+	}
+	spec, ok := st.proposalFrom(p)
+	if !ok {
+		st.stats.UnmatchedPDUs++
+		p.ReleasePayload()
+		return
+	}
+	if l.Adjust != nil {
+		if adj := l.Adjust(spec, from); adj != nil {
+			spec = adj
+			spec.Normalize()
+		}
+	}
+	s, err := st.CreatePassiveSession(p.ConnID, spec, from, p.DstPort, p.SrcPort)
+	if err != nil {
+		st.stats.UnmatchedPDUs++
+		p.ReleasePayload()
+		return
+	}
+	if l.OnAccept != nil {
+		l.OnAccept(s)
+	}
+	s.Accept()
+	s.HandlePDU(p)
+}
+
+// proposalFrom extracts the peer's proposed Spec from a connection-opening
+// PDU: the payload of a CONNREQ, or the piggybacked prefix of an implicit
+// first data PDU.
+func (st *Stack) proposalFrom(p *wire.PDU) (*mechanism.Spec, bool) {
+	switch p.Type {
+	case wire.TConnReq:
+		spec, err := mechanism.DecodeSpec(p.PayloadBytes())
+		if err != nil {
+			return nil, false
+		}
+		return spec, true
+	case wire.TData:
+		if p.Flags&wire.FlagImplicitCfg == 0 || p.Payload == nil || int(p.Aux) > p.Payload.Len() {
+			return nil, false
+		}
+		spec, err := mechanism.DecodeSpec(p.PayloadBytes()[:p.Aux])
+		if err != nil {
+			return nil, false
+		}
+		return spec, true
+	}
+	return nil, false
+}

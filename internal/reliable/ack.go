@@ -1,0 +1,69 @@
+package reliable
+
+import (
+	"adaptive/internal/event"
+	"adaptive/internal/mechanism"
+)
+
+// delayedAcker implements the delayed-acknowledgment timer the paper lists
+// among the negotiated session parameters ("timer settings for delayed
+// acknowledgments", §4.1.1). With Spec.AckDelay zero it degenerates to
+// immediate cumulative acks; otherwise acks coalesce until the delay
+// expires or a second in-order PDU arrives, and anything anomalous
+// (out-of-order data, duplicates) acks immediately so loss detection at the
+// sender stays prompt.
+type delayedAcker struct {
+	timer     *event.Event
+	pending   bool
+	sinceAck  int
+	Coalesced uint64 // acks saved by coalescing (whitebox metric)
+}
+
+// ack registers an ack-worthy in-order event.
+func (d *delayedAcker) ack(e mechanism.Env) {
+	delay := e.Spec().AckDelay
+	if delay <= 0 {
+		sendCumAck(e)
+		return
+	}
+	d.sinceAck++
+	if d.sinceAck >= 2 {
+		d.flush(e)
+		return
+	}
+	if d.pending {
+		return
+	}
+	d.pending = true
+	d.timer = e.Timers().Schedule(delay, func() { d.flush(e) })
+}
+
+// ackNow acknowledges immediately (gap/duplicate signals must not wait).
+func (d *delayedAcker) ackNow(e mechanism.Env) { d.flush(e) }
+
+// flush emits the coalesced cumulative ack.
+func (d *delayedAcker) flush(e mechanism.Env) {
+	if d.timer != nil {
+		d.timer.Cancel()
+		d.timer = nil
+	}
+	if d.pending && d.sinceAck > 1 {
+		saved := uint64(d.sinceAck - 1)
+		d.Coalesced += saved
+		e.Metrics().Count("rel.acks_coalesced", saved)
+	}
+	d.pending = false
+	d.sinceAck = 0
+	sendCumAck(e)
+}
+
+// stop cancels any pending delayed ack and emits it (segue handover: never
+// strand an acknowledgment in a dying mechanism).
+func (d *delayedAcker) stop(e mechanism.Env) {
+	if d.pending {
+		d.flush(e)
+	} else if d.timer != nil {
+		d.timer.Cancel()
+		d.timer = nil
+	}
+}

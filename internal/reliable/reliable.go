@@ -1,0 +1,383 @@
+// Package reliable provides the reliability-management composite components
+// (ADAPTIVE Figure 5): error reporting (acknowledgments and selective
+// negative acknowledgments) and error recovery (go-back-n and
+// selective-repeat retransmission, forward error correction, or none). Error
+// detection — the third subcomponent of the composite — is the checksum kind
+// carried in the Spec and enforced at wire decode.
+//
+// The strategies share the session's TransferState, so the paper's
+// flagship reconfiguration — switching a live session between go-back-n and
+// selective repeat (or from retransmission to FEC when a route moves to a
+// satellite link, §3C) — preserves sequence numbers and both buffers, losing
+// no data.
+package reliable
+
+import (
+	"encoding/binary"
+	"time"
+
+	"adaptive/internal/mechanism"
+	"adaptive/internal/message"
+	"adaptive/internal/wire"
+)
+
+// maxNakList caps the number of missing sequences reported per NAK PDU.
+const maxNakList = 64
+
+// minRetxGap is the minimum spacing between retransmissions of one sequence
+// (guards against NAK storms re-sending the same PDU every arrival).
+func minRetxGap(st *mechanism.TransferState) time.Duration {
+	g := st.SRTT / 2
+	if g < time.Millisecond {
+		g = time.Millisecond
+	}
+	return g
+}
+
+// sendCumAck emits a cumulative acknowledgment for everything below RcvNxt.
+func sendCumAck(e mechanism.Env) {
+	e.EmitControl(&wire.PDU{Header: wire.Header{Type: wire.TAck, Ack: e.State().RcvNxt}})
+}
+
+// deliverRun releases a contiguous run drained from RcvBuf.
+func deliverRun(e mechanism.Env, run []*mechanism.RecvPDU) {
+	for _, r := range run {
+		eom := r.PDU.Flags&wire.FlagEOM != 0
+		e.ReleaseData(r.PDU.Seq, r.PDU.Payload, eom)
+		r.PDU.Payload = nil // ownership moved up
+	}
+}
+
+// retransmit re-emits the buffered entry for seq if present and not resent
+// too recently. It returns true if a PDU went out.
+func retransmit(e mechanism.Env, seq uint32, lastRetx map[uint32]time.Duration) bool {
+	st := e.State()
+	entry, ok := st.Unacked[seq]
+	if !ok {
+		return false
+	}
+	now := e.Clock().Now()
+	if last, seen := lastRetx[seq]; seen && now-last < minRetxGap(st) {
+		return false
+	}
+	lastRetx[seq] = now
+	entry.Retransmits++
+	st.Retransmissions++
+	e.Metrics().Count("rel.retransmissions", 1)
+	e.EmitData(entry.PDU)
+	return true
+}
+
+// None is fire-and-forget: no acknowledgments, no retransmission, no send
+// buffering — the underweight end of the design space (UDP-like), correct
+// for fully loss-tolerant flows on clean networks.
+type None struct{}
+
+var _ mechanism.Recovery = (*None)(nil)
+
+// NewNone returns the no-reliability strategy.
+func NewNone() *None { return &None{} }
+
+func (*None) Name() string   { return "none" }
+func (*None) Reliable() bool { return false }
+
+// OnSendData drops the payload immediately: nothing is buffered, so the
+// window mechanism never sees in-flight backpressure (rate control is the
+// only send governor, as with real datagram protocols).
+func (*None) OnSendData(e mechanism.Env, p *wire.PDU) {
+	st := e.State()
+	delete(st.Unacked, p.Seq)
+	p.ReleasePayload()
+	if p.Seq >= st.SndUna {
+		st.SndUna = p.Seq + 1
+	}
+}
+
+func (*None) OnAck(mechanism.Env, *wire.PDU) {}
+func (*None) OnNak(mechanism.Env, *wire.PDU) {}
+func (*None) OnRTO(mechanism.Env)            {}
+
+// OnData delivers immediately; ordering/duplicates are the Orderer's job.
+func (*None) OnData(e mechanism.Env, p *wire.PDU) {
+	st := e.State()
+	if p.Seq >= st.RcvNxt {
+		st.RcvNxt = p.Seq + 1
+	}
+	eom := p.Flags&wire.FlagEOM != 0
+	e.ReleaseData(p.Seq, p.Payload, eom)
+	p.Payload = nil
+}
+
+func (*None) OnParity(mechanism.Env, *wire.PDU) {}
+
+func (*None) ExportState() any   { return nil }
+func (*None) ImportState(st any) {}
+
+// GoBackN retransmits everything from the oldest unacknowledged PDU on a
+// timeout or triple duplicate ack; its receiver keeps no out-of-order buffer
+// (minimal receiver memory — the property the paper's congestion policy
+// exploits when buffers tighten, §3C).
+type GoBackN struct {
+	lastRetx map[uint32]time.Duration
+	acker    delayedAcker
+}
+
+var _ mechanism.Recovery = (*GoBackN)(nil)
+
+// NewGoBackN returns a go-back-n strategy.
+func NewGoBackN() *GoBackN {
+	return &GoBackN{lastRetx: make(map[uint32]time.Duration)}
+}
+
+func (*GoBackN) Name() string   { return "go-back-n" }
+func (*GoBackN) Reliable() bool { return true }
+
+func (g *GoBackN) OnSendData(e mechanism.Env, p *wire.PDU) {
+	// The session already recorded the PDU in Unacked; nothing extra.
+}
+
+// OnAck handles fast retransmit on the third duplicate ack. (Cumulative-ack
+// bookkeeping — AckThrough, RTT sampling, window growth — is generic and
+// performed by the session before strategies see the PDU.)
+func (g *GoBackN) OnAck(e mechanism.Env, p *wire.PDU) {
+	st := e.State()
+	if st.DupAcks == 3 && st.InFlight() > 0 {
+		e.WindowOnLoss()
+		e.Metrics().Count("rel.fast_retransmits", 1)
+		g.goBack(e)
+	}
+}
+
+func (*GoBackN) OnNak(mechanism.Env, *wire.PDU) {} // GBN peers never NAK
+
+// OnRTO retransmits the whole outstanding window from SndUna.
+func (g *GoBackN) OnRTO(e mechanism.Env) {
+	e.WindowOnLoss()
+	e.State().BackoffRTO(e.Spec().RTOMax)
+	g.goBack(e)
+}
+
+func (g *GoBackN) goBack(e mechanism.Env) {
+	st := e.State()
+	for seq := st.SndUna; seq < st.SndNxt; seq++ {
+		retransmit(e, seq, g.lastRetx)
+	}
+}
+
+// OnData delivers in-order PDUs and discards out-of-order arrivals (sending
+// a duplicate cumulative ack so the sender learns of the gap).
+func (g *GoBackN) OnData(e mechanism.Env, p *wire.PDU) {
+	st := e.State()
+	switch {
+	case p.Seq == st.RcvNxt:
+		st.RcvNxt++
+		eom := p.Flags&wire.FlagEOM != 0
+		e.ReleaseData(p.Seq, p.Payload, eom)
+		p.Payload = nil
+		// Data buffered by a pre-segue selective-repeat phase is still
+		// deliverable: drain any contiguous run it left behind.
+		deliverRun(e, st.DrainInOrder())
+		g.acker.ack(e)
+	default:
+		// Out of order or duplicate: drop, re-ack immediately (duplicate
+		// acks drive the sender's fast retransmit).
+		p.ReleasePayload()
+		e.Metrics().Count("rel.ooo_discarded", 1)
+		g.acker.ackNow(e)
+	}
+}
+
+func (*GoBackN) OnParity(mechanism.Env, *wire.PDU) {}
+
+// FlushAck emits any coalesced delayed ack (segue handover).
+func (g *GoBackN) FlushAck(e mechanism.Env) { g.acker.stop(e) }
+
+func (g *GoBackN) ExportState() any { return g.lastRetx }
+func (g *GoBackN) ImportState(st any) {
+	if m, ok := st.(map[uint32]time.Duration); ok && m != nil {
+		g.lastRetx = m
+	}
+}
+
+// SelectiveRepeat buffers out-of-order arrivals and reports gaps with NAK
+// PDUs so the sender retransmits only what was lost — more receiver memory,
+// far less redundant traffic on lossy or long-delay paths.
+type SelectiveRepeat struct {
+	lastRetx map[uint32]time.Duration
+	lastNak  map[uint32]time.Duration
+	acker    delayedAcker
+
+	// DisableThrottle turns off the per-sequence NAK/retransmission
+	// pacing guards (ablation A3 measures what they are worth; never
+	// disable in production configurations).
+	DisableThrottle bool
+}
+
+var _ mechanism.Recovery = (*SelectiveRepeat)(nil)
+
+// NewSelectiveRepeat returns a selective-repeat strategy.
+func NewSelectiveRepeat() *SelectiveRepeat {
+	return &SelectiveRepeat{
+		lastRetx: make(map[uint32]time.Duration),
+		lastNak:  make(map[uint32]time.Duration),
+	}
+}
+
+func (*SelectiveRepeat) Name() string   { return "selective-repeat" }
+func (*SelectiveRepeat) Reliable() bool { return true }
+
+func (s *SelectiveRepeat) OnSendData(e mechanism.Env, p *wire.PDU) {}
+
+func (s *SelectiveRepeat) OnAck(e mechanism.Env, p *wire.PDU) {}
+
+// OnNak retransmits exactly the listed sequences.
+func (s *SelectiveRepeat) OnNak(e mechanism.Env, p *wire.PDU) {
+	for _, seq := range DecodeNakList(p) {
+		if s.DisableThrottle {
+			delete(s.lastRetx, seq)
+		}
+		retransmit(e, seq, s.lastRetx)
+	}
+}
+
+// OnRTO retransmits only the oldest outstanding PDU and backs off.
+func (s *SelectiveRepeat) OnRTO(e mechanism.Env) {
+	st := e.State()
+	e.WindowOnLoss()
+	st.BackoffRTO(e.Spec().RTOMax)
+	if _, ok := st.Unacked[st.SndUna]; ok {
+		delete(s.lastRetx, st.SndUna) // force: RTO overrides the retx gap
+		retransmit(e, st.SndUna, s.lastRetx)
+	} else {
+		// Oldest hole isn't ours (already acked selectively); resend the
+		// oldest PDU actually buffered.
+		var oldest uint32
+		found := false
+		for q := range st.Unacked {
+			if !found || q < oldest {
+				oldest, found = q, true
+			}
+		}
+		if found {
+			delete(s.lastRetx, oldest)
+			retransmit(e, oldest, s.lastRetx)
+		}
+	}
+}
+
+// OnData buffers out-of-order data and NAKs the gaps.
+func (s *SelectiveRepeat) OnData(e mechanism.Env, p *wire.PDU) {
+	st := e.State()
+	inOrder := false
+	switch {
+	case p.Seq < st.RcvNxt:
+		p.ReleasePayload()
+		e.Metrics().Count("rel.duplicates", 1)
+	case len(st.RcvBuf) >= st.RcvBufCap && p.Seq != st.RcvNxt:
+		p.ReleasePayload()
+		e.Metrics().Count("rel.rcvbuf_overflow", 1)
+	default:
+		if _, dup := st.RcvBuf[p.Seq]; dup {
+			p.ReleasePayload()
+			e.Metrics().Count("rel.duplicates", 1)
+		} else {
+			inOrder = p.Seq == st.RcvNxt
+			st.RcvBuf[p.Seq] = &mechanism.RecvPDU{PDU: p, ArrivedAt: e.Clock().Now()}
+			deliverRun(e, st.DrainInOrder())
+		}
+	}
+	if inOrder && len(st.RcvBuf) == 0 {
+		s.acker.ack(e)
+	} else {
+		// Gaps and duplicates signal loss: acknowledge immediately.
+		s.acker.ackNow(e)
+	}
+	s.nakGaps(e)
+}
+
+// nakGaps reports missing sequences between RcvNxt and the highest buffered
+// arrival, throttled per sequence.
+func (s *SelectiveRepeat) nakGaps(e mechanism.Env) {
+	st := e.State()
+	if len(st.RcvBuf) == 0 {
+		return
+	}
+	var max uint32
+	for q := range st.RcvBuf {
+		if q > max {
+			max = q
+		}
+	}
+	now := e.Clock().Now()
+	gap := minRetxGap(st)
+	var missing []uint32
+	for q := st.RcvNxt; q < max && len(missing) < maxNakList; q++ {
+		if _, have := st.RcvBuf[q]; have {
+			continue
+		}
+		if last, seen := s.lastNak[q]; seen && now-last < gap && !s.DisableThrottle {
+			continue
+		}
+		s.lastNak[q] = now
+		missing = append(missing, q)
+	}
+	if len(missing) > 0 {
+		e.Metrics().Count("rel.naks_sent", 1)
+		e.EmitControl(EncodeNak(missing))
+	}
+}
+
+func (*SelectiveRepeat) OnParity(mechanism.Env, *wire.PDU) {}
+
+// FlushAck emits any coalesced delayed ack (segue handover).
+func (s *SelectiveRepeat) FlushAck(e mechanism.Env) { s.acker.stop(e) }
+
+type srState struct {
+	lastRetx map[uint32]time.Duration
+	lastNak  map[uint32]time.Duration
+}
+
+func (s *SelectiveRepeat) ExportState() any {
+	return srState{lastRetx: s.lastRetx, lastNak: s.lastNak}
+}
+func (s *SelectiveRepeat) ImportState(st any) {
+	if v, ok := st.(srState); ok {
+		s.lastRetx, s.lastNak = v.lastRetx, v.lastNak
+	}
+}
+
+// EncodeNak builds a NAK PDU listing missing sequences.
+func EncodeNak(missing []uint32) *wire.PDU {
+	if len(missing) > maxNakList {
+		missing = missing[:maxNakList]
+	}
+	buf := make([]byte, 4*len(missing))
+	for i, q := range missing {
+		binary.BigEndian.PutUint32(buf[4*i:], q)
+	}
+	p := &wire.PDU{Header: wire.Header{Type: wire.TNak, Aux: uint16(len(missing))}}
+	p.Payload = message.NewFromBytes(buf)
+	return p
+}
+
+// DecodeNakList extracts the missing-sequence list from a NAK PDU.
+func DecodeNakList(p *wire.PDU) []uint32 {
+	b := p.PayloadBytes()
+	n := int(p.Aux)
+	if n > len(b)/4 {
+		n = len(b) / 4
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(b[4*i:])
+	}
+	return out
+}
+
+// AcksCoalesced reports how many acknowledgments the delayed-ack timer
+// absorbed (whitebox metric for ablation A1).
+func (s *SelectiveRepeat) AcksCoalesced() uint64 { return s.acker.Coalesced }
+
+// AcksCoalesced reports how many acknowledgments the delayed-ack timer
+// absorbed.
+func (g *GoBackN) AcksCoalesced() uint64 { return g.acker.Coalesced }

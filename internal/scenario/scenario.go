@@ -1,0 +1,399 @@
+// Package scenario builds complete simulation scenarios from declarative
+// JSON descriptions — topology, sessions, workloads, and timed network
+// events — so alternative transport system designs can be compared without
+// writing Go (the paper's "controlled prototyping environment for
+// monitoring, analyzing, and experimenting", §1).
+//
+// A scenario document looks like:
+//
+//	{
+//	  "hosts": ["client", "server"],
+//	  "links": [
+//	    {"from": "client", "to": "server", "bandwidth_bps": 10e6,
+//	     "delay_ms": 10, "mtu": 1500, "drop_rate": 0.01, "queue_bytes": 65536},
+//	    {"from": "server", "to": "client", "bandwidth_bps": 10e6, "delay_ms": 10, "mtu": 1500}
+//	  ],
+//	  "sessions": [
+//	    {"name": "xfer", "from": "client", "to": "server", "port": 80,
+//	     "acd": {"avg_bps": 8e6, "ordered": true},
+//	     "workload": "generate bulk size=1048576 chunk=65536"}
+//	  ],
+//	  "events": [
+//	    {"at_ms": 1000, "cross_traffic": {"from": "client", "to": "server", "rate_bps": 9e6, "pkt": 1000}},
+//	    {"at_ms": 4000, "cross_traffic": {"from": "client", "to": "server", "rate_bps": 0}}
+//	  ],
+//	  "run_ms": 60000
+//	}
+//
+// Workloads use the internal/measure specification language; ACDs use a
+// JSON projection of the ADAPTIVE Communication Descriptor.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"adaptive"
+	"adaptive/internal/mantts"
+	"adaptive/internal/measure"
+	"adaptive/internal/netsim"
+	"adaptive/internal/sim"
+	"adaptive/internal/unites"
+	"adaptive/internal/workload"
+)
+
+// Document is the JSON schema root.
+type Document struct {
+	Seed     int64        `json:"seed"`
+	Hosts    []string     `json:"hosts"`
+	Links    []LinkDoc    `json:"links"`
+	Groups   []GroupDoc   `json:"groups"`
+	Sessions []SessionDoc `json:"sessions"`
+	Events   []EventDoc   `json:"events"`
+	RunMs    float64      `json:"run_ms"`
+}
+
+// LinkDoc describes one simplex link.
+type LinkDoc struct {
+	From         string  `json:"from"`
+	To           string  `json:"to"`
+	BandwidthBps float64 `json:"bandwidth_bps"`
+	DelayMs      float64 `json:"delay_ms"`
+	MTU          int     `json:"mtu"`
+	DropRate     float64 `json:"drop_rate"`
+	BER          float64 `json:"ber"`
+	QueueBytes   int     `json:"queue_bytes"`
+	JitterMs     float64 `json:"jitter_ms"`
+}
+
+// GroupDoc declares a multicast group and its members.
+type GroupDoc struct {
+	Name    string   `json:"name"`
+	Members []string `json:"members"`
+}
+
+// ACDDoc is the JSON projection of the ADAPTIVE Communication Descriptor.
+type ACDDoc struct {
+	AvgBps        float64 `json:"avg_bps"`
+	PeakBps       float64 `json:"peak_bps"`
+	MaxLatencyMs  float64 `json:"max_latency_ms"`
+	MaxJitterMs   float64 `json:"max_jitter_ms"`
+	LossTolerance float64 `json:"loss_tolerance"`
+	DurationMs    float64 `json:"duration_ms"`
+	Ordered       bool    `json:"ordered"`
+	DupSensitive  bool    `json:"dup_sensitive"`
+	Priority      int     `json:"priority"`
+}
+
+// SessionDoc describes one dialed session and its traffic.
+type SessionDoc struct {
+	Name     string  `json:"name"`
+	From     string  `json:"from"`
+	To       string  `json:"to"` // host name or group name
+	Port     uint16  `json:"port"`
+	ACD      *ACDDoc `json:"acd"`
+	Workload string  `json:"workload"` // measure-language generate statement
+	StartMs  float64 `json:"start_ms"`
+}
+
+// EventDoc is a timed network event.
+type EventDoc struct {
+	AtMs         float64          `json:"at_ms"`
+	CrossTraffic *CrossTrafficDoc `json:"cross_traffic"`
+	RouteSwitch  *RouteSwitchDoc  `json:"route_switch"`
+}
+
+// CrossTrafficDoc starts (or, with rate 0, stops) competing load on a link.
+type CrossTrafficDoc struct {
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	RateBps float64 `json:"rate_bps"`
+	Pkt     int     `json:"pkt"`
+}
+
+// RouteSwitchDoc replaces the path between two hosts with a new link.
+type RouteSwitchDoc struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Link LinkDoc `json:"link"`
+}
+
+// SessionResult is one session's delivered outcome.
+type SessionResult struct {
+	Name      string
+	Spec      adaptive.Spec
+	Generated uint64
+	Meter     *workload.Meter
+	Sent      adaptive.Stats
+}
+
+// Result is the outcome of a scenario run.
+type Result struct {
+	Sessions []SessionResult
+	Repo     *unites.Repository
+	SimTime  time.Duration
+}
+
+// Runtime is a built, runnable scenario.
+type Runtime struct {
+	doc    Document
+	Kernel *sim.Kernel
+	Net    *netsim.Network
+	Nodes  map[string]*adaptive.Node
+	hosts  map[string]*netsim.Host
+	groups map[string]adaptive.HostID
+	links  map[[2]string]*netsim.Link
+	Repo   *unites.Repository
+}
+
+// Parse decodes and validates a scenario document.
+func Parse(raw []byte) (*Document, error) {
+	var doc Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	if len(doc.Hosts) < 2 {
+		return nil, fmt.Errorf("scenario: need at least two hosts")
+	}
+	names := map[string]bool{}
+	for _, h := range doc.Hosts {
+		if names[h] {
+			return nil, fmt.Errorf("scenario: duplicate host %q", h)
+		}
+		names[h] = true
+	}
+	for _, g := range doc.Groups {
+		if names[g.Name] {
+			return nil, fmt.Errorf("scenario: group %q collides with a host name", g.Name)
+		}
+		for _, m := range g.Members {
+			if !names[m] {
+				return nil, fmt.Errorf("scenario: group %q member %q is not a host", g.Name, m)
+			}
+		}
+	}
+	for _, l := range doc.Links {
+		if !names[l.From] || !names[l.To] {
+			return nil, fmt.Errorf("scenario: link %s->%s references unknown host", l.From, l.To)
+		}
+		if l.BandwidthBps <= 0 {
+			return nil, fmt.Errorf("scenario: link %s->%s needs bandwidth_bps", l.From, l.To)
+		}
+	}
+	if len(doc.Sessions) == 0 {
+		return nil, fmt.Errorf("scenario: no sessions")
+	}
+	if doc.RunMs <= 0 {
+		doc.RunMs = 60_000
+	}
+	return &doc, nil
+}
+
+func (l *LinkDoc) config() netsim.LinkConfig {
+	mtu := l.MTU
+	if mtu == 0 {
+		mtu = 1500
+	}
+	return netsim.LinkConfig{
+		Bandwidth: l.BandwidthBps,
+		PropDelay: time.Duration(l.DelayMs * float64(time.Millisecond)),
+		MTU:       mtu,
+		DropRate:  l.DropRate,
+		BER:       l.BER,
+		QueueLen:  l.QueueBytes,
+		Jitter:    time.Duration(l.JitterMs * float64(time.Millisecond)),
+	}
+}
+
+func (a *ACDDoc) acd() mantts.QuantQoS {
+	return mantts.QuantQoS{
+		AvgThroughputBps:  a.AvgBps,
+		PeakThroughputBps: a.PeakBps,
+		MaxLatency:        time.Duration(a.MaxLatencyMs * float64(time.Millisecond)),
+		MaxJitter:         time.Duration(a.MaxJitterMs * float64(time.Millisecond)),
+		LossTolerance:     a.LossTolerance,
+		Duration:          time.Duration(a.DurationMs * float64(time.Millisecond)),
+	}
+}
+
+// Build constructs the simulation described by the document.
+func Build(doc *Document) (*Runtime, error) {
+	k := sim.NewKernel(doc.Seed + 1)
+	k.SetEventLimit(500_000_000)
+	rt := &Runtime{
+		doc:    *doc,
+		Kernel: k,
+		Net:    netsim.New(k),
+		Nodes:  make(map[string]*adaptive.Node),
+		hosts:  make(map[string]*netsim.Host),
+		groups: make(map[string]adaptive.HostID),
+		links:  make(map[[2]string]*netsim.Link),
+		Repo:   unites.NewRepository(),
+	}
+	for _, name := range doc.Hosts {
+		rt.hosts[name] = rt.Net.AddHost()
+	}
+	for _, l := range doc.Links {
+		link := rt.Net.NewLink(l.config())
+		rt.Net.SetRoute(rt.hosts[l.From].ID(), rt.hosts[l.To].ID(), link)
+		rt.links[[2]string{l.From, l.To}] = link
+	}
+	for _, g := range doc.Groups {
+		id := rt.Net.NewGroup()
+		rt.groups[g.Name] = id
+		for _, m := range g.Members {
+			rt.Net.Join(id, rt.hosts[m].ID())
+		}
+	}
+	for name, h := range rt.hosts {
+		node, err := adaptive.NewNode(adaptive.Options{
+			Provider: rt.Net, Host: h.ID(), Seed: doc.Seed, Metrics: rt.Repo, Name: name,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rt.Nodes[name] = node
+	}
+	// Seed path knowledge from the declared links.
+	for key, l := range rt.links {
+		cfg := l.Config()
+		rt.Nodes[key[0]].SeedPath(rt.hosts[key[1]].ID(), mantts.StaticPathInfo{
+			Bandwidth: cfg.Bandwidth, RTT: 2 * cfg.PropDelay, BER: cfg.BER, MTU: cfg.MTU,
+		})
+	}
+	return rt, nil
+}
+
+// Run executes the scenario and returns results.
+func (rt *Runtime) Run() (*Result, error) {
+	doc := &rt.doc
+	res := &Result{Repo: rt.Repo}
+
+	// Timed network events.
+	for _, ev := range doc.Events {
+		ev := ev
+		at := time.Duration(ev.AtMs * float64(time.Millisecond))
+		rt.Kernel.ScheduleAt(at, func() {
+			switch {
+			case ev.CrossTraffic != nil:
+				ct := ev.CrossTraffic
+				if l := rt.links[[2]string{ct.From, ct.To}]; l != nil {
+					pkt := ct.Pkt
+					if pkt == 0 {
+						pkt = 1000
+					}
+					l.StartCrossTraffic(ct.RateBps, pkt)
+				}
+			case ev.RouteSwitch != nil:
+				rs := ev.RouteSwitch
+				from, to := rt.hosts[rs.From], rt.hosts[rs.To]
+				if from == nil || to == nil {
+					return
+				}
+				link := rt.Net.NewLink(rs.Link.config())
+				rt.Net.SetRoute(from.ID(), to.ID(), link)
+				rt.links[[2]string{rs.From, rs.To}] = link
+			}
+		})
+	}
+
+	// Sessions.
+	for i := range doc.Sessions {
+		sd := &doc.Sessions[i]
+		srcNode := rt.Nodes[sd.From]
+		if srcNode == nil {
+			return nil, fmt.Errorf("scenario: session %q: unknown host %q", sd.Name, sd.From)
+		}
+		port := sd.Port
+		if port == 0 {
+			port = 80
+		}
+		meter := workload.NewMeter(rt.Kernel)
+
+		var participants []adaptive.Addr
+		if gid, isGroup := rt.groups[sd.To]; isGroup {
+			participants = append(participants, adaptive.Addr{Host: gid, Port: srcNode.Addr().Port})
+			for _, g := range doc.Groups {
+				if g.Name != sd.To {
+					continue
+				}
+				for _, m := range g.Members {
+					node := rt.Nodes[m]
+					participants = append(participants, node.Addr())
+					node.OnMulticastJoin(func(c *adaptive.Conn, _ adaptive.HostID) {
+						c.OnDelivery(meter.OnDeliver)
+					})
+				}
+			}
+		} else {
+			dstNode := rt.Nodes[sd.To]
+			if dstNode == nil {
+				return nil, fmt.Errorf("scenario: session %q: unknown destination %q", sd.Name, sd.To)
+			}
+			participants = []adaptive.Addr{dstNode.Addr()}
+			if err := dstNode.Listen(port, nil, func(c *adaptive.Conn) {
+				c.OnDelivery(meter.OnDeliver)
+			}); err != nil {
+				return nil, err
+			}
+		}
+
+		acdDoc := sd.ACD
+		if acdDoc == nil {
+			acdDoc = &ACDDoc{Ordered: true}
+		}
+		acd := &adaptive.ACD{
+			Participants: participants,
+			RemotePort:   port,
+			Quant:        acdDoc.acd(),
+			Qual: mantts.QualQoS{
+				Ordered: acdDoc.Ordered, DupSensitive: acdDoc.DupSensitive,
+				Priority: acdDoc.Priority,
+			},
+		}
+		conn, err := srcNode.Dial(acd, port)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: session %q: %v", sd.Name, err)
+		}
+
+		mspec, err := measure.Parse(sd.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: session %q: %v", sd.Name, err)
+		}
+		start, generated, err := mspec.Workload.Build(srcNode.Stack().Timers(), conn)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: session %q: %v", sd.Name, err)
+		}
+		rt.Kernel.ScheduleAt(time.Duration(sd.StartMs*float64(time.Millisecond)), start)
+
+		sr := SessionResult{Name: sd.Name, Meter: meter}
+		connRef := conn
+		genRef := generated
+		idx := len(res.Sessions)
+		res.Sessions = append(res.Sessions, sr)
+		// Finalize after the run.
+		defer func() {
+			res.Sessions[idx].Spec = connRef.Spec()
+			res.Sessions[idx].Generated = genRef()
+			res.Sessions[idx].Sent = connRef.Stats()
+		}()
+	}
+
+	rt.Kernel.RunUntil(time.Duration(doc.RunMs * float64(time.Millisecond)))
+	res.SimTime = rt.Kernel.Now()
+	return res, nil
+}
+
+// Load parses, builds, and runs a scenario in one call.
+func Load(raw []byte) (*Result, error) {
+	doc, err := Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := Build(doc)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Run()
+}

@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const basicScenario = `{
+  "seed": 7,
+  "hosts": ["client", "server"],
+  "links": [
+    {"from": "client", "to": "server", "bandwidth_bps": 10e6, "delay_ms": 10, "mtu": 1500, "drop_rate": 0.01},
+    {"from": "server", "to": "client", "bandwidth_bps": 10e6, "delay_ms": 10, "mtu": 1500}
+  ],
+  "sessions": [
+    {"name": "xfer", "from": "client", "to": "server", "port": 80,
+     "acd": {"avg_bps": 8e6, "ordered": true},
+     "workload": "generate bulk size=524288 chunk=65536"}
+  ],
+  "run_ms": 60000
+}`
+
+func TestBasicScenarioRuns(t *testing.T) {
+	res, err := Load([]byte(basicScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != 1 {
+		t.Fatalf("%d sessions", len(res.Sessions))
+	}
+	s := res.Sessions[0]
+	if s.Name != "xfer" || s.Generated != 8 {
+		t.Fatalf("session %q generated %d", s.Name, s.Generated)
+	}
+	if s.Meter.Bytes != 524288 {
+		t.Fatalf("delivered %d bytes", s.Meter.Bytes)
+	}
+	if s.Sent.Retransmissions == 0 {
+		t.Fatal("1% loss produced no retransmissions")
+	}
+	if res.Repo.TotalCounter("pdu.sent") == 0 {
+		t.Fatal("UNITES not wired")
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	r1, err := Load([]byte(basicScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := Load([]byte(basicScenario))
+	if r1.Sessions[0].Sent.SentPDUs != r2.Sessions[0].Sent.SentPDUs ||
+		r1.Sessions[0].Sent.Retransmissions != r2.Sessions[0].Sent.Retransmissions {
+		t.Fatal("same scenario, different outcomes")
+	}
+}
+
+func TestScenarioEvents(t *testing.T) {
+	const withEvents = `{
+	  "hosts": ["a", "b"],
+	  "links": [
+	    {"from": "a", "to": "b", "bandwidth_bps": 10e6, "delay_ms": 5, "queue_bytes": 32000},
+	    {"from": "b", "to": "a", "bandwidth_bps": 10e6, "delay_ms": 5}
+	  ],
+	  "sessions": [
+	    {"name": "s", "from": "a", "to": "b",
+	     "acd": {"avg_bps": 8e6, "ordered": true},
+	     "workload": "generate bulk size=2097152 chunk=65536"}
+	  ],
+	  "events": [
+	    {"at_ms": 200, "cross_traffic": {"from": "a", "to": "b", "rate_bps": 9.5e6}},
+	    {"at_ms": 1500, "cross_traffic": {"from": "a", "to": "b", "rate_bps": 0}}
+	  ],
+	  "run_ms": 120000
+	}`
+	res, err := Load([]byte(withEvents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Sessions[0]
+	if s.Meter.Bytes != 2097152 {
+		t.Fatalf("delivered %d", s.Meter.Bytes)
+	}
+	if s.Sent.Retransmissions == 0 {
+		t.Fatal("cross-traffic event produced no congestion loss")
+	}
+}
+
+func TestScenarioRouteSwitch(t *testing.T) {
+	const withSwitch = `{
+	  "hosts": ["a", "b"],
+	  "links": [
+	    {"from": "a", "to": "b", "bandwidth_bps": 10e6, "delay_ms": 5},
+	    {"from": "b", "to": "a", "bandwidth_bps": 10e6, "delay_ms": 5}
+	  ],
+	  "sessions": [
+	    {"name": "s", "from": "a", "to": "b",
+	     "acd": {"avg_bps": 8e6, "ordered": true},
+	     "workload": "generate bulk size=1048576 chunk=65536"}
+	  ],
+	  "events": [
+	    {"at_ms": 100, "route_switch": {"from": "a", "to": "b",
+	      "link": {"from": "a", "to": "b", "bandwidth_bps": 10e6, "delay_ms": 275}}}
+	  ],
+	  "run_ms": 300000
+	}`
+	res, err := Load([]byte(withSwitch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Sessions[0]
+	if s.Meter.Bytes != 1048576 {
+		t.Fatalf("delivered %d across route switch", s.Meter.Bytes)
+	}
+	// The satellite RTT must show up in delivered latency.
+	if s.Meter.Latency.Max < 0.28 {
+		t.Fatalf("max latency %.3fs suggests the route never switched", s.Meter.Latency.Max)
+	}
+}
+
+func TestScenarioMulticast(t *testing.T) {
+	const mc = `{
+	  "hosts": ["src", "m1", "m2"],
+	  "links": [
+	    {"from": "src", "to": "m1", "bandwidth_bps": 10e6, "delay_ms": 2},
+	    {"from": "m1", "to": "src", "bandwidth_bps": 10e6, "delay_ms": 2},
+	    {"from": "src", "to": "m2", "bandwidth_bps": 10e6, "delay_ms": 2},
+	    {"from": "m2", "to": "src", "bandwidth_bps": 10e6, "delay_ms": 2}
+	  ],
+	  "groups": [{"name": "conf", "members": ["m1", "m2"]}],
+	  "sessions": [
+	    {"name": "voice", "from": "src", "to": "conf",
+	     "acd": {"avg_bps": 192e3, "max_jitter_ms": 10, "loss_tolerance": 0.05},
+	     "workload": "generate cbr size=480 interval=20ms count=100",
+	     "start_ms": 100}
+	  ],
+	  "run_ms": 5000
+	}`
+	res, err := Load([]byte(mc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Sessions[0]
+	if !s.Spec.Multicast {
+		t.Fatalf("spec not multicast: %v", s.Spec)
+	}
+	// The shared meter hears both members: 2 x 100 frames.
+	if s.Meter.Messages != 200 {
+		t.Fatalf("multicast meter heard %d messages", s.Meter.Messages)
+	}
+}
+
+func TestParseRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"not json":             `{`,
+		"one host":             `{"hosts":["a"],"sessions":[{}]}`,
+		"dup host":             `{"hosts":["a","a"],"sessions":[{}]}`,
+		"unknown link host":    `{"hosts":["a","b"],"links":[{"from":"a","to":"zz","bandwidth_bps":1}],"sessions":[{}]}`,
+		"no bandwidth":         `{"hosts":["a","b"],"links":[{"from":"a","to":"b"}],"sessions":[{}]}`,
+		"no sessions":          `{"hosts":["a","b"]}`,
+		"group names host":     `{"hosts":["a","b"],"groups":[{"name":"a"}],"sessions":[{}]}`,
+		"group unknown member": `{"hosts":["a","b"],"groups":[{"name":"g","members":["zz"]}],"sessions":[{}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestRunRejectsUnknownSessionHosts(t *testing.T) {
+	doc := strings.Replace(basicScenario, `"from": "client", "to": "server", "port": 80`,
+		`"from": "nobody", "to": "server", "port": 80`, 1)
+	if _, err := Load([]byte(doc)); err == nil || !strings.Contains(err.Error(), "unknown host") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDefaultRunDuration(t *testing.T) {
+	doc, err := Parse([]byte(`{"hosts":["a","b"],"sessions":[{"name":"s","from":"a","to":"b","workload":"generate bulk size=10"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.RunMs != 60000 {
+		t.Fatalf("default run %v", doc.RunMs)
+	}
+	_ = time.Second
+}

@@ -1,0 +1,159 @@
+package session
+
+import (
+	"fmt"
+
+	"adaptive/internal/mechanism"
+)
+
+// parityFlusher is implemented by FEC recovery so a segue away from it can
+// emit the partial parity group before handing over.
+type parityFlusher interface {
+	FlushParity(e mechanism.Env)
+}
+
+// ackFlusher is implemented by recovery mechanisms with delayed
+// acknowledgments pending; segue flushes them so no ack strands.
+type ackFlusher interface {
+	FlushAck(e mechanism.Env)
+}
+
+// SetReconfigurable marks whether segue is permitted. Sessions synthesized
+// from static TKO templates are fully customized and immutable (§4.2.2:
+// "static templates are guaranteed not to change"); attempts to segue them
+// are refused.
+func (s *Session) SetReconfigurable(ok bool) { s.reconfigurable = ok }
+
+// Reconfigurable reports whether segue is permitted.
+func (s *Session) Reconfigurable() bool { return s.reconfigurable }
+
+// SegueRecovery replaces the reliability-management composite in the live
+// session — the paper's flagship reconfiguration (§2.3, §3C): "switching the
+// retransmission scheme from go-back-n to selective repeat within an active
+// connection" without loss of data. Shared TransferState (sequence numbers,
+// retransmission buffer, reassembly buffer) stays in place; mechanism-private
+// state is handed over via ExportState/ImportState. It reports whether the
+// replacement happened.
+func (s *Session) SegueRecovery(next mechanism.Recovery) bool {
+	if !s.reconfigurable {
+		s.metrics.Count("session.segue_refused", 1)
+		return false
+	}
+	old := s.slots.Recovery
+	if f, ok := old.(parityFlusher); ok {
+		f.FlushParity(s.env())
+	}
+	if f, ok := old.(ackFlusher); ok {
+		f.FlushAck(s.env())
+	}
+	next.ImportState(old.ExportState())
+	s.slots.Recovery = next
+	s.afterSegue("recovery", old.Name(), next.Name())
+	// A newly reliable mechanism must resume loss detection immediately.
+	s.armRTO()
+	s.pump()
+	return true
+}
+
+// SegueWindow replaces the transmission-window mechanism.
+func (s *Session) SegueWindow(next mechanism.Window) bool {
+	if !s.reconfigurable {
+		s.metrics.Count("session.segue_refused", 1)
+		return false
+	}
+	old := s.slots.Window
+	if oc, ok := old.(mechanism.StateCarrier); ok {
+		if nc, ok2 := next.(mechanism.StateCarrier); ok2 {
+			nc.ImportState(oc.ExportState())
+		}
+	}
+	s.slots.Window = next
+	s.afterSegue("window", old.Name(), next.Name())
+	s.pump()
+	return true
+}
+
+// SegueRate replaces the rate-control mechanism.
+func (s *Session) SegueRate(next mechanism.Rate) bool {
+	if !s.reconfigurable {
+		s.metrics.Count("session.segue_refused", 1)
+		return false
+	}
+	old := s.slots.Rate
+	if oc, ok := old.(mechanism.StateCarrier); ok {
+		if nc, ok2 := next.(mechanism.StateCarrier); ok2 {
+			nc.ImportState(oc.ExportState())
+		}
+	}
+	s.slots.Rate = next
+	s.afterSegue("rate", old.Name(), next.Name())
+	s.pump()
+	return true
+}
+
+// SegueOrderer replaces the sequencing mechanism, flushing anything the old
+// one held back so no data strands.
+func (s *Session) SegueOrderer(next mechanism.Orderer) bool {
+	if !s.reconfigurable {
+		s.metrics.Count("session.segue_refused", 1)
+		return false
+	}
+	old := s.slots.Orderer
+	for _, d := range old.Flush() {
+		s.deliver(d)
+	}
+	s.slots.Orderer = next
+	s.afterSegue("order", old.Name(), next.Name())
+	return true
+}
+
+func (s *Session) afterSegue(slot, from, to string) {
+	s.segues++
+	s.markSegue = true
+	s.metrics.Count("session.segues", 1)
+	s.notify(mechanism.Notification{
+		Kind:   mechanism.NoteSegue,
+		Detail: fmt.Sprintf("%s: %s -> %s", slot, from, to),
+	})
+}
+
+// ApplySpec installs a new configuration, re-synthesizing exactly the slots
+// whose mechanism kind or parameters changed (negotiation adjustment at
+// establishment, or a policy-driven reconfiguration mid-transfer).
+func (s *Session) ApplySpec(ns *mechanism.Spec) {
+	if s.factory == nil {
+		s.spec = ns
+		return
+	}
+	ns.Normalize()
+	old := s.spec
+	slots, err := s.factory(ns)
+	if err != nil {
+		s.metrics.Count("session.applyspec_errors", 1)
+		return
+	}
+	// Spec must be swapped first: incoming mechanisms read parameters
+	// (FEC group size, RTO bounds) through env.Spec().
+	s.spec = ns
+	s.state.RcvBufCap = ns.RcvBufPDUs
+
+	if ns.Recovery != old.Recovery || ns.FECGroup != old.FECGroup {
+		s.SegueRecovery(slots.Recovery)
+	}
+	if ns.Window != old.Window || ns.WindowSize != old.WindowSize {
+		s.SegueWindow(slots.Window)
+	}
+	if ns.RateBps != old.RateBps {
+		if ns.RateBps > 0 && old.RateBps > 0 {
+			s.slots.Rate.SetRate(ns.RateBps) // parameter tweak, not a segue
+		} else {
+			s.SegueRate(slots.Rate)
+		}
+	}
+	if ns.Order != old.Order {
+		s.SegueOrderer(slots.Orderer)
+	}
+	// Connection management cannot change mid-connection; checksum kind
+	// changes apply to future PDUs automatically via transmitPDU.
+	s.pump()
+}

@@ -1,0 +1,493 @@
+// Package session implements the TKO_Session and TKO_Context abstractions
+// (ADAPTIVE §4.2): a transport session whose behavior is entirely determined
+// by a table of plug-compatible mechanisms — connection management,
+// transmission window, rate control, reliability management, and sequencing
+// — synthesized from a Session Configuration Specification.
+//
+// The Segue* methods implement the paper's segue operation: replacing a
+// mechanism in a live session without loss of data, by handing shared
+// TransferState plus mechanism-private exported state to the incoming
+// instance between PDUs.
+package session
+
+import (
+	"errors"
+	"math/rand"
+
+	"adaptive/internal/event"
+	"adaptive/internal/mechanism"
+	"adaptive/internal/message"
+	"adaptive/internal/netapi"
+	"adaptive/internal/wire"
+)
+
+// Slots is the TKO_Context table: one concrete mechanism per abstract base
+// class.
+type Slots struct {
+	Conn     mechanism.ConnManager
+	Window   mechanism.Window
+	Rate     mechanism.Rate
+	Recovery mechanism.Recovery
+	Orderer  mechanism.Orderer
+}
+
+// Factory synthesizes a full slot table from a Spec (implemented by the TKO
+// synthesizer; sessions use it to re-synthesize slots when a negotiation or
+// policy changes the Spec).
+type Factory func(*mechanism.Spec) (Slots, error)
+
+// Outbound is the session's path to the network (implemented by the stack's
+// protocol graph).
+type Outbound interface {
+	Transmit(pkt []byte, dst netapi.Addr) error
+	PathMTU(dst netapi.Addr) int
+}
+
+// Delivery re-exports mechanism.Delivery for receivers.
+type Delivery = mechanism.Delivery
+
+// Params configures a new session.
+type Params struct {
+	ConnID    uint32
+	LocalPort uint16
+	PeerPort  uint16
+	PeerNet   netapi.Addr // network-level peer (host or multicast group + SAP)
+	Spec      *mechanism.Spec
+	Slots     Slots
+	Factory   Factory
+	Clock     netapi.Clock
+	Timers    *event.Manager
+	Rand      *rand.Rand
+	Metrics   mechanism.MetricSink
+	Out       Outbound
+}
+
+type queuedSeg struct {
+	msg *message.Message
+	eom bool
+}
+
+// Session is a live transport session.
+type Session struct {
+	connID    uint32
+	localPort uint16
+	peerPort  uint16
+	peerNet   netapi.Addr
+
+	spec    *mechanism.Spec
+	state   *mechanism.TransferState
+	slots   Slots
+	factory Factory
+
+	clock   netapi.Clock
+	timers  *event.Manager
+	rng     *rand.Rand
+	metrics mechanism.MetricSink
+	out     Outbound
+
+	recvCb func(Delivery)
+	noteCb func(mechanism.Notification)
+
+	sendQ     []queuedSeg
+	rtoTimer  *event.Event
+	pumpTimer *event.Event
+
+	peerAdvert     int
+	closing        bool
+	graceful       bool
+	segues         uint64
+	markSegue      bool
+	reconfigurable bool
+
+	// Stats visible to UNITES and tests.
+	SentPDUs       uint64
+	SentBytes      uint64
+	RecvPDUs       uint64
+	RecvBytes      uint64
+	DeliveredMsg   uint64
+	DeliveredBytes uint64
+}
+
+// New creates a session from fully-synthesized slots. It does not start the
+// connection: call Open (active) or Accept (passive).
+func New(p Params) *Session {
+	if p.Spec == nil {
+		panic("session: nil spec")
+	}
+	p.Spec.Normalize()
+	s := &Session{
+		connID:         p.ConnID,
+		localPort:      p.LocalPort,
+		peerPort:       p.PeerPort,
+		peerNet:        p.PeerNet,
+		spec:           p.Spec,
+		state:          mechanism.NewTransferState(p.Spec.RcvBufPDUs, p.Spec.RTOInit),
+		slots:          p.Slots,
+		factory:        p.Factory,
+		clock:          p.Clock,
+		timers:         p.Timers,
+		rng:            p.Rand,
+		metrics:        p.Metrics,
+		out:            p.Out,
+		peerAdvert:     p.Spec.RcvBufPDUs,
+		reconfigurable: true,
+	}
+	if s.metrics == nil {
+		s.metrics = mechanism.NopSink{}
+	}
+	return s
+}
+
+// --- identity and wiring ---
+
+// ConnID returns the connection identifier shared by both ends.
+func (s *Session) ConnID() uint32 { return s.connID }
+
+// LocalPort returns the local transport port.
+func (s *Session) LocalPort() uint16 { return s.localPort }
+
+// PeerAddr returns the network-level peer address.
+func (s *Session) PeerAddr() netapi.Addr { return s.peerNet }
+
+// SetReceiver installs the application's delivery callback.
+func (s *Session) SetReceiver(fn func(Delivery)) { s.recvCb = fn }
+
+// SetNotifier installs the owner's notification callback (application
+// call-backs and the MANTTS policy engine both subscribe through the stack).
+func (s *Session) SetNotifier(fn func(mechanism.Notification)) { s.noteCb = fn }
+
+// Spec returns the current configuration.
+func (s *Session) Spec() *mechanism.Spec { return s.spec }
+
+// MetricSink returns the session's instrumentation sink.
+func (s *Session) MetricSink() mechanism.MetricSink { return s.metrics }
+
+// SetMetricSink replaces the instrumentation sink (TKO applies the
+// application's Transport Measurement Component filter here, §4.3).
+func (s *Session) SetMetricSink(m mechanism.MetricSink) {
+	if m == nil {
+		m = mechanism.NopSink{}
+	}
+	s.metrics = m
+}
+
+// State exposes the shared transfer state.
+func (s *Session) State() *mechanism.TransferState { return s.state }
+
+// Slots returns the current mechanism bindings (for inspection).
+func (s *Session) CurrentSlots() Slots { return s.slots }
+
+// Segues returns how many mechanism replacements this session has performed.
+func (s *Session) Segues() uint64 { return s.segues }
+
+// Established reports whether data may flow.
+func (s *Session) Established() bool { return s.slots.Conn.Established() }
+
+// Closed reports whether the connection has fully terminated.
+func (s *Session) Closed() bool { return s.slots.Conn.Closed() }
+
+// --- lifecycle ---
+
+// Open starts an active connection attempt.
+func (s *Session) Open() { s.slots.Conn.StartActive(s.env()) }
+
+// Accept starts the passive side; the triggering PDU (if any) is then fed
+// through HandlePDU by the stack.
+func (s *Session) Accept() { s.slots.Conn.StartPassive(s.env()) }
+
+// Close terminates the session. With graceful semantics (Spec.Graceful) and
+// a reliable recovery mechanism, termination waits until all submitted data
+// is acknowledged.
+func (s *Session) Close() {
+	if s.closing {
+		return
+	}
+	s.closing = true
+	s.graceful = s.spec.Graceful
+	if s.graceful && s.slots.Recovery.Reliable() && (len(s.sendQ) > 0 || s.state.InFlight() > 0) {
+		return // close completes when the drain finishes (see maybeFinishClose)
+	}
+	s.finishClose()
+}
+
+func (s *Session) finishClose() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+	}
+	if s.pumpTimer != nil {
+		s.pumpTimer.Cancel()
+	}
+	s.slots.Conn.Close(s.env(), s.graceful)
+}
+
+func (s *Session) maybeFinishClose() {
+	if s.closing && len(s.sendQ) == 0 && s.state.InFlight() == 0 && !s.slots.Conn.Closed() {
+		s.finishClose()
+	}
+}
+
+var errClosed = errors.New("session: closed")
+
+// Send segments data into MSS-sized segments and queues them for
+// transmission under the window, rate, and establishment gates.
+func (s *Session) Send(data []byte) error {
+	return s.SendMessage(message.NewFromBytes(data))
+}
+
+// SendMessage queues a message (ownership transfers to the session). The
+// final segment carries the end-of-message flag.
+func (s *Session) SendMessage(m *message.Message) error {
+	if s.closing || s.slots.Conn.Closed() {
+		m.Release()
+		return errClosed
+	}
+	mss := s.spec.MSS
+	for m.Len() > mss {
+		rest := m.Split(mss)
+		s.sendQ = append(s.sendQ, queuedSeg{msg: m, eom: false})
+		m = rest
+	}
+	s.sendQ = append(s.sendQ, queuedSeg{msg: m, eom: true})
+	s.pump()
+	return nil
+}
+
+// QueuedSegments returns the number of segments awaiting transmission.
+func (s *Session) QueuedSegments() int { return len(s.sendQ) }
+
+// --- transmit pipeline ---
+
+// pump drives the transmit loop: it emits queued segments while the
+// connection is established, the window has room, and the pacer permits.
+func (s *Session) pump() {
+	if s.slots.Conn.Closed() {
+		return
+	}
+	if !s.slots.Conn.Established() {
+		return
+	}
+	for len(s.sendQ) > 0 {
+		if !s.slots.Window.CanSend(s.state.InFlight(), s.peerAdvert) {
+			return
+		}
+		seg := s.sendQ[0]
+		d := s.slots.Rate.Delay(s.clock.Now(), seg.msg.Len()+wire.Overhead)
+		if d > 0 {
+			if s.pumpTimer == nil || !s.pumpTimer.Pending() {
+				s.pumpTimer = s.timers.Schedule(d, s.pump)
+			}
+			return
+		}
+		s.sendQ = s.sendQ[1:]
+		s.emitSegment(seg)
+	}
+	if s.state.InFlight() == 0 {
+		s.notify(mechanism.Notification{Kind: mechanism.NoteSendQueueEmpty})
+		s.maybeFinishClose()
+	}
+}
+
+// emitSegment assigns a sequence number and transmits one fresh data PDU.
+func (s *Session) emitSegment(seg queuedSeg) {
+	st := s.state
+
+	// Implicit connection setup: prepend the config blob to the first
+	// data PDU (ADAPTIVE §4.1.1, implicit negotiation). The blob counts
+	// against the segment's MSS budget, so the segment may need to shrink
+	// (the tail goes back to the head of the queue).
+	blob := s.slots.Conn.Piggyback(s.env())
+	if len(blob) > 0 && seg.msg.Len()+len(blob) > s.spec.MSS {
+		rest := seg.msg.Split(s.spec.MSS - len(blob))
+		s.sendQ = append([]queuedSeg{{msg: rest, eom: seg.eom}}, s.sendQ...)
+		seg.eom = false
+	}
+
+	seq := st.SndNxt
+	st.SndNxt++
+	p := &wire.PDU{
+		Header:  wire.Header{Type: wire.TData, Seq: seq},
+		Payload: seg.msg,
+	}
+	if seg.eom {
+		p.Flags |= wire.FlagEOM
+	}
+	if len(blob) > 0 {
+		p.Flags |= wire.FlagImplicitCfg
+		p.Aux = uint16(len(blob))
+		withCfg := message.Alloc(0, message.DefaultHeadroom+len(blob)+seg.msg.Len())
+		withCfg.Append(blob)
+		withCfg.Append(seg.msg.Bytes())
+		seg.msg.Release()
+		p.Payload = withCfg
+	}
+
+	st.Unacked[seq] = &mechanism.SentPDU{PDU: p, SentAt: s.clock.Now()}
+	size := wire.Overhead
+	if p.Payload != nil {
+		size += p.Payload.Len()
+	}
+	s.transmitPDU(p)
+	s.slots.Recovery.OnSendData(s.env(), p)
+	s.slots.Rate.OnSent(s.clock.Now(), size)
+	if s.spec.Multicast {
+		// Multicast senders keep no per-receiver state: no ack-driven
+		// buffer (ack implosion is suppressed receiver-side too).
+		if e, ok := st.Unacked[seq]; ok {
+			e.PDU.ReleasePayload()
+			delete(st.Unacked, seq)
+		}
+		if st.SndUna <= seq {
+			st.SndUna = seq + 1
+		}
+	}
+	s.armRTO()
+}
+
+// transmitPDU stamps common header fields, encodes, and hands the packet to
+// the network.
+func (s *Session) transmitPDU(p *wire.PDU) {
+	p.ConnID = s.connID
+	p.SrcPort = s.localPort
+	p.DstPort = s.peerPort
+	p.Window = s.state.Advertise()
+	if s.spec.Multicast {
+		p.Flags |= wire.FlagMcast
+	}
+	if s.markSegue && p.Type == wire.TData {
+		p.Flags |= wire.FlagSegueMark
+		s.markSegue = false
+	}
+	pkt := wire.Encode(p, s.spec.Checksum)
+	s.SentPDUs++
+	s.SentBytes += uint64(pkt.Len())
+	s.metrics.Count("pdu.sent", 1)
+	s.metrics.Count("bytes.sent", uint64(pkt.Len()))
+	if err := s.out.Transmit(pkt.Bytes(), s.peerNet); err != nil {
+		s.metrics.Count("pdu.send_errors", 1)
+	}
+	pkt.Release()
+}
+
+// armRTO (re)starts the retransmission timer while data is outstanding.
+func (s *Session) armRTO() {
+	if s.state.InFlight() == 0 {
+		if s.rtoTimer != nil {
+			s.rtoTimer.Cancel()
+		}
+		return
+	}
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+	}
+	s.rtoTimer = s.timers.Schedule(s.state.RTO, s.onRTO)
+}
+
+func (s *Session) onRTO() {
+	if s.state.InFlight() == 0 {
+		return
+	}
+	s.metrics.Count("rel.rto_fired", 1)
+	s.slots.Recovery.OnRTO(s.env())
+	s.armRTO()
+	s.pump()
+}
+
+// --- receive pipeline ---
+
+// HandlePDU processes one arriving PDU (already checksum-verified by wire
+// decode). The stack calls it from the protocol graph demultiplexer.
+func (s *Session) HandlePDU(p *wire.PDU) {
+	s.RecvPDUs++
+	s.RecvBytes += uint64(wire.Overhead + int(p.PayloadLen))
+	s.metrics.Count("pdu.received", 1)
+	if p.Type == wire.TAck {
+		s.peerAdvert = int(p.Window)
+	}
+
+	if s.slots.Conn.OnPDU(s.env(), p) {
+		p.ReleasePayload()
+		s.pump()
+		return
+	}
+
+	switch p.Type {
+	case wire.TData:
+		if p.Payload == nil {
+			// Zero-length segments decode with a nil payload; the
+			// delivery pipeline owns a message either way.
+			p.Payload = message.Alloc(0, 0)
+		}
+		if p.Flags&wire.FlagImplicitCfg != 0 && p.Aux > 0 && p.Payload != nil {
+			// Strip the piggybacked config (already applied when the
+			// passive session was created; duplicates may re-carry it).
+			if int(p.Aux) <= p.Payload.Len() {
+				p.Payload.Pop(int(p.Aux))
+			}
+		}
+		s.slots.Recovery.OnData(s.env(), p)
+	case wire.TAck:
+		s.processAck(p)
+		s.slots.Recovery.OnAck(s.env(), p)
+		s.pump()
+	case wire.TNak:
+		s.slots.Recovery.OnNak(s.env(), p)
+		p.ReleasePayload()
+	case wire.TParity:
+		s.slots.Recovery.OnParity(s.env(), p)
+		p.ReleasePayload()
+	default:
+		p.ReleasePayload()
+		s.metrics.Count("pdu.unexpected", 1)
+	}
+}
+
+// processAck performs the strategy-independent cumulative-ack bookkeeping:
+// buffer cleanup, RTT sampling (Karn-filtered), window growth, RTO
+// re-arming, duplicate-ack counting, and close-drain progress.
+func (s *Session) processAck(p *wire.PDU) {
+	st := s.state
+	if p.Ack <= st.SndUna {
+		if st.InFlight() > 0 && p.Ack == st.SndUna {
+			st.DupAcks++
+		}
+		return
+	}
+	acked, sentAt, ok := st.AckThrough(p.Ack)
+	if ok {
+		st.ObserveRTT(s.clock.Now()-sentAt, s.spec.RTOMin, s.spec.RTOMax)
+	}
+	if acked > 0 {
+		s.slots.Window.OnAck(acked)
+		s.armRTO()
+	}
+	if len(s.sendQ) == 0 && st.InFlight() == 0 {
+		s.notify(mechanism.Notification{Kind: mechanism.NoteSendQueueEmpty})
+		s.maybeFinishClose()
+	}
+}
+
+// releaseData hands recovered data through the sequencing mechanism to the
+// application.
+func (s *Session) releaseData(seq uint32, m *message.Message, eom bool) {
+	for _, d := range s.slots.Orderer.Submit(seq, m, eom) {
+		s.deliver(d)
+	}
+}
+
+func (s *Session) deliver(d Delivery) {
+	s.DeliveredMsg++
+	s.DeliveredBytes += uint64(d.Msg.Len())
+	s.metrics.Count("app.delivered_pdus", 1)
+	s.metrics.Count("app.delivered_bytes", uint64(d.Msg.Len()))
+	if s.recvCb != nil {
+		s.recvCb(d)
+	} else {
+		d.Msg.Release()
+	}
+}
+
+func (s *Session) notify(n mechanism.Notification) {
+	if s.noteCb != nil {
+		s.noteCb(n)
+	}
+}

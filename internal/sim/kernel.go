@@ -1,0 +1,181 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every experiment in this repository runs against virtual time: protocol
+// timers, link serialization delays, and workload arrivals are all events on
+// a single ordered heap. Two runs with the same seed produce identical
+// schedules, which is what makes the paper's "controlled, empirical
+// experimentation" (ADAPTIVE §3D) reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. It is returned by Schedule so callers can
+// cancel it before it fires.
+type Event struct {
+	at       time.Duration
+	seq      uint64 // tie-breaker: FIFO among events at the same instant
+	fn       func()
+	index    int // heap index, -1 once removed
+	canceled bool
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// At returns the virtual time the event is (or was) scheduled to fire.
+func (e *Event) At() time.Duration { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a single-threaded discrete-event scheduler with a virtual clock.
+// All protocol code in a simulation runs inside kernel callbacks; the kernel
+// itself is not safe for concurrent use.
+type Kernel struct {
+	now      time.Duration
+	events   eventHeap
+	seq      uint64
+	rng      *rand.Rand
+	executed uint64
+	limit    uint64 // safety valve against runaway simulations; 0 = none
+}
+
+// NewKernel returns a kernel whose clock starts at zero and whose random
+// source is seeded deterministically.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Executed returns the number of events processed so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// SetEventLimit installs a safety cap on the number of events a Run may
+// process; exceeding it panics (indicating a protocol livelock in a test).
+func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero (run at the current instant, after already-pending events at this
+// instant).
+func (k *Kernel) Schedule(delay time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	k.seq++
+	ev := &Event{at: k.now + delay, seq: k.seq, fn: fn}
+	heap.Push(&k.events, ev)
+	return ev
+}
+
+// ScheduleAt runs fn at absolute virtual time t (clamped to now).
+func (k *Kernel) ScheduleAt(t time.Duration, fn func()) *Event {
+	return k.Schedule(t-k.now, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op. It returns true if the event was
+// pending.
+func (k *Kernel) Cancel(ev *Event) bool {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return false
+	}
+	ev.canceled = true
+	heap.Remove(&k.events, ev.index)
+	return true
+}
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if no events remain.
+func (k *Kernel) Step() bool {
+	for k.events.Len() > 0 {
+		ev := heap.Pop(&k.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < k.now {
+			panic(fmt.Sprintf("sim: time went backwards: event at %v, now %v", ev.at, k.now))
+		}
+		k.now = ev.at
+		k.executed++
+		if k.limit > 0 && k.executed > k.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", k.limit, k.now))
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue drains.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock to
+// t (if it is in the future). Events scheduled beyond t remain pending.
+func (k *Kernel) RunUntil(t time.Duration) {
+	for k.events.Len() > 0 {
+		next := k.events[0]
+		if next.canceled {
+			heap.Pop(&k.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now + d) }
+
+// Pending returns the number of events still queued (including canceled
+// entries not yet reaped).
+func (k *Kernel) Pending() int { return k.events.Len() }

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	k.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	k.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", k.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	ev := k.Schedule(time.Millisecond, func() { fired = true })
+	if !k.Cancel(ev) {
+		t.Fatal("Cancel on pending event returned false")
+	}
+	if k.Cancel(ev) {
+		t.Fatal("second Cancel returned true")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	var victim *Event
+	victim = k.Schedule(2*time.Millisecond, func() { fired = true })
+	k.Schedule(time.Millisecond, func() { k.Cancel(victim) })
+	k.Run()
+	if fired {
+		t.Fatal("event canceled mid-run still fired")
+	}
+}
+
+func TestNegativeDelayRunsNow(t *testing.T) {
+	k := NewKernel(1)
+	k.RunUntil(5 * time.Millisecond)
+	var at time.Duration = -1
+	k.Schedule(-time.Second, func() { at = k.Now() })
+	k.Run()
+	if at != 5*time.Millisecond {
+		t.Fatalf("negative-delay event ran at %v, want 5ms", at)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(time.Second, func() { fired = true })
+	k.RunUntil(500 * time.Millisecond)
+	if fired {
+		t.Fatal("future event fired early")
+	}
+	if k.Now() != 500*time.Millisecond {
+		t.Fatalf("clock = %v, want 500ms", k.Now())
+	}
+	k.RunFor(time.Second)
+	if !fired {
+		t.Fatal("event never fired")
+	}
+	if k.Now() != 1500*time.Millisecond {
+		t.Fatalf("clock = %v, want 1.5s", k.Now())
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	k := NewKernel(1)
+	var at time.Duration
+	k.ScheduleAt(42*time.Millisecond, func() { at = k.Now() })
+	k.Run()
+	if at != 42*time.Millisecond {
+		t.Fatalf("ScheduleAt ran at %v", at)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel(1)
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			k.Schedule(time.Microsecond, rec)
+		}
+	}
+	k.Schedule(0, rec)
+	k.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if k.Executed() != 100 {
+		t.Fatalf("executed = %d, want 100", k.Executed())
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewKernel(7), NewKernel(7)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same-seed kernels diverged")
+		}
+	}
+}
+
+func TestEventLimitPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.SetEventLimit(10)
+	var loop func()
+	loop = func() { k.Schedule(time.Millisecond, loop) }
+	k.Schedule(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway simulation did not panic")
+		}
+	}()
+	k.Run()
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	k := NewKernel(1)
+	if k.Step() {
+		t.Fatal("Step on empty kernel returned true")
+	}
+	k.Schedule(0, func() {})
+	if !k.Step() {
+		t.Fatal("Step with pending event returned false")
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", k.Pending())
+	}
+}

@@ -1,0 +1,77 @@
+package tko
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"adaptive/internal/wire"
+)
+
+// CustomizedReceiver is the "customization" optimization of §4.2.2: a
+// monomorphic, fully-inlined data path for the most common static template
+// (fixed window, selective-repeat, sequenced, CRC-32), with no interface
+// dispatch anywhere on the per-PDU path. It trades all flexibility for
+// per-PDU cost; experiment E5 measures the difference against the
+// dynamically-bound session pipeline.
+//
+// It implements only the receive-side hot path (verify, parse, in-order
+// delivery, cumulative ack generation) — the portion the paper identifies as
+// dominated by dispatch and data-touching overhead.
+type CustomizedReceiver struct {
+	RcvNxt  uint32
+	Deliver func(payload []byte, eom bool)
+
+	// Pre-allocated ack packet, patched per ack.
+	ackBuf [wire.Overhead]byte
+
+	Delivered uint64
+	Dropped   uint64
+}
+
+// NewCustomizedReceiver returns a ready fast-path receiver.
+func NewCustomizedReceiver(deliver func(payload []byte, eom bool)) *CustomizedReceiver {
+	c := &CustomizedReceiver{Deliver: deliver}
+	c.ackBuf[0] = wire.Version<<4 | byte(wire.TAck)
+	var h wire.Header
+	h.SetChecksum(wire.CkCRC32)
+	c.ackBuf[1] = h.Flags
+	return c
+}
+
+// Process handles one raw packet and returns the ack packet to transmit (nil
+// when the packet was rejected). All work is inline: no PDU allocation, no
+// message buffer, no interface calls.
+func (c *CustomizedReceiver) Process(pkt []byte) []byte {
+	if len(pkt) < wire.Overhead {
+		c.Dropped++
+		return nil
+	}
+	if pkt[0]>>4 != wire.Version || pkt[0]&0x0f != byte(wire.TData) {
+		c.Dropped++
+		return nil
+	}
+	body := pkt[:len(pkt)-wire.TrailerLen]
+	want := binary.BigEndian.Uint32(pkt[len(pkt)-wire.TrailerLen:])
+	if crc32.ChecksumIEEE(body) != want {
+		c.Dropped++
+		return nil
+	}
+	seq := binary.BigEndian.Uint32(pkt[12:])
+	if seq != c.RcvNxt {
+		c.Dropped++
+		return c.ack()
+	}
+	c.RcvNxt++
+	c.Delivered++
+	plen := binary.BigEndian.Uint16(pkt[20:])
+	eom := pkt[1]&wire.FlagEOM != 0
+	c.Deliver(body[wire.HeaderLen:wire.HeaderLen+int(plen)], eom)
+	return c.ack()
+}
+
+func (c *CustomizedReceiver) ack() []byte {
+	binary.BigEndian.PutUint32(c.ackBuf[16:], c.RcvNxt)
+	body := c.ackBuf[:wire.HeaderLen]
+	binary.BigEndian.PutUint32(c.ackBuf[wire.HeaderLen:], crc32.ChecksumIEEE(body))
+	return c.ackBuf[:]
+}

@@ -1,0 +1,140 @@
+// Package tko implements the TKO_Synthesizer and TKO_Template machinery
+// (ADAPTIVE §4.2.2): Stage III of the MANTTS transformation, which turns a
+// Session Configuration Specification into an executable session
+// configuration by composing and instantiating concrete mechanisms from a
+// repository.
+//
+// The Registry is the protocol-mechanisms repository; it is extensible at
+// run time (new mechanisms register under fresh kinds). The Synthesizer
+// keeps a cache of TKO_Templates — pre-assembled configurations for commonly
+// requested SCSs — in two flavors: static templates, whose sessions are
+// immutable and may use the customized fast path, and reconfigurable
+// templates, whose sessions accept segue.
+package tko
+
+import (
+	"fmt"
+
+	"adaptive/internal/conn"
+	"adaptive/internal/mechanism"
+	"adaptive/internal/order"
+	"adaptive/internal/reliable"
+	"adaptive/internal/session"
+	"adaptive/internal/xmit"
+)
+
+// Constructors build one mechanism each from a Spec.
+type (
+	ConnCtor     func(*mechanism.Spec) mechanism.ConnManager
+	WindowCtor   func(*mechanism.Spec) mechanism.Window
+	RateCtor     func(*mechanism.Spec) mechanism.Rate
+	RecoveryCtor func(*mechanism.Spec) mechanism.Recovery
+	OrderCtor    func(*mechanism.Spec) mechanism.Orderer
+)
+
+// Registry is the repository of registered mechanism implementations.
+type Registry struct {
+	conns      map[mechanism.ConnKind]ConnCtor
+	windows    map[mechanism.WindowKind]WindowCtor
+	recoveries map[mechanism.RecoveryKind]RecoveryCtor
+	orders     map[mechanism.OrderKind]OrderCtor
+}
+
+// NewRegistry returns an empty repository.
+func NewRegistry() *Registry {
+	return &Registry{
+		conns:      make(map[mechanism.ConnKind]ConnCtor),
+		windows:    make(map[mechanism.WindowKind]WindowCtor),
+		recoveries: make(map[mechanism.RecoveryKind]RecoveryCtor),
+		orders:     make(map[mechanism.OrderKind]OrderCtor),
+	}
+}
+
+// RegisterConn adds (or replaces) a connection-management implementation.
+func (r *Registry) RegisterConn(k mechanism.ConnKind, c ConnCtor) { r.conns[k] = c }
+
+// RegisterWindow adds a transmission-window implementation.
+func (r *Registry) RegisterWindow(k mechanism.WindowKind, c WindowCtor) { r.windows[k] = c }
+
+// RegisterRecovery adds a reliability implementation.
+func (r *Registry) RegisterRecovery(k mechanism.RecoveryKind, c RecoveryCtor) { r.recoveries[k] = c }
+
+// RegisterOrder adds a sequencing implementation.
+func (r *Registry) RegisterOrder(k mechanism.OrderKind, c OrderCtor) { r.orders[k] = c }
+
+// DefaultRegistry returns a repository populated with every built-in
+// mechanism.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	r.RegisterConn(mechanism.ConnImplicit, func(*mechanism.Spec) mechanism.ConnManager {
+		return conn.NewImplicit()
+	})
+	r.RegisterConn(mechanism.ConnExplicit2Way, func(*mechanism.Spec) mechanism.ConnManager {
+		return conn.NewExplicit(false)
+	})
+	r.RegisterConn(mechanism.ConnExplicit3Way, func(*mechanism.Spec) mechanism.ConnManager {
+		return conn.NewExplicit(true)
+	})
+	r.RegisterWindow(mechanism.WindowFixed, func(s *mechanism.Spec) mechanism.Window {
+		return xmit.NewFixedWindow(s.WindowSize)
+	})
+	r.RegisterWindow(mechanism.WindowStopAndWait, func(*mechanism.Spec) mechanism.Window {
+		return xmit.NewStopAndWait()
+	})
+	r.RegisterWindow(mechanism.WindowAdaptive, func(s *mechanism.Spec) mechanism.Window {
+		return xmit.NewAdaptiveWindow(1, s.WindowSize)
+	})
+	r.RegisterRecovery(mechanism.RecoveryNone, func(*mechanism.Spec) mechanism.Recovery {
+		return reliable.NewNone()
+	})
+	r.RegisterRecovery(mechanism.RecoveryGoBackN, func(*mechanism.Spec) mechanism.Recovery {
+		return reliable.NewGoBackN()
+	})
+	r.RegisterRecovery(mechanism.RecoverySelectiveRepeat, func(*mechanism.Spec) mechanism.Recovery {
+		return reliable.NewSelectiveRepeat()
+	})
+	r.RegisterRecovery(mechanism.RecoveryFEC, func(*mechanism.Spec) mechanism.Recovery {
+		return reliable.NewFEC(false)
+	})
+	r.RegisterRecovery(mechanism.RecoveryFECHybrid, func(*mechanism.Spec) mechanism.Recovery {
+		return reliable.NewFEC(true)
+	})
+	r.RegisterOrder(mechanism.OrderSequenced, func(s *mechanism.Spec) mechanism.Orderer {
+		return order.NewSequenced(s.RcvBufPDUs * 4)
+	})
+	r.RegisterOrder(mechanism.OrderNone, func(s *mechanism.Spec) mechanism.Orderer {
+		return order.NewUnordered(s.RcvBufPDUs)
+	})
+	return r
+}
+
+// Build synthesizes a full slot table from the spec.
+func (r *Registry) Build(s *mechanism.Spec) (session.Slots, error) {
+	var out session.Slots
+	cc, ok := r.conns[s.ConnMgmt]
+	if !ok {
+		return out, fmt.Errorf("tko: no connection mechanism registered for %v", s.ConnMgmt)
+	}
+	wc, ok := r.windows[s.Window]
+	if !ok {
+		return out, fmt.Errorf("tko: no window mechanism registered for %v", s.Window)
+	}
+	rc, ok := r.recoveries[s.Recovery]
+	if !ok {
+		return out, fmt.Errorf("tko: no recovery mechanism registered for %v", s.Recovery)
+	}
+	oc, ok := r.orders[s.Order]
+	if !ok {
+		return out, fmt.Errorf("tko: no order mechanism registered for %v", s.Order)
+	}
+	out.Conn = cc(s)
+	out.Window = wc(s)
+	out.Recovery = rc(s)
+	out.Orderer = oc(s)
+	if s.RateBps > 0 {
+		out.Rate = xmit.NewGapRate(s.RateBps)
+	} else {
+		out.Rate = xmit.NoRate{}
+	}
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package tko
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"adaptive/internal/mechanism"
+	"adaptive/internal/message"
+	"adaptive/internal/wire"
+)
+
+func TestDefaultRegistryBuildsEveryKind(t *testing.T) {
+	reg := DefaultRegistry()
+	conns := []mechanism.ConnKind{mechanism.ConnImplicit, mechanism.ConnExplicit2Way, mechanism.ConnExplicit3Way}
+	recs := []mechanism.RecoveryKind{mechanism.RecoveryNone, mechanism.RecoveryGoBackN, mechanism.RecoverySelectiveRepeat, mechanism.RecoveryFEC, mechanism.RecoveryFECHybrid}
+	wins := []mechanism.WindowKind{mechanism.WindowFixed, mechanism.WindowStopAndWait, mechanism.WindowAdaptive}
+	ords := []mechanism.OrderKind{mechanism.OrderNone, mechanism.OrderSequenced}
+	for _, c := range conns {
+		for _, r := range recs {
+			for _, w := range wins {
+				for _, o := range ords {
+					spec := mechanism.DefaultSpec()
+					spec.ConnMgmt, spec.Recovery, spec.Window, spec.Order = c, r, w, o
+					slots, err := reg.Build(&spec)
+					if err != nil {
+						t.Fatalf("%v/%v/%v/%v: %v", c, r, w, o, err)
+					}
+					if slots.Conn == nil || slots.Recovery == nil || slots.Window == nil || slots.Orderer == nil || slots.Rate == nil {
+						t.Fatalf("%v/%v/%v/%v: nil slot", c, r, w, o)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildUnknownKindFails(t *testing.T) {
+	reg := NewRegistry()
+	spec := mechanism.DefaultSpec()
+	if _, err := reg.Build(&spec); err == nil {
+		t.Fatal("empty registry built a session")
+	}
+}
+
+func TestRegistryExtensibleAtRuntime(t *testing.T) {
+	// The paper: "permitting the addition of new and/or alternative
+	// services at run-time." A custom recovery kind registers and builds.
+	const customKind = mechanism.RecoveryKind(99)
+	reg := DefaultRegistry()
+	reg.RegisterRecovery(customKind, func(*mechanism.Spec) mechanism.Recovery {
+		return fakeRecovery{}
+	})
+	spec := mechanism.DefaultSpec()
+	spec.Recovery = customKind
+	slots, err := reg.Build(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slots.Recovery.Name() != "fake" {
+		t.Fatalf("built %q", slots.Recovery.Name())
+	}
+}
+
+type fakeRecovery struct{}
+
+func (fakeRecovery) Name() string                        { return "fake" }
+func (fakeRecovery) Reliable() bool                      { return false }
+func (fakeRecovery) OnSendData(mechanism.Env, *wire.PDU) {}
+func (fakeRecovery) OnAck(mechanism.Env, *wire.PDU)      {}
+func (fakeRecovery) OnNak(mechanism.Env, *wire.PDU)      {}
+func (fakeRecovery) OnRTO(mechanism.Env)                 {}
+func (fakeRecovery) OnData(mechanism.Env, *wire.PDU)     {}
+func (fakeRecovery) OnParity(mechanism.Env, *wire.PDU)   {}
+func (fakeRecovery) ExportState() any                    { return nil }
+func (fakeRecovery) ImportState(any)                     {}
+
+func TestSynthesizerTemplateHit(t *testing.T) {
+	sy := NewSynthesizer(DefaultRegistry())
+	spec := mechanism.DefaultSpec()
+	sy.InstallTemplate("common", TemplateReconfigurable, spec)
+	res, err := sy.Synthesize(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FromTemplate == nil || res.FromTemplate.Name != "common" {
+		t.Fatalf("template missed: %+v", res.FromTemplate)
+	}
+	if res.Static {
+		t.Fatal("reconfigurable template marked static")
+	}
+	if s := sy.Stats(); s.TemplateHits != 1 || s.Synthesized != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestSynthesizerMissInstallsTemplate(t *testing.T) {
+	sy := NewSynthesizer(DefaultRegistry())
+	spec := mechanism.DefaultSpec()
+	spec.WindowSize = 17 // novel SCS
+	if res, _ := sy.Synthesize(&spec); res.FromTemplate != nil {
+		t.Fatal("first request hit a template")
+	}
+	if res, _ := sy.Synthesize(&spec); res.FromTemplate == nil {
+		t.Fatal("second identical request missed the auto-installed template")
+	}
+	if s := sy.Stats(); s.Synthesized != 1 || s.TemplateHits != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestStaticTemplateMarksStatic(t *testing.T) {
+	sy := NewSynthesizer(DefaultRegistry())
+	spec := mechanism.DefaultSpec()
+	spec.ConnMgmt = mechanism.ConnExplicit3Way
+	sy.InstallTemplate("tcp-compat", TemplateStatic, spec)
+	res, err := sy.Synthesize(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Static || res.FromTemplate == nil || res.FromTemplate.Name != "tcp-compat" {
+		t.Fatalf("static template not recognized: %+v", res)
+	}
+}
+
+func TestSpecKeyDistinguishesParameters(t *testing.T) {
+	a, b := mechanism.DefaultSpec(), mechanism.DefaultSpec()
+	b.WindowSize = a.WindowSize + 1
+	if specKey(&a) == specKey(&b) {
+		t.Fatal("window size not in template key")
+	}
+	c := a
+	c.Recovery = mechanism.RecoveryFEC
+	if specKey(&a) == specKey(&c) {
+		t.Fatal("recovery kind not in template key")
+	}
+}
+
+// --- customized fast path ---
+
+func buildRawPacket(seq uint32, payload []byte) []byte {
+	p := &wire.PDU{Header: wire.Header{Type: wire.TData, Seq: seq}}
+	if payload != nil {
+		p.Payload = message.NewFromBytes(payload)
+	}
+	if seqEOM := false; seqEOM {
+		p.Flags |= wire.FlagEOM
+	}
+	pkt := wire.Encode(p, wire.CkCRC32)
+	out := pkt.CopyBytes()
+	pkt.Release()
+	p.ReleasePayload()
+	return out
+}
+
+func TestCustomizedReceiverInOrder(t *testing.T) {
+	var got [][]byte
+	c := NewCustomizedReceiver(func(p []byte, eom bool) {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		got = append(got, cp)
+	})
+	for i := uint32(0); i < 5; i++ {
+		ack := c.Process(buildRawPacket(i, []byte{byte(i)}))
+		if ack == nil {
+			t.Fatalf("no ack for seq %d", i)
+		}
+		pdu, err := wire.Decode(ack)
+		if err != nil || pdu.Type != wire.TAck || pdu.Ack != i+1 {
+			t.Fatalf("ack %d: %v %v", i, pdu, err)
+		}
+	}
+	if c.Delivered != 5 || len(got) != 5 || got[3][0] != 3 {
+		t.Fatalf("delivered %d", c.Delivered)
+	}
+}
+
+func TestCustomizedReceiverRejectsCorruption(t *testing.T) {
+	c := NewCustomizedReceiver(func([]byte, bool) { panic("delivered corrupt") })
+	pkt := buildRawPacket(0, []byte("abc"))
+	pkt[wire.HeaderLen] ^= 0xff
+	if ack := c.Process(pkt); ack != nil {
+		t.Fatal("corrupt packet acked")
+	}
+	if c.Dropped != 1 {
+		t.Fatalf("dropped %d", c.Dropped)
+	}
+}
+
+func TestCustomizedReceiverDupAcksOutOfOrder(t *testing.T) {
+	delivered := 0
+	c := NewCustomizedReceiver(func([]byte, bool) { delivered++ })
+	ack := c.Process(buildRawPacket(3, []byte("x")))
+	if delivered != 0 {
+		t.Fatal("out-of-order delivered (customized path is strict GBN-style)")
+	}
+	pdu, _ := wire.Decode(ack)
+	if pdu.Ack != 0 {
+		t.Fatalf("dup ack %d", pdu.Ack)
+	}
+}
+
+func TestCustomizedReceiverRejectsShortAndWrongType(t *testing.T) {
+	c := NewCustomizedReceiver(func([]byte, bool) {})
+	if c.Process([]byte{1, 2, 3}) != nil {
+		t.Fatal("short packet acked")
+	}
+	// A valid ACK packet is not data.
+	ackPkt := make([]byte, wire.Overhead)
+	ackPkt[0] = wire.Version<<4 | byte(wire.TAck)
+	binary.BigEndian.PutUint32(ackPkt[wire.Overhead-4:], crc32.ChecksumIEEE(ackPkt[:wire.HeaderLen]))
+	if c.Process(ackPkt) != nil {
+		t.Fatal("non-data packet processed")
+	}
+	if c.Dropped != 2 {
+		t.Fatalf("dropped %d", c.Dropped)
+	}
+}
+
+// TestCustomizedMatchesDynamicSemantics cross-checks the fast path against
+// the full wire codec for a run of sequential packets with mixed EOM flags.
+func TestCustomizedMatchesDynamicSemantics(t *testing.T) {
+	var eoms []bool
+	c := NewCustomizedReceiver(func(p []byte, eom bool) { eoms = append(eoms, eom) })
+	for i := uint32(0); i < 4; i++ {
+		p := &wire.PDU{Header: wire.Header{Type: wire.TData, Seq: i}, Payload: message.NewFromBytes([]byte("z"))}
+		if i%2 == 1 {
+			p.Flags |= wire.FlagEOM
+		}
+		pkt := wire.Encode(p, wire.CkCRC32)
+		c.Process(pkt.Bytes())
+		pkt.Release()
+		p.ReleasePayload()
+	}
+	if len(eoms) != 4 || eoms[0] || !eoms[1] || eoms[2] || !eoms[3] {
+		t.Fatalf("EOM flags %v", eoms)
+	}
+}

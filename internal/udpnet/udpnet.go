@@ -1,0 +1,243 @@
+// Package udpnet is the real-network provider: the same netapi interfaces
+// the simulator implements, backed by UDP sockets and the wall clock, so an
+// unmodified ADAPTIVE stack runs over loopback or a real LAN.
+//
+// Concurrency model: all protocol code for one provider runs on a single
+// event loop goroutine. Socket readers and timer expirations post closures
+// into the loop, preserving the no-locking discipline mechanisms are written
+// against.
+package udpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"adaptive/internal/netapi"
+)
+
+// maxPacket bounds received datagram size.
+const maxPacket = 64 << 10
+
+// Provider maps netapi.HostID values onto UDP addresses.
+type Provider struct {
+	mu     sync.Mutex
+	hosts  map[netapi.HostID]*net.UDPAddr // host -> where its endpoint listens
+	groups map[netapi.HostID][]netapi.HostID
+
+	loop   chan func()
+	done   chan struct{}
+	clock  clock
+	closed bool
+}
+
+// New returns a provider with a running event loop.
+func New() *Provider {
+	p := &Provider{
+		hosts:  make(map[netapi.HostID]*net.UDPAddr),
+		groups: make(map[netapi.HostID][]netapi.HostID),
+		loop:   make(chan func(), 1024),
+		done:   make(chan struct{}),
+	}
+	p.clock = clock{p: p, epoch: time.Now()}
+	go p.run()
+	return p
+}
+
+func (p *Provider) run() {
+	for fn := range p.loop {
+		fn()
+	}
+	close(p.done)
+}
+
+// Post schedules fn onto the provider's event loop (applications use this to
+// interact with connections safely).
+func (p *Provider) Post(fn func()) {
+	defer func() { recover() }() // tolerate post-after-close
+	p.loop <- fn
+}
+
+// Wait runs fn on the loop and blocks until it completes.
+func (p *Provider) Wait(fn func()) {
+	ch := make(chan struct{})
+	p.Post(func() { fn(); close(ch) })
+	<-ch
+}
+
+// Close stops the event loop (endpoints should be closed first).
+func (p *Provider) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.loop)
+		<-p.done
+	}
+}
+
+// RegisterGroup declares a software multicast group: sends to it fan out as
+// unicast datagrams to each member (usable where IP multicast is not).
+func (p *Provider) RegisterGroup(group netapi.HostID, members ...netapi.HostID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.groups[group] = append([]netapi.HostID(nil), members...)
+}
+
+// clock is wall time relative to the provider epoch.
+type clock struct {
+	p     *Provider
+	epoch time.Time
+}
+
+var _ netapi.Clock = clock{}
+
+func (c clock) Now() time.Duration { return time.Since(c.epoch) }
+
+func (c clock) AfterFunc(d time.Duration, fn func()) netapi.Timer {
+	t := &timer{}
+	t.t = time.AfterFunc(d, func() { c.p.Post(fn) })
+	return t
+}
+
+type timer struct{ t *time.Timer }
+
+func (t *timer) Stop() bool { return t.t.Stop() }
+
+// Clock implements netapi.Provider.
+func (p *Provider) Clock() netapi.Clock { return p.clock }
+
+// Endpoint is a UDP-backed netapi.Endpoint.
+type Endpoint struct {
+	p      *Provider
+	host   netapi.HostID
+	port   uint16
+	sock   *net.UDPConn
+	recv   netapi.Receiver
+	closed bool
+
+	Sent, Received uint64
+}
+
+var _ netapi.Endpoint = (*Endpoint)(nil)
+
+// Open binds a loopback UDP socket for the host and starts its reader. The
+// netapi port is carried inside each datagram header byte pair (hosts are
+// distinguished by UDP port, so one OS port serves one host).
+func (p *Provider) Open(host netapi.HostID, port uint16) (netapi.Endpoint, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, busy := p.hosts[host]; busy {
+		return nil, fmt.Errorf("udpnet: host %v already open (one endpoint per host)", host)
+	}
+	sock, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+	if err != nil {
+		return nil, err
+	}
+	if port == 0 {
+		port = 49152
+	}
+	ep := &Endpoint{p: p, host: host, port: port, sock: sock}
+	p.hosts[host] = sock.LocalAddr().(*net.UDPAddr)
+	go ep.reader()
+	return ep, nil
+}
+
+// reader pumps datagrams into the event loop.
+func (ep *Endpoint) reader() {
+	buf := make([]byte, maxPacket)
+	for {
+		n, _, err := ep.sock.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if n < 6 {
+			continue
+		}
+		// Frame: srcHost uint32 | srcPort uint16 | payload.
+		src := netapi.Addr{
+			Host: netapi.HostID(buf[0])<<24 | netapi.HostID(buf[1])<<16 | netapi.HostID(buf[2])<<8 | netapi.HostID(buf[3]),
+			Port: uint16(buf[4])<<8 | uint16(buf[5]),
+		}
+		pkt := make([]byte, n-6)
+		copy(pkt, buf[6:n])
+		ep.p.Post(func() {
+			ep.Received++
+			if ep.recv != nil && !ep.closed {
+				ep.recv(pkt, src)
+			}
+		})
+	}
+}
+
+// Send frames and transmits pkt toward dst (fanning out for groups).
+func (ep *Endpoint) Send(pkt []byte, dst netapi.Addr) error {
+	if ep.closed {
+		return errors.New("udpnet: endpoint closed")
+	}
+	if dst.Host.IsMulticast() {
+		ep.p.mu.Lock()
+		members := append([]netapi.HostID(nil), ep.p.groups[dst.Host]...)
+		ep.p.mu.Unlock()
+		if members == nil {
+			return fmt.Errorf("udpnet: unknown group %v", dst.Host)
+		}
+		for _, m := range members {
+			if m == ep.host {
+				continue
+			}
+			if err := ep.sendTo(pkt, netapi.Addr{Host: m, Port: dst.Port}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return ep.sendTo(pkt, dst)
+}
+
+func (ep *Endpoint) sendTo(pkt []byte, dst netapi.Addr) error {
+	ep.p.mu.Lock()
+	raddr := ep.p.hosts[dst.Host]
+	ep.p.mu.Unlock()
+	if raddr == nil {
+		return fmt.Errorf("udpnet: unknown host %v", dst.Host)
+	}
+	framed := make([]byte, 6+len(pkt))
+	framed[0] = byte(ep.host >> 24)
+	framed[1] = byte(ep.host >> 16)
+	framed[2] = byte(ep.host >> 8)
+	framed[3] = byte(ep.host)
+	framed[4] = byte(ep.port >> 8)
+	framed[5] = byte(ep.port)
+	copy(framed[6:], pkt)
+	_, err := ep.sock.WriteToUDP(framed, raddr)
+	if err == nil {
+		ep.Sent++
+	}
+	return err
+}
+
+// SetReceiver installs the receive upcall (runs on the provider loop).
+func (ep *Endpoint) SetReceiver(r netapi.Receiver) { ep.recv = r }
+
+// LocalAddr returns the endpoint's netapi address.
+func (ep *Endpoint) LocalAddr() netapi.Addr {
+	return netapi.Addr{Host: ep.host, Port: ep.port}
+}
+
+// PathMTU reports the loopback-safe datagram budget.
+func (ep *Endpoint) PathMTU(netapi.Addr) int { return 1400 }
+
+// Close shuts the socket and unregisters the host.
+func (ep *Endpoint) Close() error {
+	if ep.closed {
+		return nil
+	}
+	ep.closed = true
+	ep.p.mu.Lock()
+	delete(ep.p.hosts, ep.host)
+	ep.p.mu.Unlock()
+	return ep.sock.Close()
+}

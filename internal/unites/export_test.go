@@ -1,0 +1,87 @@
+package unites
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSnapshotScopes(t *testing.T) {
+	rp := NewRepository()
+	a := rp.SinkFor("alpha")
+	a(1).Count("pdu.sent", 10)
+	a(1).Sample("rtt", 0.01)
+	a(1).Gauge("win", 32)
+	a(2).Count("pdu.sent", 5)
+	b := rp.SinkFor("beta")
+	b(3).Count("pdu.sent", 7)
+
+	s := rp.Snapshot()
+	if len(s.Connections) != 3 {
+		t.Fatalf("%d connection scopes", len(s.Connections))
+	}
+	if len(s.Hosts) != 2 || s.Hosts[0].Scope != "alpha" || s.Hosts[0].Counters["pdu.sent"] != 15 {
+		t.Fatalf("host scopes: %+v", s.Hosts)
+	}
+	if s.Systemwide["pdu.sent"] != 22 {
+		t.Fatalf("systemwide %d", s.Systemwide["pdu.sent"])
+	}
+	var foundDist bool
+	for _, c := range s.Connections {
+		if d, ok := c.Dists["rtt"]; ok {
+			foundDist = true
+			if d.Count != 1 || d.Mean != 0.01 {
+				t.Fatalf("dist snapshot %+v", d)
+			}
+		}
+	}
+	if !foundDist {
+		t.Fatal("distribution missing from snapshot")
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	rp := NewRepository()
+	rp.SinkFor("h")(1).Count("app.delivered_bytes", 1234)
+	raw, err := rp.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if back.Systemwide["app.delivered_bytes"] != 1234 {
+		t.Fatalf("round trip lost data: %+v", back.Systemwide)
+	}
+}
+
+func TestFilteredSinkExactAndPrefix(t *testing.T) {
+	r := NewRecorder("x")
+	f := &FilteredSink{Next: r, Allow: []string{"rel.", "app.delivered_bytes"}}
+	f.Count("rel.retransmissions", 1) // prefix family
+	f.Count("app.delivered_bytes", 2) // exact
+	f.Count("pdu.sent", 3)            // suppressed
+	f.Sample("rel.rtt", 0.5)
+	f.Gauge("win.size", 9) // suppressed
+	if r.Counter("rel.retransmissions") != 1 || r.Counter("app.delivered_bytes") != 2 {
+		t.Fatal("allowed metrics blocked")
+	}
+	if r.Counter("pdu.sent") != 0 || r.GaugeValue("win.size") != 0 {
+		t.Fatal("disallowed metrics leaked")
+	}
+	if r.Dist("rel.rtt") == nil {
+		t.Fatal("allowed sample blocked")
+	}
+	if f.Suppressed != 2 {
+		t.Fatalf("suppressed %d", f.Suppressed)
+	}
+}
+
+func TestFilteredSinkEmptyAllowsAll(t *testing.T) {
+	r := NewRecorder("x")
+	f := &FilteredSink{Next: r}
+	f.Count("anything", 1)
+	if r.Counter("anything") != 1 {
+		t.Fatal("empty filter blocked")
+	}
+}

@@ -1,0 +1,309 @@
+// Package unites implements the UNITES subsystem ("UNIform Transport
+// Evaluation Subsystem", ADAPTIVE §4.3): metric specification, collection,
+// analysis, and presentation.
+//
+// Metrics come in two classes, exactly as the paper divides them:
+//
+//   - Blackbox — observable without internal instrumentation: throughput,
+//     end-to-end latency. Workload sinks compute these from delivered data.
+//   - Whitebox — requiring instrumentation inside session configurations:
+//     connection-establishment latency, (re)transmission counts, jitter,
+//     loss, segue counts, timer activity. Mechanisms emit these through the
+//     mechanism.MetricSink interface, which Recorder implements.
+//
+// A Repository aggregates per-session Recorders and answers systemwide,
+// per-host, and per-connection queries (the paper's three presentation
+// scopes).
+package unites
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Class distinguishes the paper's two metric classes.
+type Class int
+
+const (
+	// Whitebox metrics require internal instrumentation.
+	Whitebox Class = iota
+	// Blackbox metrics are externally observable.
+	Blackbox
+)
+
+// ClassOf reports the class of a metric name. Application-level delivery
+// metrics (app.*, workload.*) are blackbox; everything emitted from inside
+// the session configuration is whitebox.
+func ClassOf(name string) Class {
+	if strings.HasPrefix(name, "app.") || strings.HasPrefix(name, "workload.") {
+		return Blackbox
+	}
+	return Whitebox
+}
+
+// Distribution accumulates samples with streaming moments plus a bounded
+// reservoir for quantiles. The reservoir uses a deterministic LCG so
+// experiment output is reproducible.
+type Distribution struct {
+	Count          uint64
+	Sum, SumSq     float64
+	Min, Max       float64
+	reservoir      []float64
+	reservoirLimit int
+	lcg            uint64
+}
+
+const defaultReservoir = 2048
+
+// NewDistribution returns an empty distribution.
+func NewDistribution() *Distribution {
+	return &Distribution{reservoirLimit: defaultReservoir, lcg: 0x9e3779b97f4a7c15}
+}
+
+// Add folds in one sample.
+func (d *Distribution) Add(v float64) {
+	if d.Count == 0 || v < d.Min {
+		d.Min = v
+	}
+	if d.Count == 0 || v > d.Max {
+		d.Max = v
+	}
+	d.Count++
+	d.Sum += v
+	d.SumSq += v * v
+	if len(d.reservoir) < d.reservoirLimit {
+		d.reservoir = append(d.reservoir, v)
+		return
+	}
+	// Vitter's algorithm R with a deterministic LCG.
+	d.lcg = d.lcg*6364136223846793005 + 1442695040888963407
+	idx := d.lcg % d.Count
+	if idx < uint64(d.reservoirLimit) {
+		d.reservoir[idx] = v
+	}
+}
+
+// Mean returns the sample mean (0 when empty).
+func (d *Distribution) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.Count)
+}
+
+// StdDev returns the population standard deviation.
+func (d *Distribution) StdDev() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	m := d.Mean()
+	v := d.SumSq/float64(d.Count) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Quantile returns the q-quantile (0<=q<=1) from the reservoir.
+func (d *Distribution) Quantile(q float64) float64 {
+	if len(d.reservoir) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), d.reservoir...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Recorder collects metrics for one session (or one named scope). It
+// implements mechanism.MetricSink.
+type Recorder struct {
+	mu       sync.Mutex
+	Scope    string
+	counters map[string]uint64
+	gauges   map[string]float64
+	dists    map[string]*Distribution
+}
+
+// NewRecorder returns an empty recorder for the scope.
+func NewRecorder(scope string) *Recorder {
+	return &Recorder{
+		Scope:    scope,
+		counters: make(map[string]uint64),
+		gauges:   make(map[string]float64),
+		dists:    make(map[string]*Distribution),
+	}
+}
+
+// Count adds delta to a counter.
+func (r *Recorder) Count(name string, delta uint64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Sample folds a value into a distribution.
+func (r *Recorder) Sample(name string, v float64) {
+	r.mu.Lock()
+	d, ok := r.dists[name]
+	if !ok {
+		d = NewDistribution()
+		r.dists[name] = d
+	}
+	d.Add(v)
+	r.mu.Unlock()
+}
+
+// Gauge sets an instantaneous value.
+func (r *Recorder) Gauge(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Counter reads a counter (0 when absent).
+func (r *Recorder) Counter(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// GaugeValue reads a gauge.
+func (r *Recorder) GaugeValue(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Dist returns the distribution for name, or nil.
+func (r *Recorder) Dist(name string) *Distribution {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dists[name]
+}
+
+// CounterNames returns all counter names, sorted.
+func (r *Recorder) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Repository is the UNITES metric repository: it stores per-connection
+// recorders (keyed by connection ID) grouped under host scopes and answers
+// aggregate queries.
+type Repository struct {
+	mu    sync.Mutex
+	conns map[uint32]*Recorder
+	hosts map[uint32]string // connID -> host scope tag
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{
+		conns: make(map[uint32]*Recorder),
+		hosts: make(map[uint32]string),
+	}
+}
+
+// SinkFor returns (creating if needed) the recorder for a connection,
+// tagging it with the host scope. It is the Stack's MetricFactory.
+func (rp *Repository) SinkFor(host string) func(connID uint32) *Recorder {
+	return func(connID uint32) *Recorder {
+		rp.mu.Lock()
+		defer rp.mu.Unlock()
+		// Both ends of a connection share a connID but live on different
+		// hosts; key per (host, connID).
+		key := connID ^ hashScope(host)
+		r, ok := rp.conns[key]
+		if !ok {
+			r = NewRecorder(fmt.Sprintf("%s/conn-%08x", host, connID))
+			rp.conns[key] = r
+			rp.hosts[key] = host
+		}
+		return r
+	}
+}
+
+func hashScope(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Recorders returns all recorders, sorted by scope (stable output).
+func (rp *Repository) Recorders() []*Recorder {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	out := make([]*Recorder, 0, len(rp.conns))
+	for _, r := range rp.conns {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Scope < out[j].Scope })
+	return out
+}
+
+// TotalCounter sums a counter across every recorder (systemwide scope).
+func (rp *Repository) TotalCounter(name string) uint64 {
+	var total uint64
+	for _, r := range rp.Recorders() {
+		total += r.Counter(name)
+	}
+	return total
+}
+
+// HostCounter sums a counter across one host's recorders (per-host scope).
+func (rp *Repository) HostCounter(host, name string) uint64 {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	var total uint64
+	for key, r := range rp.conns {
+		if rp.hosts[key] == host {
+			total += r.Counter(name)
+		}
+	}
+	return total
+}
+
+// Render prints a systemwide counter summary as an aligned text table, with
+// each metric labeled by class.
+func (rp *Repository) Render() string {
+	names := map[string]bool{}
+	for _, r := range rp.Recorders() {
+		for _, n := range r.CounterNames() {
+			names[n] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %-9s %12s\n", "metric", "class", "total")
+	for _, n := range sorted {
+		cls := "whitebox"
+		if ClassOf(n) == Blackbox {
+			cls = "blackbox"
+		}
+		fmt.Fprintf(&b, "%-32s %-9s %12d\n", n, cls, rp.TotalCounter(n))
+	}
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package wire
+
+import "hash/crc32"
+
+// checksum computes the trailer value for body under the given kind. The
+// trailer is always 4 bytes on the wire; the 16-bit Internet checksum
+// occupies the low half (high half zero) to keep the trailer word-aligned.
+func checksum(kind ChecksumKind, body []byte) uint32 {
+	switch kind {
+	case CkNone:
+		return 0
+	case CkInternet:
+		return uint32(internetChecksum(body))
+	case CkCRC32:
+		return crc32.ChecksumIEEE(body)
+	default:
+		return 0
+	}
+}
+
+// internetChecksum is the RFC 1071 16-bit one's-complement sum.
+func internetChecksum(b []byte) uint16 {
+	var sum uint32
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(b[n-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

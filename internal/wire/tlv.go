@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// TLV encoding for out-of-band Signal payloads (QoS negotiation, TSA
+// reconfiguration requests, TMC metric requests). Each field is
+//
+//	tag uint16 | length uint16 | value [length]byte
+//
+// Fixed-size tags keep parsing branch-free; unknown tags are skipped, which
+// is what lets two MANTTS entities with different policy vocabularies still
+// negotiate (ADAPTIVE §4.1.1).
+
+var ErrTLVTruncated = errors.New("wire: truncated TLV")
+
+// TLVWriter accumulates tag/value fields.
+type TLVWriter struct {
+	buf []byte
+}
+
+// Bytes returns the encoded fields.
+func (w *TLVWriter) Bytes() []byte { return w.buf }
+
+// Put appends a raw field.
+func (w *TLVWriter) Put(tag uint16, val []byte) {
+	if len(val) > 0xffff {
+		panic(fmt.Sprintf("wire: TLV value too large (%d)", len(val)))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:], tag)
+	binary.BigEndian.PutUint16(hdr[2:], uint16(len(val)))
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, val...)
+}
+
+// PutU8 appends a one-byte field.
+func (w *TLVWriter) PutU8(tag uint16, v uint8) { w.Put(tag, []byte{v}) }
+
+// PutU16 appends a two-byte field.
+func (w *TLVWriter) PutU16(tag uint16, v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	w.Put(tag, b[:])
+}
+
+// PutU32 appends a four-byte field.
+func (w *TLVWriter) PutU32(tag uint16, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	w.Put(tag, b[:])
+}
+
+// PutU64 appends an eight-byte field.
+func (w *TLVWriter) PutU64(tag uint16, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.Put(tag, b[:])
+}
+
+// PutString appends a string field.
+func (w *TLVWriter) PutString(tag uint16, s string) { w.Put(tag, []byte(s)) }
+
+// TLVReader iterates fields in an encoded buffer.
+type TLVReader struct {
+	buf []byte
+	pos int
+}
+
+// NewTLVReader wraps an encoded buffer.
+func NewTLVReader(b []byte) *TLVReader { return &TLVReader{buf: b} }
+
+// Next returns the next field. ok is false at end of buffer; err is non-nil
+// on truncation.
+func (r *TLVReader) Next() (tag uint16, val []byte, ok bool, err error) {
+	if r.pos >= len(r.buf) {
+		return 0, nil, false, nil
+	}
+	if r.pos+4 > len(r.buf) {
+		return 0, nil, false, ErrTLVTruncated
+	}
+	tag = binary.BigEndian.Uint16(r.buf[r.pos:])
+	n := int(binary.BigEndian.Uint16(r.buf[r.pos+2:]))
+	r.pos += 4
+	if r.pos+n > len(r.buf) {
+		return 0, nil, false, ErrTLVTruncated
+	}
+	val = r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return tag, val, true, nil
+}
+
+// U8 decodes a one-byte value.
+func U8(val []byte) uint8 {
+	if len(val) < 1 {
+		return 0
+	}
+	return val[0]
+}
+
+// U16 decodes a two-byte value.
+func U16(val []byte) uint16 {
+	if len(val) < 2 {
+		return 0
+	}
+	return binary.BigEndian.Uint16(val)
+}
+
+// U32 decodes a four-byte value.
+func U32(val []byte) uint32 {
+	if len(val) < 4 {
+		return 0
+	}
+	return binary.BigEndian.Uint32(val)
+}
+
+// U64 decodes an eight-byte value.
+func U64(val []byte) uint64 {
+	if len(val) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(val)
+}

@@ -1,0 +1,251 @@
+// Package wire defines the ADAPTIVE protocol data unit (PDU) format.
+//
+// The format follows the paper's §2.2C critique of TCP/TP4 control formats:
+// every header field is word-aligned, the header is fixed-size (no variable
+// options on the data path), and the checksum travels in a trailer so a
+// sender can compute it while the packet body streams out. Out-of-band
+// control (QoS negotiation, reconfiguration signals) uses Signal PDUs whose
+// payloads are TLV-encoded, keeping the data path free of option parsing.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"adaptive/internal/message"
+)
+
+// Type enumerates PDU types.
+type Type uint8
+
+const (
+	TData     Type = 1  // application data
+	TAck      Type = 2  // cumulative acknowledgment (Ack field)
+	TNak      Type = 3  // selective negative ack; payload lists missing seqs
+	TConnReq  Type = 4  // connection request (explicit handshake step 1)
+	TConnAck  Type = 5  // connection accept (step 2)
+	TConnConf Type = 6  // connection confirm (3-way handshake step 3)
+	TFin      Type = 7  // graceful close request
+	TFinAck   Type = 8  // close acknowledgment
+	TSignal   Type = 9  // out-of-band control channel PDU
+	TParity   Type = 10 // FEC parity block covering a group of data PDUs
+	TProbe    Type = 11 // network monitor probe (RTT / liveness)
+)
+
+func (t Type) String() string {
+	switch t {
+	case TData:
+		return "DATA"
+	case TAck:
+		return "ACK"
+	case TNak:
+		return "NAK"
+	case TConnReq:
+		return "CONNREQ"
+	case TConnAck:
+		return "CONNACK"
+	case TConnConf:
+		return "CONNCONF"
+	case TFin:
+		return "FIN"
+	case TFinAck:
+		return "FINACK"
+	case TSignal:
+		return "SIGNAL"
+	case TParity:
+		return "PARITY"
+	case TProbe:
+		return "PROBE"
+	}
+	return fmt.Sprintf("TYPE(%d)", uint8(t))
+}
+
+// Flag bits.
+const (
+	FlagImplicitCfg uint8 = 1 << 0 // PDU carries a piggybacked session config
+	FlagEOM         uint8 = 1 << 1 // end of application message (block mode)
+	FlagMcast       uint8 = 1 << 2 // sent to a multicast group
+	FlagSegueMark   uint8 = 1 << 3 // first PDU after a mechanism segue
+	FlagEcho        uint8 = 1 << 4 // probe echo (reply) rather than request
+
+	// Checksum kind occupies the top two flag bits.
+	flagCkShift       = 6
+	flagCkMask  uint8 = 0b11 << flagCkShift
+)
+
+// ChecksumKind selects the trailer checksum algorithm. It is carried in the
+// header flags so a receiver can verify before any session lookup.
+type ChecksumKind uint8
+
+const (
+	CkNone     ChecksumKind = 0 // no protection (loss-tolerant media)
+	CkInternet ChecksumKind = 1 // 16-bit one's-complement Internet checksum
+	CkCRC32    ChecksumKind = 2 // CRC-32 (IEEE)
+)
+
+func (c ChecksumKind) String() string {
+	switch c {
+	case CkNone:
+		return "none"
+	case CkInternet:
+		return "internet16"
+	case CkCRC32:
+		return "crc32"
+	}
+	return fmt.Sprintf("ck(%d)", uint8(c))
+}
+
+// Version is the wire protocol version stamped into every header.
+const Version = 1
+
+// HeaderLen is the fixed header size; TrailerLen the checksum trailer size.
+const (
+	HeaderLen  = 24
+	TrailerLen = 4
+	Overhead   = HeaderLen + TrailerLen
+)
+
+// Header layout (all multi-byte fields big-endian, all word-aligned):
+//
+//	 0  VerType   uint8   version(4) | type(4)
+//	 1  Flags     uint8
+//	 2  SrcPort   uint16
+//	 4  DstPort   uint16
+//	 6  Window    uint16  receiver window advertisement (scaled units)
+//	 8  ConnID    uint32
+//	12  Seq       uint32
+//	16  Ack       uint32  cumulative ack (valid on ACK/DATA)
+//	20  PayloadLen uint16
+//	22  Aux       uint16  type-specific (FEC group size, NAK count, ...)
+type Header struct {
+	Type       Type
+	Flags      uint8
+	SrcPort    uint16
+	DstPort    uint16
+	Window     uint16
+	ConnID     uint32
+	Seq        uint32
+	Ack        uint32
+	PayloadLen uint16
+	Aux        uint16
+}
+
+// Checksum returns the checksum kind encoded in the flags.
+func (h *Header) Checksum() ChecksumKind {
+	return ChecksumKind((h.Flags & flagCkMask) >> flagCkShift)
+}
+
+// SetChecksum stores kind into the flag bits.
+func (h *Header) SetChecksum(kind ChecksumKind) {
+	h.Flags = h.Flags&^flagCkMask | uint8(kind)<<flagCkShift
+}
+
+func (h *Header) String() string {
+	return fmt.Sprintf("%v conn=%d seq=%d ack=%d win=%d len=%d aux=%d flags=%02x",
+		h.Type, h.ConnID, h.Seq, h.Ack, h.Window, h.PayloadLen, h.Aux, h.Flags)
+}
+
+// PDU couples a header with its payload message. The payload may be nil for
+// header-only PDUs (acks).
+type PDU struct {
+	Header
+	Payload *message.Message
+}
+
+// PayloadBytes returns the payload view or nil.
+func (p *PDU) PayloadBytes() []byte {
+	if p.Payload == nil {
+		return nil
+	}
+	return p.Payload.Bytes()
+}
+
+// ReleasePayload drops the payload reference if present.
+func (p *PDU) ReleasePayload() {
+	if p.Payload != nil {
+		p.Payload.Release()
+		p.Payload = nil
+	}
+}
+
+var (
+	ErrTooShort    = errors.New("wire: packet shorter than header+trailer")
+	ErrBadVersion  = errors.New("wire: unknown protocol version")
+	ErrBadLength   = errors.New("wire: payload length mismatch")
+	ErrBadChecksum = errors.New("wire: checksum verification failed")
+)
+
+// Encode serializes the PDU into a single packet buffer: the header is pushed
+// into the payload's headroom and the checksum appended as a trailer. The
+// returned message owns one reference that the caller must release after the
+// provider copies it out (providers copy synchronously).
+//
+// Encode consumes nothing: if p.Payload is non-nil, its refcount is bumped
+// via Clone before the header push, so retransmission buffers keep a clean
+// payload view.
+func Encode(p *PDU, kind ChecksumKind) *message.Message {
+	var m *message.Message
+	if p.Payload != nil {
+		m = p.Payload.Clone().CopyOnWrite(message.DefaultHeadroom)
+	} else {
+		m = message.Alloc(0, message.DefaultHeadroom)
+	}
+	h := p.Header
+	h.SetChecksum(kind)
+	h.PayloadLen = uint16(m.Len())
+
+	buf := m.Push(HeaderLen)
+	buf[0] = Version<<4 | uint8(h.Type)&0x0f
+	buf[1] = h.Flags
+	binary.BigEndian.PutUint16(buf[2:], h.SrcPort)
+	binary.BigEndian.PutUint16(buf[4:], h.DstPort)
+	binary.BigEndian.PutUint16(buf[6:], h.Window)
+	binary.BigEndian.PutUint32(buf[8:], h.ConnID)
+	binary.BigEndian.PutUint32(buf[12:], h.Seq)
+	binary.BigEndian.PutUint32(buf[16:], h.Ack)
+	binary.BigEndian.PutUint16(buf[20:], h.PayloadLen)
+	binary.BigEndian.PutUint16(buf[22:], h.Aux)
+
+	sum := checksum(kind, m.Bytes())
+	trailer := m.PushTail(TrailerLen)
+	binary.BigEndian.PutUint32(trailer, sum)
+	return m
+}
+
+// Decode parses a packet into a PDU. The returned PDU's payload is a fresh
+// message that copies out of pkt (providers reuse their receive buffers).
+// Verification failures return ErrBadChecksum with a nil PDU.
+func Decode(pkt []byte) (*PDU, error) {
+	if len(pkt) < Overhead {
+		return nil, ErrTooShort
+	}
+	if pkt[0]>>4 != Version {
+		return nil, ErrBadVersion
+	}
+	var h Header
+	h.Type = Type(pkt[0] & 0x0f)
+	h.Flags = pkt[1]
+	h.SrcPort = binary.BigEndian.Uint16(pkt[2:])
+	h.DstPort = binary.BigEndian.Uint16(pkt[4:])
+	h.Window = binary.BigEndian.Uint16(pkt[6:])
+	h.ConnID = binary.BigEndian.Uint32(pkt[8:])
+	h.Seq = binary.BigEndian.Uint32(pkt[12:])
+	h.Ack = binary.BigEndian.Uint32(pkt[16:])
+	h.PayloadLen = binary.BigEndian.Uint16(pkt[20:])
+	h.Aux = binary.BigEndian.Uint16(pkt[22:])
+
+	body := pkt[:len(pkt)-TrailerLen]
+	if int(h.PayloadLen) != len(body)-HeaderLen {
+		return nil, ErrBadLength
+	}
+	want := binary.BigEndian.Uint32(pkt[len(pkt)-TrailerLen:])
+	if got := checksum(h.Checksum(), body); got != want {
+		return nil, ErrBadChecksum
+	}
+	p := &PDU{Header: h}
+	if h.PayloadLen > 0 {
+		p.Payload = message.NewFromBytes(body[HeaderLen:])
+	}
+	return p, nil
+}

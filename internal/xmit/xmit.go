@@ -1,0 +1,184 @@
+// Package xmit provides the transmission-management mechanisms (ADAPTIVE
+// Figure 5: the Transmission_Management hierarchy): sliding windows —
+// fixed, stop-and-wait, and adaptive (slow-start/AIMD, used by the
+// monolithic baseline) — plus leaky-bucket rate control whose inter-PDU gap
+// the MANTTS congestion policy adjusts at run time (§4.1.2).
+package xmit
+
+import (
+	"time"
+
+	"adaptive/internal/mechanism"
+)
+
+// FixedWindow is a static sliding window of Size PDUs, bounded by the peer's
+// advertisement.
+type FixedWindow struct {
+	size int
+}
+
+var _ mechanism.Window = (*FixedWindow)(nil)
+var _ mechanism.StateCarrier = (*FixedWindow)(nil)
+
+// NewFixedWindow returns a window of n PDUs (n >= 1).
+func NewFixedWindow(n int) *FixedWindow {
+	if n < 1 {
+		n = 1
+	}
+	return &FixedWindow{size: n}
+}
+
+func (w *FixedWindow) Name() string { return "fixed-window" }
+
+// CanSend permits another PDU while flight stays under both the local window
+// and the peer's advertisement.
+func (w *FixedWindow) CanSend(inFlight, peerAdvert int) bool {
+	if inFlight >= w.size {
+		return false
+	}
+	return inFlight < peerAdvert
+}
+
+func (w *FixedWindow) OnAck(int) {}
+func (w *FixedWindow) OnLoss()   {}
+func (w *FixedWindow) Size() int { return w.size }
+
+// ExportState / ImportState allow segue between window mechanisms.
+func (w *FixedWindow) ExportState() any { return w.size }
+func (w *FixedWindow) ImportState(any)  {}
+
+// NewStopAndWait returns the degenerate window of one (the lightest possible
+// transmission-control mechanism, used by request-response TSCs).
+func NewStopAndWait() *FixedWindow { return &FixedWindow{size: 1} }
+
+// AdaptiveWindow implements slow-start with additive increase and
+// multiplicative decrease — the transmission control the TCP-like monolithic
+// baseline uses, and an option for ADAPTIVE sessions facing congested WANs.
+type AdaptiveWindow struct {
+	cwnd     float64
+	ssthresh float64
+	max      int
+}
+
+var _ mechanism.Window = (*AdaptiveWindow)(nil)
+var _ mechanism.StateCarrier = (*AdaptiveWindow)(nil)
+
+// NewAdaptiveWindow returns a congestion-controlled window starting at
+// initial PDUs, capped at max.
+func NewAdaptiveWindow(initial, max int) *AdaptiveWindow {
+	if initial < 1 {
+		initial = 1
+	}
+	if max < initial {
+		max = initial
+	}
+	return &AdaptiveWindow{cwnd: float64(initial), ssthresh: float64(max) / 2, max: max}
+}
+
+func (w *AdaptiveWindow) Name() string { return "adaptive-window" }
+
+func (w *AdaptiveWindow) CanSend(inFlight, peerAdvert int) bool {
+	lim := int(w.cwnd)
+	if lim > w.max {
+		lim = w.max
+	}
+	if inFlight >= lim {
+		return false
+	}
+	return inFlight < peerAdvert
+}
+
+// OnAck grows the window: exponentially below ssthresh (slow start), then
+// additively (congestion avoidance).
+func (w *AdaptiveWindow) OnAck(acked int) {
+	for i := 0; i < acked; i++ {
+		if w.cwnd < w.ssthresh {
+			w.cwnd++
+		} else {
+			w.cwnd += 1 / w.cwnd
+		}
+		if w.cwnd > float64(w.max) {
+			w.cwnd = float64(w.max)
+		}
+	}
+}
+
+// OnLoss halves the threshold and collapses the window (multiplicative
+// decrease, as in the "slow start and multiplicative decrease" access-control
+// simulation the paper attributes to TCP — §2.2C).
+func (w *AdaptiveWindow) OnLoss() {
+	w.ssthresh = w.cwnd / 2
+	if w.ssthresh < 1 {
+		w.ssthresh = 1
+	}
+	w.cwnd = 1
+}
+
+func (w *AdaptiveWindow) Size() int { return int(w.cwnd) }
+
+type adaptiveState struct{ cwnd, ssthresh float64 }
+
+func (w *AdaptiveWindow) ExportState() any { return adaptiveState{w.cwnd, w.ssthresh} }
+func (w *AdaptiveWindow) ImportState(st any) {
+	if s, ok := st.(adaptiveState); ok {
+		w.cwnd, w.ssthresh = s.cwnd, s.ssthresh
+	}
+}
+
+// NoRate disables pacing.
+type NoRate struct{}
+
+var _ mechanism.Rate = (*NoRate)(nil)
+
+func (NoRate) Name() string                           { return "unpaced" }
+func (NoRate) Delay(time.Duration, int) time.Duration { return 0 }
+func (NoRate) OnSent(time.Duration, int)              {}
+func (NoRate) SetRate(float64)                        {}
+func (NoRate) RateBps() float64                       { return 0 }
+
+// GapRate paces transmissions with an inter-PDU gap sized so the long-run
+// rate matches RateBps (a leaky bucket with one-PDU depth).
+type GapRate struct {
+	bps      float64
+	nextFree time.Duration
+}
+
+var _ mechanism.Rate = (*GapRate)(nil)
+var _ mechanism.StateCarrier = (*GapRate)(nil)
+
+// NewGapRate returns a pacer at bps bits/sec.
+func NewGapRate(bps float64) *GapRate { return &GapRate{bps: bps} }
+
+func (r *GapRate) Name() string { return "rate-gap" }
+
+func (r *GapRate) Delay(now time.Duration, size int) time.Duration {
+	if r.bps <= 0 || r.nextFree <= now {
+		return 0
+	}
+	return r.nextFree - now
+}
+
+func (r *GapRate) OnSent(now time.Duration, size int) {
+	if r.bps <= 0 {
+		return
+	}
+	gap := time.Duration(float64(size*8) / r.bps * float64(time.Second))
+	start := r.nextFree
+	if start < now {
+		start = now
+	}
+	r.nextFree = start + gap
+}
+
+// SetRate retunes the pacing rate; the congestion policy's "increase the
+// inter-PDU gap" action is SetRate with a smaller bps.
+func (r *GapRate) SetRate(bps float64) { r.bps = bps }
+
+func (r *GapRate) RateBps() float64 { return r.bps }
+
+func (r *GapRate) ExportState() any { return r.nextFree }
+func (r *GapRate) ImportState(st any) {
+	if v, ok := st.(time.Duration); ok {
+		r.nextFree = v
+	}
+}

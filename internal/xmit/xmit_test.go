@@ -1,0 +1,224 @@
+package xmit
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFixedWindowGating(t *testing.T) {
+	w := NewFixedWindow(4)
+	if !w.CanSend(0, 100) || !w.CanSend(3, 100) {
+		t.Fatal("window blocked below limit")
+	}
+	if w.CanSend(4, 100) {
+		t.Fatal("window open at limit")
+	}
+	if w.Size() != 4 {
+		t.Fatalf("size %d", w.Size())
+	}
+}
+
+func TestFixedWindowHonorsPeerAdvert(t *testing.T) {
+	w := NewFixedWindow(100)
+	if w.CanSend(2, 2) {
+		t.Fatal("ignored peer advertisement")
+	}
+	if !w.CanSend(1, 2) {
+		t.Fatal("blocked within advertisement")
+	}
+}
+
+func TestFixedWindowMinimumOne(t *testing.T) {
+	if NewFixedWindow(0).Size() != 1 || NewFixedWindow(-5).Size() != 1 {
+		t.Fatal("degenerate window sizes accepted")
+	}
+}
+
+func TestStopAndWait(t *testing.T) {
+	w := NewStopAndWait()
+	if !w.CanSend(0, 10) || w.CanSend(1, 10) {
+		t.Fatal("stop-and-wait is not a window of one")
+	}
+}
+
+func TestAdaptiveSlowStart(t *testing.T) {
+	w := NewAdaptiveWindow(1, 64)
+	if w.Size() != 1 {
+		t.Fatalf("initial cwnd %d", w.Size())
+	}
+	// Slow start: doubles per window's worth of acks.
+	w.OnAck(1)
+	if w.Size() != 2 {
+		t.Fatalf("cwnd after 1 ack = %d", w.Size())
+	}
+	w.OnAck(2)
+	if w.Size() != 4 {
+		t.Fatalf("cwnd after 3 acks = %d", w.Size())
+	}
+}
+
+func TestAdaptiveCongestionAvoidanceAboveThreshold(t *testing.T) {
+	w := NewAdaptiveWindow(1, 64) // ssthresh = 32
+	w.OnAck(40)                   // blow past the threshold
+	sizeAt := w.Size()
+	w.OnAck(1)
+	grew := w.Size() - sizeAt
+	if grew > 1 {
+		t.Fatalf("grew %d in one ack above ssthresh", grew)
+	}
+}
+
+func TestAdaptiveMultiplicativeDecrease(t *testing.T) {
+	w := NewAdaptiveWindow(1, 64)
+	w.OnAck(20)
+	before := w.Size()
+	w.OnLoss()
+	if w.Size() != 1 {
+		t.Fatalf("cwnd after loss = %d", w.Size())
+	}
+	// Regrowth stops doubling at half the pre-loss window.
+	for i := 0; i < 200; i++ {
+		w.OnAck(1)
+		if w.Size() >= before {
+			break
+		}
+	}
+	if w.Size() < before/2 {
+		t.Fatalf("never regrew: %d (before %d)", w.Size(), before)
+	}
+}
+
+func TestAdaptiveCapped(t *testing.T) {
+	w := NewAdaptiveWindow(1, 8)
+	w.OnAck(1000)
+	if w.Size() > 8 {
+		t.Fatalf("cwnd %d above cap", w.Size())
+	}
+	if w.CanSend(8, 100) {
+		t.Fatal("can send past cap")
+	}
+}
+
+func TestAdaptiveSegueState(t *testing.T) {
+	w1 := NewAdaptiveWindow(1, 64)
+	w1.OnAck(10)
+	w2 := NewAdaptiveWindow(1, 64)
+	w2.ImportState(w1.ExportState())
+	if w2.Size() != w1.Size() {
+		t.Fatalf("cwnd lost in segue: %d vs %d", w2.Size(), w1.Size())
+	}
+	// Cross-kind import must be harmless.
+	f := NewFixedWindow(4)
+	f.ImportState(w1.ExportState())
+	if f.Size() != 4 {
+		t.Fatal("fixed window corrupted by foreign state")
+	}
+}
+
+func TestNoRateNeverDelays(t *testing.T) {
+	var r NoRate
+	if r.Delay(time.Second, 1<<20) != 0 {
+		t.Fatal("NoRate delayed")
+	}
+	r.SetRate(1) // no-op
+	if r.RateBps() != 0 {
+		t.Fatal("NoRate has a rate")
+	}
+}
+
+func TestGapRatePacing(t *testing.T) {
+	r := NewGapRate(8000) // 1000 bytes/sec
+	now := time.Duration(0)
+	if d := r.Delay(now, 100); d != 0 {
+		t.Fatalf("first packet delayed %v", d)
+	}
+	r.OnSent(now, 100) // 100 B at 1000 B/s -> 100 ms gap
+	if d := r.Delay(now, 100); d != 100*time.Millisecond {
+		t.Fatalf("gap = %v, want 100ms", d)
+	}
+	// After the gap elapses, clear to send.
+	if d := r.Delay(now+100*time.Millisecond, 100); d != 0 {
+		t.Fatalf("delayed %v after gap elapsed", d)
+	}
+}
+
+func TestGapRateLongRunRate(t *testing.T) {
+	r := NewGapRate(1e6) // 125 kB/s
+	now := time.Duration(0)
+	sent := 0
+	for sent < 125_000 {
+		d := r.Delay(now, 1000)
+		now += d
+		r.OnSent(now, 1000)
+		sent += 1000
+	}
+	// 125 kB at 125 kB/s ~ 1 s.
+	if now < 950*time.Millisecond || now > 1050*time.Millisecond {
+		t.Fatalf("125kB took %v at 1 Mbps", now)
+	}
+}
+
+func TestGapRateSetRate(t *testing.T) {
+	r := NewGapRate(8000)
+	r.OnSent(0, 100)
+	r.SetRate(16000) // doubling the rate halves future gaps
+	r.OnSent(100*time.Millisecond, 100)
+	if d := r.Delay(100*time.Millisecond, 100); d != 50*time.Millisecond {
+		t.Fatalf("gap after rate change = %v", d)
+	}
+	if r.RateBps() != 16000 {
+		t.Fatalf("rate %v", r.RateBps())
+	}
+}
+
+func TestGapRateZeroDisables(t *testing.T) {
+	r := NewGapRate(0)
+	r.OnSent(0, 1000)
+	if r.Delay(0, 1000) != 0 {
+		t.Fatal("zero-rate pacer delayed")
+	}
+}
+
+func TestGapRateSegueState(t *testing.T) {
+	r1 := NewGapRate(8000)
+	r1.OnSent(0, 100)
+	r2 := NewGapRate(8000)
+	r2.ImportState(r1.ExportState())
+	if r2.Delay(0, 100) != 100*time.Millisecond {
+		t.Fatal("pacer state lost in segue")
+	}
+}
+
+// Property: the pacer never permits a long-run rate above the configured
+// rate (checked over random packet-size sequences).
+func TestGapRateNeverExceedsRateProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) < 2 {
+			return true
+		}
+		if len(sizes) > 200 {
+			sizes = sizes[:200]
+		}
+		const bps = 1e6
+		r := NewGapRate(bps)
+		now := time.Duration(0)
+		total := 0
+		for _, s := range sizes {
+			size := int(s%1400) + 1
+			now += r.Delay(now, size)
+			r.OnSent(now, size)
+			total += size
+		}
+		if now == 0 {
+			return true
+		}
+		achieved := float64(total) * 8 / now.Seconds()
+		// One packet of slack: the first departs immediately.
+		slack := float64(1401*8) / now.Seconds()
+		return achieved <= bps+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
