@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate: build, vet, tests, and the race detector.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./...
+
+# bench runs the data-path micro-benchmarks (packet codec, message pool,
+# netsim forwarding, sim kernel) 5 times with allocation stats and writes
+# the raw output plus a JSON summary to BENCH_datapath.json.
+bench:
+	./scripts/bench_datapath.sh
+
+clean:
+	rm -f BENCH_datapath.json BENCH_datapath.txt

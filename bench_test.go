@@ -265,6 +265,37 @@ func BenchmarkWireDecode(b *testing.B) {
 	}
 }
 
+func BenchmarkWireEncodeTo(b *testing.B) {
+	// In-place fast path: pooled payload with headroom, scoped emit callback.
+	payload := message.AllocPooled(1400, message.DefaultHeadroom)
+	p := &wire.PDU{Header: wire.Header{Type: wire.TData, Seq: 1}, Payload: payload}
+	b.SetBytes(1400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := wire.EncodeTo(p, wire.CkCRC32, func([]byte) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecodeInto(b *testing.B) {
+	payload := message.NewFromBytes(make([]byte, 1400))
+	src := &wire.PDU{Header: wire.Header{Type: wire.TData, Seq: 1}, Payload: payload}
+	enc := wire.Encode(src, wire.CkCRC32)
+	pkt := enc.CopyBytes()
+	enc.Release()
+	var p wire.PDU
+	b.SetBytes(1400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wire.DecodeInto(pkt, &p); err != nil {
+			b.Fatal(err)
+		}
+		p.ReleasePayload()
+	}
+}
+
 func BenchmarkChecksums(b *testing.B) {
 	body := make([]byte, 1400)
 	for _, ck := range []wire.ChecksumKind{wire.CkInternet, wire.CkCRC32} {
@@ -329,6 +360,21 @@ func BenchmarkSimKernelEvents(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k.Schedule(time.Microsecond, func() {})
+		k.Run()
+	}
+}
+
+func BenchmarkKernelChurn(b *testing.B) {
+	// Mixed schedule/cancel load: the timer-wheel path a transport exercises
+	// when every data PDU arms an RTO that is usually stopped by an ack.
+	k := sim.NewKernel(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := k.Schedule(time.Millisecond, func() {})
+		k.Schedule(time.Microsecond, func() {})
+		k.RunFor(2 * time.Microsecond)
+		t.Stop()
 		k.Run()
 	}
 }

@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSeedDeterminism guards the simulation's reproducibility contract: a
+// runner executed twice in one process must render byte-identical tables.
+// The kernel's FIFO tie-break on event sequence numbers (and the sorted
+// multicast fan-out in netsim) are what make this hold; a regression in
+// either shows up here as a diff.
+func TestSeedDeterminism(t *testing.T) {
+	for _, id := range []string{"E1", "F3"} {
+		t.Run(id, func(t *testing.T) {
+			var run func() []Table
+			for _, r := range All() {
+				if r.ID == id {
+					run = r.Run
+				}
+			}
+			if run == nil {
+				t.Fatalf("runner %s not registered", id)
+			}
+			render := func() string {
+				var sb strings.Builder
+				for _, tb := range run() {
+					sb.WriteString(tb.Render())
+					sb.WriteByte('\n')
+				}
+				return sb.String()
+			}
+			first, second := render(), render()
+			if first != second {
+				t.Fatalf("runner %s is not deterministic across runs:\n--- first ---\n%s\n--- second ---\n%s", id, first, second)
+			}
+		})
+	}
+}

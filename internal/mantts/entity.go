@@ -332,10 +332,10 @@ func (e *Entity) transmitSignal(to netapi.Addr, payload []byte) {
 		Header:  wire.Header{Type: wire.TSignal},
 		Payload: message.NewFromBytes(payload),
 	}
-	pkt := wire.Encode(p, wire.CkCRC32)
-	e.SignalsSent++
-	e.stack.Transmit(pkt.Bytes(), to)
-	pkt.Release()
+	wire.EncodeTo(p, wire.CkCRC32, func(pkt []byte) error {
+		e.SignalsSent++
+		return e.stack.Transmit(pkt, to)
+	})
 	p.ReleasePayload()
 }
 
@@ -496,9 +496,9 @@ func (e *Entity) StartProbing(host netapi.HostID, interval time.Duration) {
 			Header:  wire.Header{Type: wire.TProbe},
 			Payload: message.NewFromBytes(buf[:]),
 		}
-		pkt := wire.Encode(p, wire.CkCRC32)
-		e.stack.Transmit(pkt.Bytes(), to)
-		pkt.Release()
+		wire.EncodeTo(p, wire.CkCRC32, func(pkt []byte) error {
+			return e.stack.Transmit(pkt, to)
+		})
 		p.ReleasePayload()
 	}
 	e.probeTimers[host] = e.stack.Timers().SchedulePeriodic(0, interval, tick)
@@ -519,9 +519,9 @@ func (e *Entity) onProbe(p *wire.PDU, from netapi.Addr) {
 		if p.Payload != nil {
 			echo.Payload = message.NewFromBytes(p.PayloadBytes())
 		}
-		pkt := wire.Encode(echo, wire.CkCRC32)
-		e.stack.Transmit(pkt.Bytes(), from)
-		pkt.Release()
+		wire.EncodeTo(echo, wire.CkCRC32, func(pkt []byte) error {
+			return e.stack.Transmit(pkt, from)
+		})
 		echo.ReleasePayload()
 		return
 	}

@@ -20,10 +20,21 @@ import (
 // plus a provider header.
 const DefaultHeadroom = 64
 
+// DefaultTailroom is the spare capacity reserved behind the payload so a
+// trailer checksum can be appended (PushTail) without growing the buffer.
+const DefaultTailroom = 8
+
 // buffer is the shared, reference-counted backing store.
+//
+// class records which size-class pool the buffer came from (-1 = plain heap
+// allocation, never recycled). A buffer whose data slice is ever swapped out
+// (PushTail growth) is demoted to class -1 so a wrong-sized slice can never
+// re-enter a pool.
 type buffer struct {
-	data []byte
-	refs atomic.Int32
+	data     []byte
+	refs     atomic.Int32
+	class    int8
+	poisoned bool // poison-filled at the last recycle (verified on pool Get)
 }
 
 // Message is a view onto a shared buffer. The zero value is not usable; use
@@ -34,13 +45,14 @@ type Message struct {
 	n   int // visible length
 }
 
-// Alloc returns a message with n bytes of zeroed payload and room for
-// headroom bytes of headers in front of it.
+// Alloc returns a message with n bytes of zeroed payload, room for headroom
+// bytes of headers in front of it, and DefaultTailroom bytes of trailer space
+// behind it.
 func Alloc(n, headroom int) *Message {
 	if n < 0 || headroom < 0 {
 		panic("message: negative size")
 	}
-	b := &buffer{data: make([]byte, headroom+n)}
+	b := &buffer{data: make([]byte, headroom+n+DefaultTailroom), class: -1}
 	b.refs.Store(1)
 	return &Message{buf: b, off: headroom, n: n}
 }
@@ -51,7 +63,7 @@ func New(capHint int) *Message {
 	if capHint < 0 {
 		capHint = 0
 	}
-	b := &buffer{data: make([]byte, DefaultHeadroom, DefaultHeadroom+capHint)}
+	b := &buffer{data: make([]byte, DefaultHeadroom, DefaultHeadroom+capHint), class: -1}
 	b.refs.Store(1)
 	return &Message{buf: b, off: DefaultHeadroom, n: 0}
 }
@@ -63,18 +75,46 @@ func NewFromBytes(p []byte) *Message {
 	return m
 }
 
+// incRef adds a reference, refusing to resurrect a buffer whose count has
+// already reached zero (a use-after-final-release).
+func (b *buffer) incRef() {
+	for {
+		cur := b.refs.Load()
+		if cur <= 0 {
+			panic("message: retain after final release")
+		}
+		if b.refs.CompareAndSwap(cur, cur+1) {
+			return
+		}
+	}
+}
+
 // Retain increments the reference count, signaling an additional owner of the
 // backing buffer.
 func (m *Message) Retain() *Message {
-	m.buf.refs.Add(1)
+	m.buf.incRef()
 	return m
 }
 
 // Release drops one reference. After the final release the message must not
-// be used.
+// be used. The final release returns a pooled buffer to its size-class pool;
+// releasing more times than the buffer was retained panics on the exact
+// offending call (the 0 -> -1 transition is detected before the decrement is
+// published, so a double release can never be observed as a transient valid
+// state by another owner).
 func (m *Message) Release() {
-	if m.buf.refs.Add(-1) < 0 {
-		panic("message: over-released")
+	b := m.buf
+	for {
+		cur := b.refs.Load()
+		if cur <= 0 {
+			panic("message: release after final release")
+		}
+		if b.refs.CompareAndSwap(cur, cur-1) {
+			if cur == 1 {
+				recycle(b)
+			}
+			return
+		}
 	}
 }
 
@@ -86,15 +126,31 @@ func (m *Message) Len() int { return m.n }
 
 // Bytes returns the visible region. The slice aliases the shared buffer:
 // callers must not write to it if Refs() > 1 (use CopyOnWrite first).
-func (m *Message) Bytes() []byte { return m.buf.data[m.off : m.off+m.n] }
+func (m *Message) Bytes() []byte {
+	m.check()
+	return m.buf.data[m.off : m.off+m.n]
+}
 
 // Headroom returns the bytes available for Push.
 func (m *Message) Headroom() int { return m.off }
+
+// Tailroom returns the bytes available for PushTail without growing the
+// backing buffer.
+func (m *Message) Tailroom() int { return len(m.buf.data) - (m.off + m.n) }
+
+// check panics under poison mode when the message's buffer has already been
+// fully released (use-after-final-release detection on the read path).
+func (m *Message) check() {
+	if poisonMode && m.buf.refs.Load() <= 0 {
+		panic("message: use after final release")
+	}
+}
 
 // Push prepends n bytes and returns the slice covering them, for the caller
 // to fill with header contents. It panics if headroom is exhausted — header
 // budgets are static in this system, so exhaustion is a programming error.
 func (m *Message) Push(n int) []byte {
+	m.check()
 	if n < 0 || n > m.off {
 		panic(fmt.Sprintf("message: Push(%d) with headroom %d", n, m.off))
 	}
@@ -106,6 +162,7 @@ func (m *Message) Push(n int) []byte {
 // Pop strips n bytes from the front and returns them (still aliasing the
 // buffer). It panics if n exceeds Len.
 func (m *Message) Pop(n int) []byte {
+	m.check()
 	if n < 0 || n > m.n {
 		panic(fmt.Sprintf("message: Pop(%d) with len %d", n, m.n))
 	}
@@ -118,6 +175,7 @@ func (m *Message) Pop(n int) []byte {
 // PushTail appends n bytes at the end (for trailer checksums) and returns the
 // slice covering them, growing the buffer if this message is the sole owner.
 func (m *Message) PushTail(n int) []byte {
+	m.check()
 	if n < 0 {
 		panic("message: negative PushTail")
 	}
@@ -126,9 +184,16 @@ func (m *Message) PushTail(n int) []byte {
 		if m.Refs() > 1 {
 			panic("message: PushTail on shared buffer without capacity")
 		}
-		grown := make([]byte, end+n)
-		copy(grown, m.buf.data[:end])
-		m.buf.data = grown
+		if end+n <= cap(m.buf.data) {
+			// Spare capacity within the same array: extend without
+			// reallocating (the buffer stays in its size class).
+			m.buf.data = m.buf.data[:end+n]
+		} else {
+			grown := make([]byte, end+n)
+			copy(grown, m.buf.data[:end])
+			m.buf.data = grown
+			m.buf.class = -1 // slice swapped: no longer pool-eligible
+		}
 	}
 	m.n += n
 	return m.buf.data[end : end+n]
@@ -136,6 +201,7 @@ func (m *Message) PushTail(n int) []byte {
 
 // TrimTail removes n bytes from the end and returns them.
 func (m *Message) TrimTail(n int) []byte {
+	m.check()
 	if n < 0 || n > m.n {
 		panic(fmt.Sprintf("message: TrimTail(%d) with len %d", n, m.n))
 	}
@@ -151,7 +217,7 @@ func (m *Message) Append(p []byte) {
 // Clone returns a new view of the same buffer ("lazy copy"): O(1), shares
 // storage, bumps the reference count.
 func (m *Message) Clone() *Message {
-	m.buf.refs.Add(1)
+	m.buf.incRef()
 	return &Message{buf: m.buf, off: m.off, n: m.n}
 }
 
@@ -163,20 +229,20 @@ func (m *Message) Split(at int) *Message {
 	if at < 0 || at > m.n {
 		panic(fmt.Sprintf("message: Split(%d) with len %d", at, m.n))
 	}
-	m.buf.refs.Add(1)
+	m.buf.incRef()
 	rest := &Message{buf: m.buf, off: m.off + at, n: m.n - at}
 	m.n = at
 	return rest
 }
 
 // CopyOnWrite ensures the message exclusively owns its bytes, copying them
-// (with headroom bytes of fresh header space) if the buffer is shared.
+// into a pooled buffer (with headroom bytes of fresh header space) if the
+// buffer is shared.
 func (m *Message) CopyOnWrite(headroom int) *Message {
 	if m.Refs() == 1 && m.off >= headroom {
 		return m
 	}
-	nb := &buffer{data: make([]byte, headroom+m.n)}
-	nb.refs.Store(1)
+	nb := getBuffer(headroom + m.n + DefaultTailroom)
 	copy(nb.data[headroom:], m.Bytes())
 	m.Release()
 	m.buf = nb

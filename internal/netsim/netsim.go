@@ -21,6 +21,7 @@ package netsim
 import (
 	"time"
 
+	"adaptive/internal/message"
 	"adaptive/internal/sim"
 )
 
@@ -55,7 +56,7 @@ type Link struct {
 	cfg       LinkConfig
 	busyUntil time.Duration
 	stats     LinkStats
-	crossStop *sim.Event
+	crossStop sim.Timer
 }
 
 // Config returns the link's configuration.
@@ -103,17 +104,20 @@ func (l *Link) serialize(size int) (departure time.Duration, ok bool) {
 	return l.busyUntil, true
 }
 
-// transit pushes pkt through the link and calls deliver with the (possibly
-// corrupted) packet at its arrival time. The packet slice is owned by the
-// link from this call on.
-func (l *Link) transit(pkt []byte, deliver func([]byte)) {
+// transit pushes a flight's packet through the link, scheduling the flight's
+// next step at the (possibly corrupted, jittered) arrival time. Dropped
+// packets end the flight here.
+func (l *Link) transit(fl *flight) {
+	pkt := fl.pkt
 	rng := l.net.kernel.Rand()
 	if l.cfg.DropRate > 0 && rng.Float64() < l.cfg.DropRate {
 		l.stats.DropsRandom++
+		fl.free()
 		return
 	}
 	departure, ok := l.serialize(len(pkt))
 	if !ok {
+		fl.free()
 		return
 	}
 	if l.cfg.BER > 0 {
@@ -129,12 +133,15 @@ func (l *Link) transit(pkt []byte, deliver func([]byte)) {
 	if l.cfg.Jitter > 0 {
 		arrive += time.Duration(rng.Int63n(int64(l.cfg.Jitter)))
 	}
-	l.net.kernel.ScheduleAt(arrive, func() { deliver(pkt) })
+	now := l.net.kernel.Now()
+	l.net.kernel.ScheduleArg(arrive-now, flightStep, fl)
 	if l.cfg.DupRate > 0 && rng.Float64() < l.cfg.DupRate {
 		l.stats.Duplicated++
-		dup := make([]byte, len(pkt))
-		copy(dup, pkt)
-		l.net.kernel.ScheduleAt(arrive+time.Microsecond, func() { deliver(dup) })
+		dup := newFlight(fl.net, fl.from, fl.to, message.GetSlab(len(pkt)), fl.srcAddr, fl.dstAddr)
+		copy(dup.pkt, pkt)
+		dup.path = fl.path
+		dup.i = fl.i
+		l.net.kernel.ScheduleArg(arrive+time.Microsecond-now, flightStep, dup)
 	}
 }
 
@@ -161,10 +168,7 @@ func pow1m(p, n float64) float64 {
 // never delivered anywhere. Calling it again replaces the previous load;
 // rate 0 stops it.
 func (l *Link) StartCrossTraffic(rate float64, pktSize int) {
-	if l.crossStop != nil {
-		l.net.kernel.Cancel(l.crossStop)
-		l.crossStop = nil
-	}
+	l.crossStop.Stop()
 	if rate <= 0 {
 		return
 	}

@@ -3,8 +3,10 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
+	"adaptive/internal/message"
 	"adaptive/internal/netapi"
 	"adaptive/internal/sim"
 )
@@ -154,12 +156,14 @@ func (n *Network) Leave(group, host netapi.HostID) {
 	}
 }
 
-// Members returns the current group membership.
+// Members returns the current group membership in ascending host order
+// (sorted so multicast fan-out is deterministic across runs).
 func (n *Network) Members(group netapi.HostID) []netapi.HostID {
 	var out []netapi.HostID
 	for h := range n.groups[group] {
 		out = append(out, h)
 	}
+	slices.Sort(out)
 	return out
 }
 
@@ -192,81 +196,66 @@ func (n *Network) PathRTT(a, b netapi.HostID, size int) time.Duration {
 var errNoRoute = errors.New("netsim: no route to host")
 
 // send pushes pkt from src toward dst (unicast or multicast), beginning after
-// the sender-side CPU cost.
+// the sender-side CPU cost. send takes ownership of pkt, which must be a
+// pooled slab; it is recycled on every error and drop path.
 func (n *Network) send(src *Host, pkt []byte, srcAddr, dst netapi.Addr, cost CPUCost) error {
 	src.stats.Sent++
 	done := src.cpu(cost.Cost(len(pkt)))
+	now := n.kernel.Now()
 	if dst.Host.IsMulticast() {
-		members, ok := n.groups[dst.Host]
-		if !ok {
+		if _, ok := n.groups[dst.Host]; !ok {
+			message.PutSlab(pkt)
 			return fmt.Errorf("netsim: unknown multicast group %v", dst.Host)
 		}
-		n.kernel.ScheduleAt(done, func() {
-			for m := range members {
-				if m == src.id {
-					continue
-				}
-				dup := make([]byte, len(pkt))
-				copy(dup, pkt)
-				n.forward(src.id, m, dup, srcAddr, netapi.Addr{Host: dst.Host, Port: dst.Port})
+		// One flight per member, membership snapshotted (sorted) now; each
+		// flight resolves its own route when the sender CPU releases it.
+		dstAddr := netapi.Addr{Host: dst.Host, Port: dst.Port}
+		for _, m := range n.Members(dst.Host) {
+			if m == src.id {
+				continue
 			}
-		})
+			fl := newFlight(n, src.id, m, message.GetSlab(len(pkt)), srcAddr, dstAddr)
+			copy(fl.pkt, pkt)
+			n.kernel.ScheduleArg(done-now, flightStep, fl)
+		}
+		message.PutSlab(pkt)
 		return nil
 	}
 	if _, ok := n.hosts[dst.Host]; !ok {
+		message.PutSlab(pkt)
 		return fmt.Errorf("netsim: unknown host %v", dst.Host)
 	}
 	if n.routes[[2]netapi.HostID{src.id, dst.Host}] == nil {
+		message.PutSlab(pkt)
 		return errNoRoute
 	}
-	n.kernel.ScheduleAt(done, func() {
-		n.forward(src.id, dst.Host, pkt, srcAddr, dst)
-	})
+	fl := newFlight(n, src.id, dst.Host, pkt, srcAddr, dst)
+	n.kernel.ScheduleArg(done-now, flightStep, fl)
 	return nil
 }
 
-// forward walks pkt across the route's links hop by hop. The route is
-// resolved once at injection time (in-flight packets keep their path across
-// route changes).
-func (n *Network) forward(from, to netapi.HostID, pkt []byte, srcAddr, dstAddr netapi.Addr) {
-	path := n.routes[[2]netapi.HostID{from, to}]
-	if path == nil {
-		return // destination became unreachable; packet lost
-	}
-	n.hop(path, 0, to, pkt, srcAddr, dstAddr)
-}
-
-func (n *Network) hop(path []*Link, i int, to netapi.HostID, pkt []byte, srcAddr, dstAddr netapi.Addr) {
-	if i == len(path) {
-		n.arrive(to, pkt, srcAddr, dstAddr)
-		return
-	}
-	path[i].transit(pkt, func(delivered []byte) {
-		n.hop(path, i+1, to, delivered, srcAddr, dstAddr)
-	})
-}
-
-// arrive delivers pkt to the destination host's endpoint after receive-side
-// CPU processing.
-func (n *Network) arrive(to netapi.HostID, pkt []byte, srcAddr, dstAddr netapi.Addr) {
-	h, ok := n.hosts[to]
+// arrive delivers a flight's packet to the destination host's endpoint after
+// receive-side CPU processing.
+func (n *Network) arrive(fl *flight) {
+	h, ok := n.hosts[fl.to]
 	if !ok {
+		fl.free()
 		return
 	}
-	ep, ok := h.endpoints[dstAddr.Port]
+	ep, ok := h.endpoints[fl.dstAddr.Port]
 	if !ok || ep.recv == nil {
 		h.stats.DropsNoPort++
+		fl.free()
 		return
 	}
 	if h.CPUDropCap > 0 && h.cpuPending >= h.CPUDropCap {
 		h.stats.DropsCPU++
+		fl.free()
 		return
 	}
 	h.cpuPending++
-	done := h.cpu(ep.cost.Cost(len(pkt)))
-	n.kernel.ScheduleAt(done, func() {
-		h.cpuPending--
-		h.stats.Received++
-		ep.recv(pkt, srcAddr)
-	})
+	done := h.cpu(ep.cost.Cost(len(fl.pkt)))
+	fl.host = h
+	fl.ep = ep
+	n.kernel.ScheduleArg(done-n.kernel.Now(), flightRecv, fl)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"adaptive/internal/message"
 	"adaptive/internal/netapi"
 	"adaptive/internal/sim"
 )
@@ -21,12 +22,13 @@ type Endpoint struct {
 var _ netapi.Endpoint = (*Endpoint)(nil)
 
 // Send injects pkt into the network toward dst. The packet bytes are copied
-// immediately; the caller keeps ownership of pkt.
+// immediately into a pooled slab; the caller keeps ownership of pkt, and the
+// network recycles the slab once the packet is delivered or dropped.
 func (e *Endpoint) Send(pkt []byte, dst netapi.Addr) error {
 	if e.closed {
 		return errors.New("netsim: endpoint closed")
 	}
-	owned := make([]byte, len(pkt))
+	owned := message.GetSlab(len(pkt))
 	copy(owned, pkt)
 	return e.host.net.send(e.host, owned, e.addr, dst, e.cost)
 }
@@ -76,17 +78,11 @@ var _ netapi.Clock = Clock{}
 // Now returns virtual time.
 func (c Clock) Now() time.Duration { return c.k.Now() }
 
-// AfterFunc schedules fn on the kernel.
+// AfterFunc schedules fn on the kernel. sim.Timer's generation check makes
+// the returned handle safe to Stop even after the event has fired.
 func (c Clock) AfterFunc(d time.Duration, fn func()) netapi.Timer {
-	return simTimer{k: c.k, ev: c.k.Schedule(d, fn)}
+	return c.k.Schedule(d, fn)
 }
-
-type simTimer struct {
-	k  *sim.Kernel
-	ev *sim.Event
-}
-
-func (t simTimer) Stop() bool { return t.k.Cancel(t.ev) }
 
 var _ netapi.Provider = (*Network)(nil)
 

@@ -351,12 +351,13 @@ func EncodeNak(missing []uint32) *wire.PDU {
 	if len(missing) > maxNakList {
 		missing = missing[:maxNakList]
 	}
-	buf := make([]byte, 4*len(missing))
+	m := message.AllocPooled(4*len(missing), message.DefaultHeadroom)
+	buf := m.Bytes()
 	for i, q := range missing {
 		binary.BigEndian.PutUint32(buf[4*i:], q)
 	}
 	p := &wire.PDU{Header: wire.Header{Type: wire.TNak, Aux: uint16(len(missing))}}
-	p.Payload = message.NewFromBytes(buf)
+	p.Payload = m
 	return p
 }
 

@@ -357,15 +357,16 @@ func (s *Session) transmitPDU(p *wire.PDU) {
 		p.Flags |= wire.FlagSegueMark
 		s.markSegue = false
 	}
-	pkt := wire.Encode(p, s.spec.Checksum)
-	s.SentPDUs++
-	s.SentBytes += uint64(pkt.Len())
-	s.metrics.Count("pdu.sent", 1)
-	s.metrics.Count("bytes.sent", uint64(pkt.Len()))
-	if err := s.out.Transmit(pkt.Bytes(), s.peerNet); err != nil {
-		s.metrics.Count("pdu.send_errors", 1)
-	}
-	pkt.Release()
+	wire.EncodeTo(p, s.spec.Checksum, func(pkt []byte) error {
+		s.SentPDUs++
+		s.SentBytes += uint64(len(pkt))
+		s.metrics.Count("pdu.sent", 1)
+		s.metrics.Count("bytes.sent", uint64(len(pkt)))
+		if err := s.out.Transmit(pkt, s.peerNet); err != nil {
+			s.metrics.Count("pdu.send_errors", 1)
+		}
+		return nil
+	})
 }
 
 // armRTO (re)starts the retransmission timer while data is outstanding.

@@ -2,61 +2,69 @@
 //
 // Every experiment in this repository runs against virtual time: protocol
 // timers, link serialization delays, and workload arrivals are all events on
-// a single ordered heap. Two runs with the same seed produce identical
-// schedules, which is what makes the paper's "controlled, empirical
+// a hierarchical timing wheel (see wheel.go). Two runs with the same seed
+// produce identical schedules — same-instant events fire in schedule (seq)
+// order — which is what makes the paper's "controlled, empirical
 // experimentation" (ADAPTIVE §3D) reproducible.
+//
+// Event objects are pooled on a kernel-local free list: steady-state
+// scheduling allocates nothing. Schedule returns a value-type Timer handle
+// carrying a generation counter, so a handle held past its event's firing
+// (or cancellation) can never act on a recycled Event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// Event is a scheduled callback. It is returned by Schedule so callers can
-// cancel it before it fires.
+// Event is a scheduled callback, owned and recycled by the kernel. User code
+// never holds an *Event directly; it holds a Timer.
 type Event struct {
 	at       time.Duration
 	seq      uint64 // tie-breaker: FIFO among events at the same instant
 	fn       func()
-	index    int // heap index, -1 once removed
+	afn      func(any) // closure-free variant (ScheduleArg)
+	arg      any
+	next     *Event // intrusive link: wheel slot list or kernel free list
+	gen      uint32 // bumped on every recycle; validates Timer handles
 	canceled bool
 }
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// Timer is a cancellable handle to a scheduled event. It is a small value
+// (safe to copy, zero value is inert) and stays safe to use after the event
+// fires: the generation check makes Stop/Pending on a spent handle a no-op
+// even though the underlying Event object has been recycled.
+type Timer struct {
+	k   *Kernel
+	ev  *Event
+	gen uint32
+}
 
-// At returns the virtual time the event is (or was) scheduled to fire.
-func (e *Event) At() time.Duration { return e.at }
+func (t Timer) live() bool { return t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Stop cancels the event; it reports whether the event was still pending.
+// Stopping a fired or already-stopped timer is a no-op. Cancellation is lazy:
+// the event is marked and reaped when the kernel next touches it.
+func (t Timer) Stop() bool {
+	if !t.live() {
+		return false
 	}
-	return h[i].seq < h[j].seq
+	t.ev.canceled = true
+	return true
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// Pending reports whether the event has neither fired nor been stopped.
+func (t Timer) Pending() bool { return t.live() }
+
+// At returns the virtual time the event is scheduled to fire, or false if it
+// already fired or was stopped.
+func (t Timer) At() (time.Duration, bool) {
+	if !t.live() {
+		return 0, false
+	}
+	return t.ev.at, true
 }
 
 // Kernel is a single-threaded discrete-event scheduler with a virtual clock.
@@ -64,10 +72,14 @@ func (h *eventHeap) Pop() any {
 // itself is not safe for concurrent use.
 type Kernel struct {
 	now      time.Duration
-	events   eventHeap
+	wh       wheel
+	due      []*Event // current-instant batch, seq-sorted
+	dueIdx   int      // consumed prefix of due
+	free     *Event   // recycled Event objects
 	seq      uint64
 	rng      *rand.Rand
 	executed uint64
+	queued   int    // scheduled events not yet fired or reaped
 	limit    uint64 // safety valve against runaway simulations; 0 = none
 }
 
@@ -90,62 +102,133 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 // process; exceeding it panics (indicating a protocol livelock in a test).
 func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
 
-// Schedule runs fn after delay of virtual time. A negative delay is treated
-// as zero (run at the current instant, after already-pending events at this
-// instant).
-func (k *Kernel) Schedule(delay time.Duration, fn func()) *Event {
-	if fn == nil {
-		panic("sim: Schedule with nil fn")
+func (k *Kernel) allocEvent() *Event {
+	if ev := k.free; ev != nil {
+		k.free = ev.next
+		ev.next = nil
+		return ev
 	}
+	return &Event{}
+}
+
+// reap recycles an event onto the free list, invalidating outstanding Timer
+// handles via the generation bump.
+func (k *Kernel) reap(ev *Event) {
+	ev.gen++
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	ev.canceled = false
+	ev.next = k.free
+	k.free = ev
+	k.queued--
+}
+
+func (k *Kernel) schedule(delay time.Duration, fn func(), afn func(any), arg any) Timer {
 	if delay < 0 {
 		delay = 0
 	}
+	ev := k.allocEvent()
 	k.seq++
-	ev := &Event{at: k.now + delay, seq: k.seq, fn: fn}
-	heap.Push(&k.events, ev)
-	return ev
+	ev.at = k.now + delay
+	ev.seq = k.seq
+	ev.fn, ev.afn, ev.arg = fn, afn, arg
+	k.wh.insert(ev)
+	k.queued++
+	return Timer{k: k, ev: ev, gen: ev.gen}
+}
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero (run at the current instant, after already-pending events at this
+// instant).
+func (k *Kernel) Schedule(delay time.Duration, fn func()) Timer {
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	return k.schedule(delay, fn, nil, nil)
+}
+
+// ScheduleArg runs fn(arg) after delay. It exists so hot paths can schedule
+// without constructing a fresh closure per event: fn is typically a package-
+// level function and arg a pooled state object.
+func (k *Kernel) ScheduleArg(delay time.Duration, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: ScheduleArg with nil fn")
+	}
+	return k.schedule(delay, nil, fn, arg)
 }
 
 // ScheduleAt runs fn at absolute virtual time t (clamped to now).
-func (k *Kernel) ScheduleAt(t time.Duration, fn func()) *Event {
+func (k *Kernel) ScheduleAt(t time.Duration, fn func()) Timer {
 	return k.Schedule(t-k.now, fn)
 }
 
-// Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op. It returns true if the event was
-// pending.
-func (k *Kernel) Cancel(ev *Event) bool {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
+// nextLive returns the earliest live event, extracting the next due batch
+// from the wheel as needed, or nil when nothing remains. The returned event
+// is left at k.due[k.dueIdx].
+func (k *Kernel) nextLive() *Event {
+	for {
+		for k.dueIdx < len(k.due) {
+			ev := k.due[k.dueIdx]
+			if !ev.canceled {
+				return ev
+			}
+			k.dueIdx++
+			k.reap(ev)
 		}
-		return false
+		k.due = k.due[:0]
+		k.dueIdx = 0
+		tmin, ok := k.wh.minLive()
+		if !ok {
+			if k.queued > 0 {
+				// Only canceled events remain; drop them all.
+				k.wh.purgeInto(k)
+			}
+			return nil
+		}
+		k.wh.extract(tmin, k)
 	}
-	ev.canceled = true
-	heap.Remove(&k.events, ev.index)
-	return true
+}
+
+// peekAt returns the timestamp of the earliest live event without extracting
+// from the wheel (extraction advances the wheel's reference instant, which
+// must not happen for events the caller may decline to run).
+func (k *Kernel) peekAt() (time.Duration, bool) {
+	for k.dueIdx < len(k.due) {
+		ev := k.due[k.dueIdx]
+		if !ev.canceled {
+			return ev.at, true
+		}
+		k.dueIdx++
+		k.reap(ev)
+	}
+	return k.wh.minLive()
 }
 
 // Step executes the single earliest pending event and returns true, or
-// returns false if no events remain.
+// returns false if no live events remain.
 func (k *Kernel) Step() bool {
-	for k.events.Len() > 0 {
-		ev := heap.Pop(&k.events).(*Event)
-		if ev.canceled {
-			continue
-		}
-		if ev.at < k.now {
-			panic(fmt.Sprintf("sim: time went backwards: event at %v, now %v", ev.at, k.now))
-		}
-		k.now = ev.at
-		k.executed++
-		if k.limit > 0 && k.executed > k.limit {
-			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", k.limit, k.now))
-		}
-		ev.fn()
-		return true
+	ev := k.nextLive()
+	if ev == nil {
+		return false
 	}
-	return false
+	k.dueIdx++
+	if ev.at < k.now {
+		panic(fmt.Sprintf("sim: time went backwards: event at %v, now %v", ev.at, k.now))
+	}
+	k.now = ev.at
+	k.executed++
+	if k.limit > 0 && k.executed > k.limit {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", k.limit, k.now))
+	}
+	// Recycle before the callback: a handle stopped from within its own
+	// callback (or re-armed) then correctly reports not-pending.
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	k.reap(ev)
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run processes events until the queue drains.
@@ -157,13 +240,9 @@ func (k *Kernel) Run() {
 // RunUntil processes events with timestamps <= t, then advances the clock to
 // t (if it is in the future). Events scheduled beyond t remain pending.
 func (k *Kernel) RunUntil(t time.Duration) {
-	for k.events.Len() > 0 {
-		next := k.events[0]
-		if next.canceled {
-			heap.Pop(&k.events)
-			continue
-		}
-		if next.at > t {
+	for {
+		at, ok := k.peekAt()
+		if !ok || at > t {
 			break
 		}
 		k.Step()
@@ -178,4 +257,4 @@ func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now + d) }
 
 // Pending returns the number of events still queued (including canceled
 // entries not yet reaped).
-func (k *Kernel) Pending() int { return k.events.Len() }
+func (k *Kernel) Pending() int { return k.queued }

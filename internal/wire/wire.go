@@ -176,26 +176,8 @@ var (
 	ErrBadChecksum = errors.New("wire: checksum verification failed")
 )
 
-// Encode serializes the PDU into a single packet buffer: the header is pushed
-// into the payload's headroom and the checksum appended as a trailer. The
-// returned message owns one reference that the caller must release after the
-// provider copies it out (providers copy synchronously).
-//
-// Encode consumes nothing: if p.Payload is non-nil, its refcount is bumped
-// via Clone before the header push, so retransmission buffers keep a clean
-// payload view.
-func Encode(p *PDU, kind ChecksumKind) *message.Message {
-	var m *message.Message
-	if p.Payload != nil {
-		m = p.Payload.Clone().CopyOnWrite(message.DefaultHeadroom)
-	} else {
-		m = message.Alloc(0, message.DefaultHeadroom)
-	}
-	h := p.Header
-	h.SetChecksum(kind)
-	h.PayloadLen = uint16(m.Len())
-
-	buf := m.Push(HeaderLen)
+// putHeader serializes h into buf, which must be at least HeaderLen bytes.
+func putHeader(buf []byte, h *Header) {
 	buf[0] = Version<<4 | uint8(h.Type)&0x0f
 	buf[1] = h.Flags
 	binary.BigEndian.PutUint16(buf[2:], h.SrcPort)
@@ -206,22 +188,78 @@ func Encode(p *PDU, kind ChecksumKind) *message.Message {
 	binary.BigEndian.PutUint32(buf[16:], h.Ack)
 	binary.BigEndian.PutUint16(buf[20:], h.PayloadLen)
 	binary.BigEndian.PutUint16(buf[22:], h.Aux)
-
-	sum := checksum(kind, m.Bytes())
-	trailer := m.PushTail(TrailerLen)
-	binary.BigEndian.PutUint32(trailer, sum)
-	return m
 }
 
-// Decode parses a packet into a PDU. The returned PDU's payload is a fresh
-// message that copies out of pkt (providers reuse their receive buffers).
-// Verification failures return ErrBadChecksum with a nil PDU.
-func Decode(pkt []byte) (*PDU, error) {
+// EncodeTo serializes the PDU and hands the complete packet to emit. The
+// packet slice is valid only for the duration of the call: providers copy
+// synchronously (the netapi.Endpoint contract), which is what makes the
+// zero-copy fast path sound.
+//
+// Fast path: when the payload is exclusively owned (Refs()==1) and has
+// HeaderLen of headroom plus TrailerLen of tailroom, the header and trailer
+// are built in place around the existing payload bytes — no intermediate
+// buffer, no copy — and the view is restored after emit returns, so
+// retransmission buffers keep a clean payload view. Shared payloads (split
+// segments, clones held by retransmission buffers with the header region
+// aliasing a sibling's bytes) and header-only PDUs take a pooled-scratch
+// path with a single copy.
+//
+// EncodeTo consumes nothing; p and its payload are unchanged on return.
+func EncodeTo(p *PDU, kind ChecksumKind, emit func(pkt []byte) error) error {
+	h := p.Header
+	h.SetChecksum(kind)
+	m := p.Payload
+	if m != nil && m.Refs() == 1 && m.Headroom() >= HeaderLen && m.Tailroom() >= TrailerLen {
+		h.PayloadLen = uint16(m.Len())
+		putHeader(m.Push(HeaderLen), &h)
+		sum := checksum(kind, m.Bytes())
+		binary.BigEndian.PutUint32(m.PushTail(TrailerLen), sum)
+		err := emit(m.Bytes())
+		m.TrimTail(TrailerLen)
+		m.Pop(HeaderLen)
+		return err
+	}
+
+	plen := 0
+	if m != nil {
+		plen = m.Len()
+	}
+	h.PayloadLen = uint16(plen)
+	pkt := message.GetSlab(HeaderLen + plen + TrailerLen)
+	putHeader(pkt, &h)
+	if plen > 0 {
+		copy(pkt[HeaderLen:], m.Bytes())
+	}
+	sum := checksum(kind, pkt[:HeaderLen+plen])
+	binary.BigEndian.PutUint32(pkt[HeaderLen+plen:], sum)
+	err := emit(pkt)
+	message.PutSlab(pkt)
+	return err
+}
+
+// Encode serializes the PDU into a single packet buffer drawn from the
+// message pool. The returned message owns one reference that the caller must
+// release after the provider copies it out. Hot paths should prefer EncodeTo,
+// which avoids materializing the packet as a Message at all.
+func Encode(p *PDU, kind ChecksumKind) *message.Message {
+	var out *message.Message
+	_ = EncodeTo(p, kind, func(pkt []byte) error {
+		out = message.PooledFromBytes(pkt)
+		return nil
+	})
+	return out
+}
+
+// DecodeInto parses a packet into the caller-supplied PDU, overwriting it.
+// The payload (if any) is a pooled message copied out of pkt (providers
+// reuse their receive buffers). On error the PDU is left unmodified and no
+// payload is allocated.
+func DecodeInto(pkt []byte, p *PDU) error {
 	if len(pkt) < Overhead {
-		return nil, ErrTooShort
+		return ErrTooShort
 	}
 	if pkt[0]>>4 != Version {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
 	var h Header
 	h.Type = Type(pkt[0] & 0x0f)
@@ -237,15 +275,26 @@ func Decode(pkt []byte) (*PDU, error) {
 
 	body := pkt[:len(pkt)-TrailerLen]
 	if int(h.PayloadLen) != len(body)-HeaderLen {
-		return nil, ErrBadLength
+		return ErrBadLength
 	}
 	want := binary.BigEndian.Uint32(pkt[len(pkt)-TrailerLen:])
 	if got := checksum(h.Checksum(), body); got != want {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
-	p := &PDU{Header: h}
+	p.Header = h
+	p.Payload = nil
 	if h.PayloadLen > 0 {
-		p.Payload = message.NewFromBytes(body[HeaderLen:])
+		p.Payload = message.PooledFromBytes(body[HeaderLen:])
+	}
+	return nil
+}
+
+// Decode parses a packet into a freshly allocated PDU. Verification failures
+// return a nil PDU and the error.
+func Decode(pkt []byte) (*PDU, error) {
+	p := new(PDU)
+	if err := DecodeInto(pkt, p); err != nil {
+		return nil, err
 	}
 	return p, nil
 }

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Runs the packet-path and kernel micro-benchmarks with -benchmem -count=5
+# and distills the raw `go test` output into BENCH_datapath.json, one object
+# per (benchmark, run) with ns/op, B/op, and allocs/op.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PATTERN='BenchmarkWireEncode$|BenchmarkWireEncodeTo|BenchmarkWireDecode$|BenchmarkWireDecodeInto|BenchmarkChecksums|BenchmarkMessagePushPop|BenchmarkMessageSplitClone|BenchmarkNetsimPacketForwarding|BenchmarkSimKernelEvents|BenchmarkKernelChurn'
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count=5 . | tee BENCH_datapath.txt
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; nsop = ""; bop = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     nsop   = $(i-1)
+        if ($i == "B/op")      bop    = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (nsop == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, (bop == "" ? "null" : bop), (allocs == "" ? "null" : allocs)
+}
+END { print "\n]" }
+' BENCH_datapath.txt > BENCH_datapath.json
+
+echo "wrote BENCH_datapath.json ($(grep -c '"name"' BENCH_datapath.json) samples)"
