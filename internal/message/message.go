@@ -141,7 +141,7 @@ func (m *Message) Tailroom() int { return len(m.buf.data) - (m.off + m.n) }
 // check panics under poison mode when the message's buffer has already been
 // fully released (use-after-final-release detection on the read path).
 func (m *Message) check() {
-	if poisonMode && m.buf.refs.Load() <= 0 {
+	if poisonMode.Load() && m.buf.refs.Load() <= 0 {
 		panic("message: use after final release")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // Size-classed buffer pooling (ADAPTIVE §4.2.1).
@@ -55,21 +56,22 @@ var bufPools [numClasses]sync.Pool
 // poisonByte fills released pooled buffers in poison mode.
 const poisonByte = 0xDB
 
-// poisonMode is plain (non-atomic) by design: it is set once at init from
-// ADAPTIVE_MSG_POISON, or from single-threaded test setup via SetPoison,
-// so the hot-path read costs nothing.
-var poisonMode = os.Getenv("ADAPTIVE_MSG_POISON") == "1"
+// poisonMode is atomic so tests may toggle it while other goroutines hold
+// messages without a data race; the relaxed load on the hot path compiles to
+// a plain load on mainstream architectures.
+var poisonMode atomic.Bool
 
-// SetPoison toggles poison mode and returns the previous setting. Tests only;
-// not safe to call while messages are in flight on other goroutines.
+func init() { poisonMode.Store(os.Getenv("ADAPTIVE_MSG_POISON") == "1") }
+
+// SetPoison toggles poison mode and returns the previous setting (tests only).
+// The switch itself is race-free, but buffers released while the mode was off
+// carry no poison fill, so enable it before the traffic under test starts.
 func SetPoison(on bool) bool {
-	prev := poisonMode
-	poisonMode = on
-	return prev
+	return poisonMode.Swap(on)
 }
 
 // PoisonEnabled reports whether poison-mode debugging is active.
-func PoisonEnabled() bool { return poisonMode }
+func PoisonEnabled() bool { return poisonMode.Load() }
 
 // getBuffer returns a buffer with refs=1 whose data slice has length >= total.
 // Pooled when total fits a size class, plain heap otherwise. Contents are NOT
@@ -102,7 +104,7 @@ func recycle(b *buffer) {
 	if b.class < 0 {
 		return
 	}
-	if poisonMode {
+	if poisonMode.Load() {
 		for i := range b.data {
 			b.data[i] = poisonByte
 		}

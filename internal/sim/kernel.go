@@ -45,13 +45,16 @@ type Timer struct {
 func (t Timer) live() bool { return t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled }
 
 // Stop cancels the event; it reports whether the event was still pending.
-// Stopping a fired or already-stopped timer is a no-op. Cancellation is lazy:
-// the event is marked and reaped when the kernel next touches it.
+// Stopping a fired or already-stopped timer is a no-op. Cancellation is lazy —
+// the event object is reaped when the kernel next touches it — but the
+// kernel's live-event count is adjusted here, so Pending() never counts
+// stopped events.
 func (t Timer) Stop() bool {
 	if !t.live() {
 		return false
 	}
 	t.ev.canceled = true
+	t.k.stopped++
 	return true
 }
 
@@ -80,6 +83,7 @@ type Kernel struct {
 	rng      *rand.Rand
 	executed uint64
 	queued   int    // scheduled events not yet fired or reaped
+	stopped  int    // canceled events awaiting reap (queued includes them)
 	limit    uint64 // safety valve against runaway simulations; 0 = none
 }
 
@@ -116,7 +120,10 @@ func (k *Kernel) allocEvent() *Event {
 func (k *Kernel) reap(ev *Event) {
 	ev.gen++
 	ev.fn, ev.afn, ev.arg = nil, nil, nil
-	ev.canceled = false
+	if ev.canceled {
+		ev.canceled = false
+		k.stopped--
+	}
 	ev.next = k.free
 	k.free = ev
 	k.queued--
@@ -255,6 +262,6 @@ func (k *Kernel) RunUntil(t time.Duration) {
 // RunFor advances the simulation by d of virtual time.
 func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now + d) }
 
-// Pending returns the number of events still queued (including canceled
-// entries not yet reaped).
-func (k *Kernel) Pending() int { return k.queued }
+// Pending returns the number of live events still queued. Stopped timers are
+// excluded immediately, even though their event objects are reaped lazily.
+func (k *Kernel) Pending() int { return k.queued - k.stopped }

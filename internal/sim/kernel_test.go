@@ -274,6 +274,33 @@ func TestPendingReapsAllCanceled(t *testing.T) {
 	}
 }
 
+func TestPendingExcludesStoppedImmediately(t *testing.T) {
+	// Cancellation reaps event objects lazily, but Pending must reflect a
+	// Stop right away — callers poll it for quiescence and metrics.
+	k := NewKernel(1)
+	a := k.Schedule(time.Millisecond, func() {})
+	b := k.Schedule(2*time.Millisecond, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", k.Pending())
+	}
+	a.Stop()
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d immediately after Stop, want 1", k.Pending())
+	}
+	a.Stop() // no-op: must not double-count
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d after redundant Stop, want 1", k.Pending())
+	}
+	b.Stop()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after stopping all, want 0", k.Pending())
+	}
+	k.Run()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", k.Pending())
+	}
+}
+
 func TestFarFutureEventsOverflowHeap(t *testing.T) {
 	// Events beyond the wheel span (> ~78h) take the heap fallback and must
 	// still fire in order and interleave correctly with near events.

@@ -57,6 +57,48 @@ func TestEncodeToFastPathInPlace(t *testing.T) {
 	payload.Release()
 }
 
+// A synchronous transport (loopback) can re-enter the protocol from inside
+// emit and release the sender's last reference to the payload — e.g. a
+// retransmitted packet is delivered and acked in the same call stack, so the
+// retransmission buffer drops the message while EncodeTo is still on it.
+// The fast path must pin the buffer so it is neither recycled into the pool
+// (where a mid-emit allocation could scribble on it) nor flagged as
+// use-after-release when the view is restored.
+func TestEncodeToReentrantReleaseDuringEmit(t *testing.T) {
+	prev := message.SetPoison(true)
+	defer message.SetPoison(prev)
+
+	want := bytes.Repeat([]byte{0x3c, 0xc3}, 24)
+	payload := message.AllocPooled(len(want), message.DefaultHeadroom)
+	copy(payload.Bytes(), want)
+	p := &PDU{Header: hdrForTest(), Payload: payload}
+
+	var captured []byte
+	err := EncodeTo(p, CkCRC32, func(pkt []byte) error {
+		payload.Release() // peer acked synchronously; owner drops its reference
+		// Pooled churn mid-emit: without the pin, the just-released buffer
+		// could be handed back here while pkt still aliases it.
+		scratch := message.AllocPooled(len(want), message.DefaultHeadroom)
+		for i := range scratch.Bytes() {
+			scratch.Bytes()[i] = 0xFF
+		}
+		scratch.Release()
+		captured = append([]byte(nil), pkt...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, derr := Decode(captured)
+	if derr != nil {
+		t.Fatalf("decode of packet emitted during reentrant release: %v", derr)
+	}
+	defer got.ReleasePayload()
+	if !bytes.Equal(got.PayloadBytes(), want) {
+		t.Fatal("payload corrupted by reentrant release during emit")
+	}
+}
+
 func TestEncodeToInsufficientHeadroomSlowPath(t *testing.T) {
 	// Headroom smaller than HeaderLen forces the scratch-copy path; the
 	// result must still decode identically.

@@ -204,19 +204,31 @@ func putHeader(buf []byte, h *Header) {
 // aliasing a sibling's bytes) and header-only PDUs take a pooled-scratch
 // path with a single copy.
 //
-// EncodeTo consumes nothing; p and its payload are unchanged on return.
+// EncodeTo consumes nothing; p and its payload are unchanged on return. The
+// payload buffer is pinned (an extra reference is held) for the duration of
+// emit, so a synchronous transport that re-enters the protocol and drops the
+// last caller-side reference cannot recycle the buffer out from under the
+// packet slice.
 func EncodeTo(p *PDU, kind ChecksumKind, emit func(pkt []byte) error) error {
 	h := p.Header
 	h.SetChecksum(kind)
 	m := p.Payload
 	if m != nil && m.Refs() == 1 && m.Headroom() >= HeaderLen && m.Tailroom() >= TrailerLen {
 		h.PayloadLen = uint16(m.Len())
+		// A synchronous transport (loopback) can re-enter the protocol from
+		// inside emit and drop the caller's reference — e.g. a retransmit's
+		// packet is acked synchronously and the retransmission buffer
+		// releases the payload. Pin the buffer for the duration of the call
+		// so the final release (and pool recycling) is deferred until the
+		// emitted slice is no longer aliased.
+		m.Retain()
 		putHeader(m.Push(HeaderLen), &h)
 		sum := checksum(kind, m.Bytes())
 		binary.BigEndian.PutUint32(m.PushTail(TrailerLen), sum)
 		err := emit(m.Bytes())
 		m.TrimTail(TrailerLen)
 		m.Pop(HeaderLen)
+		m.Release()
 		return err
 	}
 
