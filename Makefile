@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench clean
+.PHONY: build test verify bench faults clean
 
 build:
 	$(GO) build ./...
@@ -9,11 +9,24 @@ test:
 	$(GO) test ./...
 
 # verify is the tier-1 gate: build, vet, tests, and the race detector.
+# staticcheck runs when installed (no network fetch in the gate); any
+# finding fails the build.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 	$(GO) test ./...
 	$(GO) test -race ./...
+
+# faults runs the E9 fault-injection sweep twice and verifies the two runs
+# produce identical output (the experiment itself additionally compares the
+# UNITES snapshots of two same-seed runs byte-for-byte).
+faults:
+	./scripts/faults_e9.sh
 
 # bench runs the data-path micro-benchmarks (packet codec, message pool,
 # netsim forwarding, sim kernel) 5 times with allocation stats and writes
@@ -22,4 +35,4 @@ bench:
 	./scripts/bench_datapath.sh
 
 clean:
-	rm -f BENCH_datapath.json BENCH_datapath.txt
+	rm -f BENCH_datapath.json BENCH_datapath.txt FAULTS_e9_run1.txt FAULTS_e9_run2.txt

@@ -22,13 +22,13 @@
 // (Stage I), derives the mechanisms (Stage II), and TKO synthesizes the
 // session (Stage III):
 //
-//	node, _ := adaptive.NewNode(adaptive.Options{Provider: network, Host: hostID})
+//	node, _ := adaptive.NewNode(adaptive.WithProvider(network), adaptive.WithHost(hostID))
 //	conn, _ := node.Dial(&adaptive.ACD{
 //	    Participants: []adaptive.Addr{peer},
 //	    RemotePort:   80,
 //	    Quant:        adaptive.QuantQoS{AvgThroughputBps: 2e6, MaxLatency: 100 * time.Millisecond},
 //	    Qual:         adaptive.QualQoS{Ordered: true},
-//	}, 0)
+//	}, nil)
 //	conn.OnReceive(func(data []byte, eom bool) { ... })
 //	conn.Send(payload)
 //
@@ -38,6 +38,7 @@
 package adaptive
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -102,6 +103,7 @@ const (
 	NoteAppLoss         = mechanism.NoteAppLoss
 	NoteSendQueueEmpty  = mechanism.NoteSendQueueEmpty
 	NotePolicyAction    = mechanism.NotePolicyAction
+	NotePeerDead        = mechanism.NotePeerDead
 )
 
 // Re-exported TSC constants.
@@ -153,6 +155,10 @@ const (
 )
 
 // Options configures a Node.
+//
+// Deprecated: pass functional options (WithProvider, WithHost, WithRules,
+// WithMetrics, ...) to NewNode instead. The struct — and its shim
+// NewNodeFromOptions — remain for one release.
 type Options struct {
 	// Provider supplies the network and clock (netsim.Network or
 	// udpnet.Provider).
@@ -170,6 +176,42 @@ type Options struct {
 	Name string
 	// Synth overrides the TKO synthesizer (template experiments).
 	Synth *tko.Synthesizer
+	// Rules are node-level default TSA rules, applied to dialed
+	// connections whose ACD carries no policy of its own.
+	Rules []Rule
+}
+
+// Option configures one aspect of a Node (functional options for NewNode).
+type Option func(*Options)
+
+// WithProvider supplies the network and clock (netsim.Network or
+// udpnet.Provider). Required.
+func WithProvider(p Provider) Option { return func(o *Options) { o.Provider = p } }
+
+// WithHost sets this node's identity on the provider.
+func WithHost(h HostID) Option { return func(o *Options) { o.Host = h } }
+
+// WithSAPPort overrides the transport service access point port.
+func WithSAPPort(port uint16) Option { return func(o *Options) { o.SAPPort = port } }
+
+// WithSeed feeds the node's deterministic randomness.
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithMetrics routes UNITES instrumentation for every session on this node
+// into the repository.
+func WithMetrics(r *unites.Repository) Option { return func(o *Options) { o.Metrics = r } }
+
+// WithName tags this node's metrics scope.
+func WithName(name string) Option { return func(o *Options) { o.Name = name } }
+
+// WithSynthesizer overrides the TKO synthesizer (template experiments).
+func WithSynthesizer(s *tko.Synthesizer) Option { return func(o *Options) { o.Synth = s } }
+
+// WithRules installs node-level default TSA rules: dialed connections whose
+// ACD names no policy of its own run under these (typically graceful-
+// degradation rules reacting to loss and delay shifts).
+func WithRules(rules ...Rule) Option {
+	return func(o *Options) { o.Rules = append(o.Rules, rules...) }
 }
 
 // Node is one host's complete ADAPTIVE transport system instance: a
@@ -178,12 +220,26 @@ type Node struct {
 	stack  *protograph.Stack
 	entity *mantts.Entity
 	name   string
+	rules  []Rule
 }
 
 // NewNode brings up ADAPTIVE on a host.
-func NewNode(opts Options) (*Node, error) {
+func NewNode(opts ...Option) (*Node, error) {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return newNode(o)
+}
+
+// NewNodeFromOptions brings up ADAPTIVE from an Options struct.
+//
+// Deprecated: use NewNode with functional options.
+func NewNodeFromOptions(opts Options) (*Node, error) { return newNode(opts) }
+
+func newNode(opts Options) (*Node, error) {
 	if opts.Provider == nil {
-		return nil, fmt.Errorf("adaptive: Options.Provider is required")
+		return nil, fmt.Errorf("adaptive: a Provider is required (WithProvider)")
 	}
 	name := opts.Name
 	if name == "" {
@@ -205,7 +261,7 @@ func NewNode(opts Options) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Node{stack: stack, entity: mantts.NewEntity(stack), name: name}
+	n := &Node{stack: stack, entity: mantts.NewEntity(stack), name: name, rules: opts.Rules}
 	return n, nil
 }
 
@@ -236,26 +292,139 @@ func (n *Node) OnNotification(fn func(connID uint32, note Notification)) {
 	n.entity.Notify = fn
 }
 
+// DialOptions names the optional per-dial parameters (replacing the opaque
+// trailing integer argument of the pre-1.0 Dial signature). The zero value
+// — or a nil *DialOptions — keeps every default.
+type DialOptions struct {
+	// LocalPort fixes the local transport port; 0 selects an ephemeral one.
+	LocalPort uint16
+	// EstablishTimeout bounds connection establishment: handshake retries
+	// back off exponentially and the dial fails (NoteEstablishFailed) once
+	// this much session-clock time passes. Zero keeps only the retry-count
+	// bound.
+	EstablishTimeout time.Duration
+	// Keepalive enables dead-peer detection: an idle established connection
+	// probes the peer this often and raises NotePeerDead after DeadInterval
+	// of silence. Zero disables keepalives.
+	Keepalive time.Duration
+	// DeadInterval is the silence threshold for declaring the peer dead;
+	// it defaults to three Keepalive periods.
+	DeadInterval time.Duration
+}
+
 // Dial opens a connection described by an ACD. MANTTS performs the full
 // three-stage transformation; the returned Conn is usable immediately (data
-// queues until establishment completes).
-func (n *Node) Dial(acd *ACD, localPort uint16) (*Conn, error) {
-	m, err := n.entity.OpenSession(acd, localPort)
+// queues until establishment completes). opts may be nil.
+func (n *Node) Dial(acd *ACD, opts *DialOptions) (*Conn, error) {
+	return n.DialContext(context.Background(), acd, opts)
+}
+
+// DialContext is Dial under a context: cancellation or deadline expiry
+// aborts establishment retry (the connection reports NoteEstablishFailed).
+//
+// The session may run on a virtual clock (netsim); a context deadline is
+// mapped to an equivalent session-clock establishment timeout at dial time,
+// and cancellation is observed by a session timer polling ctx between
+// handshake events — deterministic under simulation, prompt over UDP.
+func (n *Node) DialContext(ctx context.Context, acd *ACD, opts *DialOptions) (*Conn, error) {
+	do, err := dialOptionsUnder(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{node: n, managed: m, sess: m.Session}, nil
+	m, err := n.entity.OpenSessionWith(acd, mantts.OpenOptions{
+		LocalPort:  do.LocalPort,
+		DefaultTSA: n.rules,
+		AdjustSpec: func(s *Spec) { do.applyTo(s) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{node: n, managed: m, sess: m.Session}
+	n.watchContext(ctx, c)
+	return c, nil
 }
 
 // DialSpec bypasses MANTTS and opens a session with an explicit SCS
 // (experiments and backward-compatibility templates).
 func (n *Node) DialSpec(spec Spec, peer Addr, localPort, peerPort uint16) (*Conn, error) {
+	return n.DialSpecContext(context.Background(), spec, peer, localPort, peerPort)
+}
+
+// DialSpecContext is DialSpec under a context (see DialContext).
+func (n *Node) DialSpecContext(ctx context.Context, spec Spec, peer Addr, localPort, peerPort uint16) (*Conn, error) {
+	if _, err := dialOptionsUnder(ctx, nil); err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); spec.EstablishTimeout == 0 || rem < spec.EstablishTimeout {
+			spec.EstablishTimeout = rem
+		}
+	}
 	s, _, err := n.stack.CreateActiveSession(&spec, peer, localPort, peerPort)
 	if err != nil {
 		return nil, err
 	}
 	s.Open()
-	return &Conn{node: n, sess: s}, nil
+	c := &Conn{node: n, sess: s}
+	n.watchContext(ctx, c)
+	return c, nil
+}
+
+// dialOptionsUnder folds a context's deadline into the dial options and
+// rejects an already-expired context.
+func dialOptionsUnder(ctx context.Context, opts *DialOptions) (DialOptions, error) {
+	var do DialOptions
+	if opts != nil {
+		do = *opts
+	}
+	if err := ctx.Err(); err != nil {
+		return do, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return do, context.DeadlineExceeded
+		}
+		if do.EstablishTimeout == 0 || rem < do.EstablishTimeout {
+			do.EstablishTimeout = rem
+		}
+	}
+	return do, nil
+}
+
+// applyTo writes the dial-time knobs into the derived SCS.
+func (do DialOptions) applyTo(s *Spec) {
+	if do.EstablishTimeout > 0 {
+		s.EstablishTimeout = do.EstablishTimeout
+	}
+	if do.Keepalive > 0 {
+		s.KeepaliveInterval = do.Keepalive
+		s.DeadInterval = do.DeadInterval // Normalize defaults it to 3x
+	}
+}
+
+// watchContext aborts an in-progress establishment when ctx is canceled. A
+// context without cancellation costs nothing. Observation runs on the
+// session's timer wheel rather than a goroutine, so it is deterministic
+// under the single-threaded simulation kernel.
+func (n *Node) watchContext(ctx context.Context, c *Conn) {
+	if ctx.Done() == nil {
+		return
+	}
+	const pollEvery = 10 * time.Millisecond
+	timers := n.stack.Timers()
+	var tick func()
+	tick = func() {
+		if c.sess.Established() || c.sess.Closed() {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			c.sess.AbortEstablish("dial canceled: " + err.Error())
+			return
+		}
+		timers.Schedule(pollEvery, tick)
+	}
+	timers.Schedule(pollEvery, tick)
 }
 
 // Listen accepts connections on a transport port. The accept callback runs

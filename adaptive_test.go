@@ -24,11 +24,11 @@ func simPair(t *testing.T, link netsim.LinkConfig) (*sim.Kernel, *netsim.Network
 	ab, ba := net.NewLink(link), net.NewLink(link)
 	net.SetRoute(ha.ID(), hb.ID(), ab)
 	net.SetRoute(hb.ID(), ha.ID(), ba)
-	na, err := adaptive.NewNode(adaptive.Options{Provider: net, Host: ha.ID(), Seed: 1, Name: "a"})
+	na, err := adaptive.NewNode(adaptive.WithProvider(net), adaptive.WithHost(ha.ID()), adaptive.WithSeed(1), adaptive.WithName("a"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	nb, err := adaptive.NewNode(adaptive.Options{Provider: net, Host: hb.ID(), Seed: 2, Name: "b"})
+	nb, err := adaptive.NewNode(adaptive.WithProvider(net), adaptive.WithHost(hb.ID()), adaptive.WithSeed(2), adaptive.WithName("b"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestDialAndTransfer(t *testing.T) {
 		RemotePort:   80,
 		Quant:        adaptive.QuantQoS{AvgThroughputBps: 5e6},
 		Qual:         adaptive.QualQoS{Ordered: true},
-	}, 0)
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestNotificationsSurface(t *testing.T) {
 		Participants: []adaptive.Addr{nb.Addr()},
 		RemotePort:   80,
 		Qual:         adaptive.QualQoS{Ordered: true},
-	}, 0)
+	}, nil)
 	conn.Send([]byte("x"))
 	k.RunUntil(time.Second)
 	conn.Close()
@@ -108,7 +108,7 @@ func TestReconfigureViaFacade(t *testing.T) {
 		Participants: []adaptive.Addr{nb.Addr()},
 		RemotePort:   80,
 		Qual:         adaptive.QualQoS{Ordered: true},
-	}, 0)
+	}, nil)
 	conn.Send(bytes.Repeat([]byte("y"), 50000))
 	k.RunUntil(200 * time.Millisecond)
 	conn.Reconfigure(func(s *adaptive.Spec) { s.Recovery = adaptive.RecoveryGoBackN })
@@ -129,14 +129,14 @@ func TestMetricsRepositoryWired(t *testing.T) {
 	net.SetRoute(ha.ID(), hb.ID(), l1)
 	net.SetRoute(hb.ID(), ha.ID(), l2)
 	repo := unites.NewRepository()
-	na, _ := adaptive.NewNode(adaptive.Options{Provider: net, Host: ha.ID(), Metrics: repo, Name: "alpha"})
-	nb, _ := adaptive.NewNode(adaptive.Options{Provider: net, Host: hb.ID(), Metrics: repo, Name: "beta"})
+	na, _ := adaptive.NewNode(adaptive.WithProvider(net), adaptive.WithHost(ha.ID()), adaptive.WithMetrics(repo), adaptive.WithName("alpha"))
+	nb, _ := adaptive.NewNode(adaptive.WithProvider(net), adaptive.WithHost(hb.ID()), adaptive.WithMetrics(repo), adaptive.WithName("beta"))
 	nb.Listen(80, nil, func(c *adaptive.Conn) { c.OnReceive(func([]byte, bool) {}) })
 	conn, _ := na.Dial(&adaptive.ACD{
 		Participants: []adaptive.Addr{nb.Addr()},
 		RemotePort:   80,
 		Qual:         adaptive.QualQoS{Ordered: true},
-	}, 0)
+	}, nil)
 	conn.Send(bytes.Repeat([]byte("m"), 10000))
 	k.RunUntil(10 * time.Second)
 	if repo.TotalCounter("pdu.sent") == 0 {
@@ -161,15 +161,15 @@ func TestTMCSelectiveInstrumentation(t *testing.T) {
 	net.SetRoute(ha.ID(), hb.ID(), net.NewLink(netsim.LinkConfig{Bandwidth: 10e6, MTU: 1500}))
 	net.SetRoute(hb.ID(), ha.ID(), net.NewLink(netsim.LinkConfig{Bandwidth: 10e6, MTU: 1500}))
 	repo := unites.NewRepository()
-	na, _ := adaptive.NewNode(adaptive.Options{Provider: net, Host: ha.ID(), Metrics: repo, Name: "filtered"})
-	nb, _ := adaptive.NewNode(adaptive.Options{Provider: net, Host: hb.ID(), Name: "peer"})
+	na, _ := adaptive.NewNode(adaptive.WithProvider(net), adaptive.WithHost(ha.ID()), adaptive.WithMetrics(repo), adaptive.WithName("filtered"))
+	nb, _ := adaptive.NewNode(adaptive.WithProvider(net), adaptive.WithHost(hb.ID()), adaptive.WithName("peer"))
 	nb.Listen(80, nil, func(c *adaptive.Conn) { c.OnReceive(func([]byte, bool) {}) })
 	conn, err := na.Dial(&adaptive.ACD{
 		Participants: []adaptive.Addr{nb.Addr()},
 		RemotePort:   80,
 		Qual:         adaptive.QualQoS{Ordered: true},
 		TMC:          adaptive.TMC{Metrics: []string{"app."}}, // app family only
-	}, 0)
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestListenerAdjustNegotiation(t *testing.T) {
 		Participants: []adaptive.Addr{nb.Addr()},
 		RemotePort:   80,
 		Qual:         adaptive.QualQoS{Ordered: true},
-	}, 0)
+	}, nil)
 	conn.Send(bytes.Repeat([]byte("n"), 30000))
 	k.RunUntil(20 * time.Second)
 	if conn.Spec().WindowSize != 2 {
@@ -213,8 +213,8 @@ func TestNodeOverUDP(t *testing.T) {
 	var err1, err2 error
 	// Node creation opens sockets; do it off-loop, then interact with
 	// connections on the loop.
-	na, err1 = adaptive.NewNode(adaptive.Options{Provider: p, Host: 1, Seed: 1})
-	nb, err2 = adaptive.NewNode(adaptive.Options{Provider: p, Host: 2, Seed: 2})
+	na, err1 = adaptive.NewNode(adaptive.WithProvider(p), adaptive.WithHost(1), adaptive.WithSeed(1))
+	nb, err2 = adaptive.NewNode(adaptive.WithProvider(p), adaptive.WithHost(2), adaptive.WithSeed(2))
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -246,7 +246,7 @@ func TestNodeOverUDP(t *testing.T) {
 			RemotePort:   80,
 			Quant:        adaptive.QuantQoS{AvgThroughputBps: 50e6},
 			Qual:         adaptive.QualQoS{Ordered: true},
-		}, 0)
+		}, nil)
 		if err != nil {
 			t.Error(err)
 			return
@@ -335,9 +335,9 @@ func TestFacadeMulticastJoinLeave(t *testing.T) {
 	}
 	group := net.NewGroup()
 	net.Join(group, m1.ID())
-	sender, _ := adaptive.NewNode(adaptive.Options{Provider: net, Host: src.ID(), Seed: 1})
-	r1, _ := adaptive.NewNode(adaptive.Options{Provider: net, Host: m1.ID(), Seed: 2})
-	r2, _ := adaptive.NewNode(adaptive.Options{Provider: net, Host: m2.ID(), Seed: 3})
+	sender, _ := adaptive.NewNode(adaptive.WithProvider(net), adaptive.WithHost(src.ID()), adaptive.WithSeed(1))
+	r1, _ := adaptive.NewNode(adaptive.WithProvider(net), adaptive.WithHost(m1.ID()), adaptive.WithSeed(2))
+	r2, _ := adaptive.NewNode(adaptive.WithProvider(net), adaptive.WithHost(m2.ID()), adaptive.WithSeed(3))
 	heard := map[adaptive.HostID]int{}
 	for _, n := range []*adaptive.Node{r1, r2} {
 		host := n.Addr().Host
@@ -352,7 +352,7 @@ func TestFacadeMulticastJoinLeave(t *testing.T) {
 		},
 		RemotePort: 80,
 		Quant:      adaptive.QuantQoS{AvgThroughputBps: 1e6, LossTolerance: 0.05, MaxJitter: 10 * time.Millisecond},
-	}, 80)
+	}, &adaptive.DialOptions{LocalPort: 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +389,7 @@ func TestSeedPathInfluencesDerivation(t *testing.T) {
 		RemotePort:   80,
 		Quant:        adaptive.QuantQoS{MaxLatency: 100 * time.Millisecond},
 		Qual:         adaptive.QualQoS{Ordered: true},
-	}, 0)
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

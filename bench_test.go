@@ -97,8 +97,8 @@ func benchScenario(b *testing.B, spec adaptive.Spec, link netsim.LinkConfig, siz
 		ha, hb := net.AddHost(), net.AddHost()
 		net.SetRoute(ha.ID(), hb.ID(), net.NewLink(link))
 		net.SetRoute(hb.ID(), ha.ID(), net.NewLink(link))
-		na, _ := adaptive.NewNode(adaptive.Options{Provider: net, Host: ha.ID(), Seed: 1})
-		nb, _ := adaptive.NewNode(adaptive.Options{Provider: net, Host: hb.ID(), Seed: 2})
+		na, _ := adaptive.NewNode(adaptive.WithProvider(net), adaptive.WithHost(ha.ID()), adaptive.WithSeed(1))
+		nb, _ := adaptive.NewNode(adaptive.WithProvider(net), adaptive.WithHost(hb.ID()), adaptive.WithSeed(2))
 		got := 0
 		var doneAt time.Duration
 		nb.Listen(80, nil, func(c *adaptive.Conn) {

@@ -84,11 +84,11 @@ func main() {
 	network.SetRoute(b.ID(), a.ID(), network.NewLink(link))
 
 	repo := unites.NewRepository()
-	na, err := adaptive.NewNode(adaptive.Options{Provider: network, Host: a.ID(), Metrics: repo, Name: "sender", Seed: *seed})
+	na, err := adaptive.NewNode(adaptive.WithProvider(network), adaptive.WithHost(a.ID()), adaptive.WithMetrics(repo), adaptive.WithName("sender"), adaptive.WithSeed(*seed))
 	if err != nil {
 		log.Fatal(err)
 	}
-	nb, err := adaptive.NewNode(adaptive.Options{Provider: network, Host: b.ID(), Metrics: repo, Name: "receiver", Seed: *seed + 1})
+	nb, err := adaptive.NewNode(adaptive.WithProvider(network), adaptive.WithHost(b.ID()), adaptive.WithMetrics(repo), adaptive.WithName("receiver"), adaptive.WithSeed(*seed+1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func main() {
 				AvgThroughputBps: *bw * 0.8, MaxLatency: *latency, LossTolerance: *lossTol,
 			},
 			Qual: adaptive.QualQoS{Ordered: *order == "sequenced"},
-		}, 0)
+		}, nil)
 	} else {
 		spec := adaptive.Spec{
 			ConnMgmt:     parseConn(*conn),

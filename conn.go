@@ -1,8 +1,23 @@
 package adaptive
 
 import (
+	"errors"
+
 	"adaptive/internal/mantts"
 	"adaptive/internal/session"
+)
+
+// Errors returned by Conn operations.
+var (
+	// ErrClosed reports an operation on a fully terminated connection.
+	ErrClosed = errors.New("adaptive: connection closed")
+	// ErrUnmanaged reports an operation that needs MANTTS policy machinery
+	// (participant management) on a connection opened without it (DialSpec,
+	// passive accepts).
+	ErrUnmanaged = errors.New("adaptive: operation requires a MANTTS-managed connection")
+	// ErrNotMulticast reports participant management on a unicast
+	// connection.
+	ErrNotMulticast = mantts.ErrNotMulticast
 )
 
 // Conn is an open ADAPTIVE transport connection (one TKO_Session plus, when
@@ -32,8 +47,25 @@ func (c *Conn) OnReceive(fn func(data []byte, eom bool)) {
 func (c *Conn) OnDelivery(fn func(d Delivery)) { c.sess.SetReceiver(fn) }
 
 // Close terminates the connection with the configured semantics (graceful
-// closes drain acknowledged data first).
-func (c *Conn) Close() { c.sess.Close() }
+// closes drain acknowledged data first). Closing an already-terminated
+// connection returns ErrClosed; a close already in progress is a no-op.
+func (c *Conn) Close() error {
+	if c.sess.Closed() {
+		return ErrClosed
+	}
+	c.sess.Close()
+	return nil
+}
+
+// Abort terminates the connection immediately, skipping the closing
+// handshake and any graceful drain.
+func (c *Conn) Abort() error {
+	if c.sess.Closed() {
+		return ErrClosed
+	}
+	c.sess.Abort("application abort")
+	return nil
+}
 
 // Established reports whether data may flow.
 func (c *Conn) Established() bool { return c.sess.Established() }
@@ -59,29 +91,37 @@ func (c *Conn) TSC() (TSC, bool) {
 // Reconfigure applies an explicit SCS change (§4.1.2 "explicit
 // reconfiguration"): the mutation is negotiated with the peer over the
 // signaling channel and applied to the live session via segue. Connections
-// opened with DialSpec reconfigure locally only.
-func (c *Conn) Reconfigure(mutate func(s *Spec)) {
+// opened with DialSpec reconfigure locally only. Synthesis failures and
+// refused segues (immutable template sessions) are returned.
+func (c *Conn) Reconfigure(mutate func(s *Spec)) error {
+	if c.sess.Closed() {
+		return ErrClosed
+	}
 	if c.managed != nil {
-		c.node.entity.Reconfigure(c.managed, mutate)
-		return
+		return c.node.entity.Reconfigure(c.managed, mutate)
 	}
 	ns := *c.sess.Spec()
 	mutate(&ns)
-	c.sess.ApplySpec(&ns)
+	return c.sess.ApplySpec(&ns)
 }
 
-// AddParticipant invites a host into a multicast connection.
-func (c *Conn) AddParticipant(host HostID) {
-	if c.managed != nil {
-		c.node.entity.AddParticipant(c.managed, host)
+// AddParticipant invites a host into a multicast connection. It returns
+// ErrUnmanaged for connections without MANTTS machinery and ErrNotMulticast
+// for unicast ones.
+func (c *Conn) AddParticipant(host HostID) error {
+	if c.managed == nil {
+		return ErrUnmanaged
 	}
+	return c.node.entity.AddParticipant(c.managed, host)
 }
 
-// RemoveParticipant signals a member to leave a multicast connection.
-func (c *Conn) RemoveParticipant(host HostID) {
-	if c.managed != nil {
-		c.node.entity.RemoveParticipant(c.managed, host)
+// RemoveParticipant signals a member to leave a multicast connection (same
+// errors as AddParticipant).
+func (c *Conn) RemoveParticipant(host HostID) error {
+	if c.managed == nil {
+		return ErrUnmanaged
 	}
+	return c.node.entity.RemoveParticipant(c.managed, host)
 }
 
 // Session exposes the underlying TKO_Session for whitebox inspection

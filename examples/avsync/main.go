@@ -39,11 +39,11 @@ func main() {
 	network.SetRoute(dst.ID(), src.ID(), rev)
 	fwd.StartCrossTraffic(6e6, 1200) // the congestion that skews video
 
-	sender, err := adaptive.NewNode(adaptive.Options{Provider: network, Host: src.ID(), Name: "studio"})
+	sender, err := adaptive.NewNode(adaptive.WithProvider(network), adaptive.WithHost(src.ID()), adaptive.WithName("studio"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	receiver, err := adaptive.NewNode(adaptive.Options{Provider: network, Host: dst.ID(), Name: "viewer"})
+	receiver, err := adaptive.NewNode(adaptive.WithProvider(network), adaptive.WithHost(dst.ID()), adaptive.WithName("viewer"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -118,11 +118,11 @@ func main() {
 			Qual: adaptive.QualQoS{Priority: prio},
 		}
 	}
-	audio, err := sender.Dial(mediaACD(5004, 64e3, 1), 5004)
+	audio, err := sender.Dial(mediaACD(5004, 64e3, 1), &adaptive.DialOptions{LocalPort: 5004})
 	if err != nil {
 		log.Fatal(err)
 	}
-	video, err := sender.Dial(mediaACD(5006, 2e6, 3), 5006)
+	video, err := sender.Dial(mediaACD(5006, 2e6, 3), &adaptive.DialOptions{LocalPort: 5006})
 	if err != nil {
 		log.Fatal(err)
 	}

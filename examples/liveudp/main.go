@@ -22,11 +22,11 @@ func main() {
 	provider := udpnet.New()
 	defer provider.Close()
 
-	sender, err := adaptive.NewNode(adaptive.Options{Provider: provider, Host: 1, Name: "udp-sender"})
+	sender, err := adaptive.NewNode(adaptive.WithProvider(provider), adaptive.WithHost(1), adaptive.WithName("udp-sender"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	receiver, err := adaptive.NewNode(adaptive.Options{Provider: provider, Host: 2, Name: "udp-receiver"})
+	receiver, err := adaptive.NewNode(adaptive.WithProvider(provider), adaptive.WithHost(2), adaptive.WithName("udp-receiver"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func main() {
 			RemotePort:   9000,
 			Quant:        adaptive.QuantQoS{AvgThroughputBps: 100e6},
 			Qual:         adaptive.QualQoS{Ordered: true},
-		}, 0)
+		}, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -52,11 +52,11 @@ func run(useBaseline bool) *unites.Distribution {
 	network.SetRoute(clientHost.ID(), serverHost.ID(), network.NewLink(link))
 	network.SetRoute(serverHost.ID(), clientHost.ID(), network.NewLink(link))
 
-	client, err := adaptive.NewNode(adaptive.Options{Provider: network, Host: clientHost.ID()})
+	client, err := adaptive.NewNode(adaptive.WithProvider(network), adaptive.WithHost(clientHost.ID()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	server, err := adaptive.NewNode(adaptive.Options{Provider: network, Host: serverHost.ID()})
+	server, err := adaptive.NewNode(adaptive.WithProvider(network), adaptive.WithHost(serverHost.ID()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func run(useBaseline bool) *unites.Distribution {
 					Duration:   200 * time.Millisecond, // short-lived
 				},
 				Qual: adaptive.QualQoS{Ordered: true},
-			}, uint16(2000+i))
+			}, &adaptive.DialOptions{LocalPort: uint16(2000 + i)})
 		}
 		if err != nil {
 			log.Fatal(err)

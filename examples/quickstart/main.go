@@ -31,11 +31,11 @@ func main() {
 	network.SetRoute(hostB.ID(), hostA.ID(), network.NewLink(link))
 
 	// --- 2. Bring up an ADAPTIVE node on each host. ---
-	sender, err := adaptive.NewNode(adaptive.Options{Provider: network, Host: hostA.ID(), Name: "sender"})
+	sender, err := adaptive.NewNode(adaptive.WithProvider(network), adaptive.WithHost(hostA.ID()), adaptive.WithName("sender"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	receiver, err := adaptive.NewNode(adaptive.Options{Provider: network, Host: hostB.ID(), Name: "receiver"})
+	receiver, err := adaptive.NewNode(adaptive.WithProvider(network), adaptive.WithHost(hostB.ID()), adaptive.WithName("receiver"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func main() {
 			LossTolerance:    0,   // a file: every byte matters
 		},
 		Qual: adaptive.QualQoS{Ordered: true, DupSensitive: true},
-	}, 0)
+	}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

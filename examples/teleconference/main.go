@@ -46,7 +46,7 @@ func main() {
 		}
 	}
 	for i := range hosts {
-		n, err := adaptive.NewNode(adaptive.Options{Provider: network, Host: hosts[i].ID(), Seed: int64(i)})
+		n, err := adaptive.NewNode(adaptive.WithProvider(network), adaptive.WithHost(hosts[i].ID()), adaptive.WithSeed(int64(i)))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -97,7 +97,7 @@ func main() {
 		}
 	})
 
-	call, err := speaker.Dial(acd, 5004)
+	call, err := speaker.Dial(acd, &adaptive.DialOptions{LocalPort: 5004})
 	if err != nil {
 		log.Fatal(err)
 	}

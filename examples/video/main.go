@@ -34,11 +34,11 @@ func main() {
 	network.SetRoute(server.ID(), client.ID(), down)
 	network.SetRoute(client.ID(), server.ID(), network.NewLink(mk()))
 
-	srv, err := adaptive.NewNode(adaptive.Options{Provider: network, Host: server.ID(), Name: "video-server"})
+	srv, err := adaptive.NewNode(adaptive.WithProvider(network), adaptive.WithHost(server.ID()), adaptive.WithName("video-server"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cli, err := adaptive.NewNode(adaptive.Options{Provider: network, Host: client.ID(), Name: "video-client"})
+	cli, err := adaptive.NewNode(adaptive.WithProvider(network), adaptive.WithHost(client.ID()), adaptive.WithName("video-client"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func main() {
 		}
 	})
 
-	stream, err := srv.Dial(acd, 554)
+	stream, err := srv.Dial(acd, &adaptive.DialOptions{LocalPort: 554})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -64,6 +64,55 @@ func (b *base) fail(e mechanism.Env, why string) {
 	e.Notify(mechanism.Notification{Kind: mechanism.NoteEstablishFailed, Detail: why})
 }
 
+// abort tears the connection down without any closing handshake. Before
+// establishment it reads as a failed open (canceled dial); afterwards as an
+// abortive close (dead peer, application abort).
+func (b *base) abort(e mechanism.Env, why string) {
+	if b.st == stClosed {
+		return
+	}
+	if b.st != stEstablished && b.st != stFinSent {
+		b.fail(e, why)
+		return
+	}
+	b.stopTimer()
+	b.st = stClosed
+	e.Notify(mechanism.Notification{Kind: mechanism.NoteClosed, Detail: why})
+}
+
+// backoff returns the handshake retry delay for the given attempt number
+// (1-based): the smoothed RTO doubled per attempt, capped at the Spec's
+// RTOMax. Exponential growth keeps a partitioned network from being hammered
+// at a fixed cadence while the partition lasts.
+func backoff(e mechanism.Env, attempt int) time.Duration {
+	d := e.State().RTO
+	for i := 1; i < attempt && d < e.Spec().RTOMax; i++ {
+		d *= 2
+	}
+	if max := e.Spec().RTOMax; max > 0 && d > max {
+		d = max
+	}
+	return d
+}
+
+// retryDelay combines backoff with the establishment deadline: the timer
+// never fires later than the deadline, so expiry is detected promptly.
+func (b *base) retryDelay(e mechanism.Env, attempt int) time.Duration {
+	d := backoff(e, attempt)
+	if dl := e.Spec().EstablishTimeout; dl > 0 {
+		if rem := b.handshakeT0 + dl - e.Clock().Now(); rem < d {
+			d = rem
+		}
+	}
+	return d
+}
+
+// deadlineExceeded reports whether the establishment deadline has passed.
+func (b *base) deadlineExceeded(e mechanism.Env) bool {
+	dl := e.Spec().EstablishTimeout
+	return dl > 0 && e.Clock().Now()-b.handshakeT0 >= dl
+}
+
 // sendFin starts (or retries) graceful termination.
 func (b *base) sendFin(e mechanism.Env) {
 	if b.retries > MaxHandshakeRetries {
@@ -162,6 +211,8 @@ func (c *Implicit) Piggyback(e mechanism.Env) []byte {
 
 func (c *Implicit) Close(e mechanism.Env, graceful bool) { c.close(e, graceful) }
 
+func (c *Implicit) Abort(e mechanism.Env, why string) { c.abort(e, why) }
+
 // Explicit performs a negotiated handshake: CONNREQ carries the proposed
 // Spec; CONNACK returns the (possibly adjusted) Spec the passive side
 // accepted; with ThreeWay set the active side confirms with CONNCONF before
@@ -193,11 +244,21 @@ func (c *Explicit) StartActive(e mechanism.Env) {
 }
 
 func (c *Explicit) sendReq(e mechanism.Env) {
+	if c.st != stReqSent {
+		return // aborted (context cancellation) while a retry was pending
+	}
 	if c.retries > MaxHandshakeRetries {
 		c.fail(e, "connreq retries exhausted")
 		return
 	}
+	if c.deadlineExceeded(e) {
+		c.fail(e, "establish deadline exceeded")
+		return
+	}
 	c.retries++
+	if c.retries > 1 {
+		e.Metrics().Count("conn.handshake_retries", 1)
+	}
 	c.proposed = mechanism.EncodeSpec(e.Spec())
 	p := &wire.PDU{
 		Header:  wire.Header{Type: wire.TConnReq},
@@ -210,8 +271,7 @@ func (c *Explicit) sendReq(e mechanism.Env) {
 	}
 	e.EmitControl(p)
 	p.ReleasePayload()
-	rto := e.State().RTO
-	c.timer = e.Timers().Schedule(rto, func() { c.sendReq(e) })
+	c.timer = e.Timers().Schedule(c.retryDelay(e, c.retries), func() { c.sendReq(e) })
 }
 
 func (c *Explicit) StartPassive(e mechanism.Env) {
@@ -298,11 +358,13 @@ func (c *Explicit) armAckRetry(e mechanism.Env) {
 			return
 		}
 		c.sendAck(e)
-		c.timer = e.Timers().Schedule(e.State().RTO, retry)
+		c.timer = e.Timers().Schedule(backoff(e, c.retries+1), retry)
 	}
-	c.timer = e.Timers().Schedule(e.State().RTO, retry)
+	c.timer = e.Timers().Schedule(backoff(e, 1), retry)
 }
 
 func (c *Explicit) Piggyback(mechanism.Env) []byte { return nil }
 
 func (c *Explicit) Close(e mechanism.Env, graceful bool) { c.close(e, graceful) }
+
+func (c *Explicit) Abort(e mechanism.Env, why string) { c.abort(e, why) }

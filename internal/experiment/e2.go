@@ -66,7 +66,7 @@ func runVoiceCase(label string, overweight bool) []string {
 		acd := mantts.ACDForProfile(mantts.Profile("Voice Conversation"))
 		acd.Participants = []netapi.Addr{tb.hostAddr(1)}
 		acd.RemotePort = 80
-		conn, err = tb.Nodes[0].Dial(acd, 1000)
+		conn, err = tb.Nodes[0].Dial(acd, &adaptive.DialOptions{LocalPort: 1000})
 	}
 	if err != nil {
 		panic(err)
@@ -118,7 +118,7 @@ func runFanoutCase(n int, multicast bool) []string {
 		for i := 1; i <= n; i++ {
 			acd.Participants = append(acd.Participants, tb.hostAddr(i))
 		}
-		conn, err := tb.Nodes[0].Dial(acd, 80)
+		conn, err := tb.Nodes[0].Dial(acd, &adaptive.DialOptions{LocalPort: 80})
 		if err != nil {
 			panic(err)
 		}

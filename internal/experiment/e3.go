@@ -90,7 +90,7 @@ func runE3Case(label, mode string) []string {
 			},
 		}
 	}
-	conn, err := tb.Nodes[0].Dial(acd, 1000)
+	conn, err := tb.Nodes[0].Dial(acd, &adaptive.DialOptions{LocalPort: 1000})
 	if err != nil {
 		panic(err)
 	}

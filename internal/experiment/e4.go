@@ -83,7 +83,7 @@ func runE4Case(label string, adaptivePolicy bool) []string {
 			},
 		}
 	}
-	conn, err := tb.Nodes[0].Dial(acd, 1000)
+	conn, err := tb.Nodes[0].Dial(acd, &adaptive.DialOptions{LocalPort: 1000})
 	if err != nil {
 		panic(err)
 	}

@@ -59,7 +59,7 @@ func RunE8() []Table {
 		RemotePort: 80,
 		Quant:      mantts.QuantQoS{AvgThroughputBps: 200e3, LossTolerance: 0.05, MaxJitter: 10 * time.Millisecond},
 	}
-	conn, err := tb.Nodes[0].Dial(acd, 80)
+	conn, err := tb.Nodes[0].Dial(acd, &adaptive.DialOptions{LocalPort: 80})
 	if err != nil {
 		panic(err)
 	}

@@ -98,13 +98,13 @@ func NewTestbed(n int, link netsim.LinkConfig, seed int64) (*Testbed, error) {
 		}
 	}
 	for i := 0; i < n; i++ {
-		node, err := adaptive.NewNode(adaptive.Options{
-			Provider: net,
-			Host:     tb.Hosts[i].ID(),
-			Seed:     seed + int64(i),
-			Metrics:  tb.Repo,
-			Name:     fmt.Sprintf("host%d", i),
-		})
+		node, err := adaptive.NewNode(
+			adaptive.WithProvider(net),
+			adaptive.WithHost(tb.Hosts[i].ID()),
+			adaptive.WithSeed(seed+int64(i)),
+			adaptive.WithMetrics(tb.Repo),
+			adaptive.WithName(fmt.Sprintf("host%d", i)),
+		)
 		if err != nil {
 			return nil, err
 		}
@@ -182,6 +182,7 @@ func All() []Runner {
 		{"E6", "TKO template cache", RunE6},
 		{"E7", "Throughput preservation across channel speeds", RunE7},
 		{"E8", "Teleconference membership dynamics", RunE8},
+		{"E9", "Fault sweep: burst loss, link flap, partition", RunE9},
 		{"A1", "Ablation: delayed acknowledgments", RunA1},
 		{"A2", "Ablation: FEC group size", RunA2},
 		{"A3", "Ablation: NAK/retransmission throttling", RunA3},

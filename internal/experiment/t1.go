@@ -106,7 +106,7 @@ func runProfileRow(p *mantts.AppProfile, seed int64) []string {
 	}
 	acd.RemotePort = 80
 
-	conn, err := tb.Nodes[0].Dial(acd, 80)
+	conn, err := tb.Nodes[0].Dial(acd, &adaptive.DialOptions{LocalPort: 80})
 	if err != nil {
 		return []string{p.Application, "error", err.Error()}
 	}

@@ -2,6 +2,7 @@ package mantts
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -41,6 +42,9 @@ const (
 // qualReportPeriod is how often a multicast receiver reports delivered
 // quality back to the sender's MANTTS entity.
 const qualReportPeriod = 250 * time.Millisecond
+
+// ErrNotMulticast reports a membership operation on a unicast session.
+var ErrNotMulticast = errors.New("mantts: session is not multicast")
 
 // signalRetries bounds reliable-signal retransmissions.
 const signalRetries = 5
@@ -127,12 +131,35 @@ func (e *Entity) ManagedSession(connID uint32) *Managed { return e.managed[connI
 // the session. For multicast descriptors it first distributes JoinInvites to
 // every participant over the signaling channel.
 func (e *Entity) OpenSession(acd *ACD, localPort uint16) (*Managed, error) {
+	return e.OpenSessionWith(acd, OpenOptions{LocalPort: localPort})
+}
+
+// OpenOptions names the optional parameters of OpenSessionWith.
+type OpenOptions struct {
+	// LocalPort fixes the local transport port; 0 selects an ephemeral one.
+	LocalPort uint16
+	// AdjustSpec, when set, mutates the derived SCS before synthesis —
+	// dial-time knobs (establishment deadline, keepalive intervals) that the
+	// three-stage transformation does not derive from the ACD.
+	AdjustSpec func(*mechanism.Spec)
+	// DefaultTSA supplies policy rules used when the ACD carries none
+	// (node-level graceful-degradation defaults).
+	DefaultTSA []Rule
+}
+
+// OpenSessionWith is OpenSession with the full option set.
+func (e *Entity) OpenSessionWith(acd *ACD, opts OpenOptions) (*Managed, error) {
+	localPort := opts.LocalPort
 	if err := acd.Validate(); err != nil {
 		return nil, err
 	}
 	tsc := Classify(acd) // Stage I
 	path := e.worstPath(acd)
 	spec := DeriveSCS(tsc, acd, path) // Stage II
+	if opts.AdjustSpec != nil {
+		opts.AdjustSpec(spec)
+		spec.Normalize()
+	}
 	if acd.TMC.SampleRate == 0 {
 		acd.TMC.SampleRate = 50 * time.Millisecond
 	}
@@ -156,11 +183,15 @@ func (e *Entity) OpenSession(acd *ACD, localPort uint16) (*Managed, error) {
 		// Transport Measurement Component requested reach UNITES (§4.3).
 		s.SetMetricSink(&unites.FilteredSink{Next: s.MetricSink(), Allow: acd.TMC.Metrics})
 	}
+	rules := acd.TSA
+	if len(rules) == 0 {
+		rules = opts.DefaultTSA
+	}
 	m := &Managed{
 		Session:  s,
 		ACD:      acd,
 		TSC:      tsc,
-		Engine:   NewEngine(acd.TSA),
+		Engine:   NewEngine(rules),
 		peerHost: peer.Host,
 	}
 	e.managed[s.ConnID()] = m
@@ -219,7 +250,9 @@ func (e *Entity) worstPath(acd *ACD) PathState {
 
 // Reconfigure applies a coordinated SCS change to a live session: the new
 // Spec travels to the peer over the signaling channel, then applies locally.
-func (e *Entity) Reconfigure(m *Managed, mutate func(s *mechanism.Spec)) {
+// The local application failure (failed synthesis, refused segue) is
+// returned; the peer applies or rejects its copy independently.
+func (e *Entity) Reconfigure(m *Managed, mutate func(s *mechanism.Spec)) error {
 	ns := *m.Session.Spec()
 	mutate(&ns)
 	ns.Normalize()
@@ -236,7 +269,7 @@ func (e *Entity) Reconfigure(m *Managed, mutate func(s *mechanism.Spec)) {
 	} else {
 		e.sendSignalReliable(m.Session.PeerAddr(), w.Bytes())
 	}
-	m.Session.ApplySpec(&ns)
+	return m.Session.ApplySpec(&ns)
 }
 
 // CoordinateRates divides a bandwidth budget among related sessions in
@@ -279,23 +312,25 @@ func (e *Entity) inviteMember(m *Managed, host netapi.HostID) {
 // AddParticipant invites a new member into a live multicast session
 // (explicit reconfiguration: "a tele-conferencing application may switch
 // between unicast and multicast as participants join and leave").
-func (e *Entity) AddParticipant(m *Managed, host netapi.HostID) {
+func (e *Entity) AddParticipant(m *Managed, host netapi.HostID) error {
 	if m.members == nil {
-		return
+		return ErrNotMulticast
 	}
 	e.inviteMember(m, host)
+	return nil
 }
 
 // RemoveParticipant signals a member to leave.
-func (e *Entity) RemoveParticipant(m *Managed, host netapi.HostID) {
+func (e *Entity) RemoveParticipant(m *Managed, host netapi.HostID) error {
 	if m.members == nil {
-		return
+		return ErrNotMulticast
 	}
 	delete(m.members, host)
 	var w wire.TLVWriter
 	w.PutU8(sigTagType, sigLeave)
 	w.PutU32(sigTagConnID, m.Session.ConnID())
 	e.sendSignalReliable(netapi.Addr{Host: host, Port: e.stack.LocalAddr().Port}, w.Bytes())
+	return nil
 }
 
 // --- signaling channel ---
@@ -393,8 +428,9 @@ func (e *Entity) onSignal(p *wire.PDU, from netapi.Addr) {
 	case sigReconfig:
 		if s := e.stack.Session(connID); s != nil {
 			if sp, err := mechanism.DecodeSpec(specB); err == nil {
-				s.ApplySpec(sp)
-				e.notifyApp(connID, mechanism.Notification{Kind: mechanism.NotePeerReconfig, Detail: sp.String()})
+				if err := s.ApplySpec(sp); err == nil {
+					e.notifyApp(connID, mechanism.Notification{Kind: mechanism.NotePeerReconfig, Detail: sp.String()})
+				}
 			}
 		}
 	case sigJoinInvite:
@@ -605,6 +641,7 @@ func (e *Entity) apply(m *Managed, act Action) {
 		Kind:   mechanism.NotePolicyAction,
 		Detail: act.String(),
 	})
+	m.Session.MetricSink().Count("policy.action."+act.String(), 1)
 	switch act.Kind {
 	case ActSetRecovery:
 		if m.Session.Spec().Recovery == act.Recovery {

@@ -43,6 +43,7 @@ const (
 	NoteAppLoss        // data was irrecoverably lost (loss-tolerant mode)
 	NoteSendQueueEmpty // all submitted data acked/flushed
 	NotePolicyAction   // a TSA rule fired (detail describes the action)
+	NotePeerDead       // keepalive dead-peer detection declared the peer gone
 )
 
 // Notification carries an event and optional detail to the session owner.
@@ -147,6 +148,11 @@ type ConnManager interface {
 	// elsewhere — the session only calls Close once its send queue is
 	// empty when graceful.
 	Close(e Env, graceful bool)
+	// Abort tears the connection down immediately without handshaking:
+	// an unestablished connection reports NoteEstablishFailed (canceled
+	// dial), an established one NoteClosed. Used by context cancellation
+	// and dead-peer detection.
+	Abort(e Env, why string)
 	// Closed reports whether termination has completed.
 	Closed() bool
 }

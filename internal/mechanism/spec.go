@@ -126,6 +126,18 @@ type Spec struct {
 	// missing PDU before abandoning the gap (isochronous delivery).
 	GapDeadline time.Duration
 
+	// EstablishTimeout bounds the active-open handshake: retries back off
+	// exponentially from RTOInit, and the attempt fails once this much time
+	// has passed. Zero keeps only the retry-count bound.
+	EstablishTimeout time.Duration
+
+	// KeepaliveInterval enables dead-peer detection: an idle established
+	// session probes the peer this often, and declares it dead (NotePeerDead,
+	// abortive close) after DeadInterval without hearing anything. Zero
+	// disables keepalives entirely.
+	KeepaliveInterval time.Duration
+	DeadInterval      time.Duration
+
 	Graceful     bool // drain send queue before close
 	LossTolerant bool // application accepts gaps
 	Multicast    bool // session addresses a group
@@ -182,6 +194,17 @@ func (s *Spec) Normalize() {
 	if s.GapDeadline <= 0 {
 		s.GapDeadline = 50 * time.Millisecond
 	}
+	// A keepalive without a dead interval defaults to the conventional three
+	// missed probes; a dead interval shorter than one probe period could
+	// never observe a reply in time.
+	if s.KeepaliveInterval > 0 {
+		if s.DeadInterval <= 0 {
+			s.DeadInterval = 3 * s.KeepaliveInterval
+		}
+		if s.DeadInterval < s.KeepaliveInterval {
+			s.DeadInterval = s.KeepaliveInterval
+		}
+	}
 	// Delayed acks must stay well under the sender's RTO floor or every
 	// window stalls into a spurious retransmission; and a window of one
 	// (stop-and-wait) would serialize on the delay.
@@ -220,6 +243,9 @@ const (
 	tagBoolFlags  uint16 = 15
 	tagPriority   uint16 = 16
 	tagAckDelay   uint16 = 17
+	tagEstTimeout uint16 = 18
+	tagKeepalive  uint16 = 19
+	tagDeadIntvl  uint16 = 20
 )
 
 const (
@@ -258,6 +284,9 @@ func EncodeSpec(s *Spec) []byte {
 	w.PutU8(tagBoolFlags, flags)
 	w.PutU32(tagPriority, uint32(s.Priority))
 	w.PutU64(tagAckDelay, uint64(s.AckDelay))
+	w.PutU64(tagEstTimeout, uint64(s.EstablishTimeout))
+	w.PutU64(tagKeepalive, uint64(s.KeepaliveInterval))
+	w.PutU64(tagDeadIntvl, uint64(s.DeadInterval))
 	return w.Bytes()
 }
 
@@ -311,6 +340,12 @@ func DecodeSpec(b []byte) (*Spec, error) {
 			s.Priority = int(wire.U32(val))
 		case tagAckDelay:
 			s.AckDelay = time.Duration(wire.U64(val))
+		case tagEstTimeout:
+			s.EstablishTimeout = time.Duration(wire.U64(val))
+		case tagKeepalive:
+			s.KeepaliveInterval = time.Duration(wire.U64(val))
+		case tagDeadIntvl:
+			s.DeadInterval = time.Duration(wire.U64(val))
 		}
 	}
 	s.Normalize()

@@ -1,0 +1,191 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"adaptive/internal/netapi"
+)
+
+func TestImpairmentValidate(t *testing.T) {
+	bad := []Impairment{
+		{PGoodToBad: -0.1},
+		{LossBad: 1.5},
+		{CorruptRate: 2},
+		{ReorderRate: 0.1}, // needs positive ReorderDelay
+	}
+	for i, imp := range bad {
+		if err := imp.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, imp)
+		}
+	}
+	ok := Impairment{PGoodToBad: 0.02, PBadToGood: 0.2, LossBad: 0.5,
+		ReorderRate: 0.01, ReorderDelay: time.Millisecond}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate rejected valid profile: %v", err)
+	}
+}
+
+func TestGELossRateConvergence(t *testing.T) {
+	// Drive the Gilbert–Elliott chain directly for many packets; the
+	// empirical loss fraction must converge to the stationary prediction.
+	profiles := []Impairment{
+		{PGoodToBad: 0.02, PBadToGood: 0.2, LossGood: 0.001, LossBad: 0.5},
+		{PGoodToBad: 0.05, PBadToGood: 0.5, LossBad: 1.0},
+		{LossGood: 0.03}, // degenerate: uniform loss, no bad state
+	}
+	for i, imp := range profiles {
+		l := &Link{}
+		if err := l.SetImpairment(&imp); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		const n = 200_000
+		lost := 0
+		for j := 0; j < n; j++ {
+			if l.geDrop(rng) {
+				lost++
+			}
+		}
+		got := float64(lost) / n
+		want := imp.ExpectedLossRate()
+		if math.Abs(got-want) > 0.1*want+0.002 {
+			t.Errorf("profile %d: empirical loss %.4f, stationary %.4f", i, got, want)
+		}
+	}
+}
+
+func TestLinkDownDropsEverything(t *testing.T) {
+	n, a, b, ab, _ := twoHosts(t, LinkConfig{Bandwidth: 8e6, PropDelay: time.Millisecond, MTU: 1500})
+	epA, _ := n.Open(a.ID(), 1)
+	epB, _ := n.Open(b.ID(), 2)
+	var got int
+	epB.SetReceiver(func(pkt []byte, src netapi.Addr) { got++ })
+	ab.SetDown(true)
+	for i := 0; i < 5; i++ {
+		epA.Send([]byte("x"), epB.LocalAddr())
+	}
+	n.Kernel().Run()
+	if got != 0 {
+		t.Fatalf("down link delivered %d packets", got)
+	}
+	if ab.Stats().DropsDown != 5 {
+		t.Fatalf("DropsDown = %d, want 5", ab.Stats().DropsDown)
+	}
+	ab.SetDown(false)
+	epA.Send([]byte("x"), epB.LocalAddr())
+	n.Kernel().Run()
+	if got != 1 {
+		t.Fatalf("restored link delivered %d packets, want 1", got)
+	}
+}
+
+func TestPartitionSilentDropAndHeal(t *testing.T) {
+	n, a, b, _, _ := twoHosts(t, LinkConfig{Bandwidth: 8e6, PropDelay: time.Millisecond, MTU: 1500})
+	epA, _ := n.Open(a.ID(), 1)
+	epB, _ := n.Open(b.ID(), 2)
+	var got int
+	epB.SetReceiver(func(pkt []byte, src netapi.Addr) { got++ })
+	n.Partition([]netapi.HostID{a.ID()}, []netapi.HostID{b.ID()})
+	if !n.Partitioned(a.ID(), b.ID()) || !n.Partitioned(b.ID(), a.ID()) {
+		t.Fatal("partition is not symmetric")
+	}
+	// Sends succeed (silent drop — the transport must see loss, not errors).
+	for i := 0; i < 3; i++ {
+		if err := epA.Send([]byte("x"), epB.LocalAddr()); err != nil {
+			t.Fatalf("partitioned send returned error: %v", err)
+		}
+	}
+	n.Kernel().Run()
+	if got != 0 {
+		t.Fatalf("partition delivered %d packets", got)
+	}
+	fs := n.FaultStats()
+	if fs.PartitionDrops != 3 || fs.Partitions != 1 {
+		t.Fatalf("FaultStats = %+v", fs)
+	}
+	n.Heal()
+	epA.Send([]byte("x"), epB.LocalAddr())
+	n.Kernel().Run()
+	if got != 1 {
+		t.Fatalf("healed network delivered %d packets, want 1", got)
+	}
+	if n.FaultStats().Heals != 1 {
+		t.Fatalf("Heals = %d, want 1", n.FaultStats().Heals)
+	}
+}
+
+func TestFaultPlanScheduling(t *testing.T) {
+	n, a, b, ab, _ := twoHosts(t, LinkConfig{Bandwidth: 8e6, PropDelay: time.Millisecond, MTU: 1500})
+	plan := n.NewFaultPlan()
+	plan.LinkDown(10*time.Millisecond, ab).
+		LinkUp(20*time.Millisecond, ab).
+		Impair(30*time.Millisecond, ab, Impairment{LossGood: 1}).
+		ClearImpair(40*time.Millisecond, ab).
+		Partition(50*time.Millisecond, []netapi.HostID{a.ID()}, []netapi.HostID{b.ID()}).
+		Heal(60 * time.Millisecond)
+	if plan.Len() != 6 {
+		t.Fatalf("Len = %d", plan.Len())
+	}
+	if err := plan.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Install(); err == nil {
+		t.Fatal("second Install succeeded")
+	}
+	k := n.Kernel()
+	check := func(at time.Duration, probe func() bool, what string) {
+		k.RunUntil(at)
+		if !probe() {
+			t.Fatalf("at %v: %s does not hold", at, what)
+		}
+	}
+	check(15*time.Millisecond, ab.IsDown, "link down")
+	check(25*time.Millisecond, func() bool { return !ab.IsDown() }, "link up")
+	check(35*time.Millisecond, func() bool { _, ok := ab.CurrentImpairment(); return ok }, "impairment attached")
+	check(45*time.Millisecond, func() bool { _, ok := ab.CurrentImpairment(); return !ok }, "impairment cleared")
+	check(55*time.Millisecond, func() bool { return n.Partitioned(a.ID(), b.ID()) }, "partitioned")
+	check(65*time.Millisecond, func() bool { return !n.Partitioned(a.ID(), b.ID()) }, "healed")
+}
+
+func TestFaultPlanRejectsInvalidImpairment(t *testing.T) {
+	n, _, _, ab, _ := twoHosts(t, LinkConfig{Bandwidth: 8e6, PropDelay: time.Millisecond, MTU: 1500})
+	plan := n.NewFaultPlan()
+	plan.Impair(time.Millisecond, ab, Impairment{LossBad: 3})
+	if err := plan.Install(); err == nil {
+		t.Fatal("Install accepted an invalid impairment")
+	}
+}
+
+func TestImpairmentCorruptionAndDup(t *testing.T) {
+	n, a, b, ab, _ := twoHosts(t, LinkConfig{Bandwidth: 8e6, PropDelay: 0, MTU: 1500})
+	epA, _ := n.Open(a.ID(), 1)
+	epB, _ := n.Open(b.ID(), 2)
+	var delivered, corrupted int
+	orig := []byte{0xAA, 0xAA, 0xAA, 0xAA}
+	epB.SetReceiver(func(pkt []byte, src netapi.Addr) {
+		delivered++
+		for i := range pkt {
+			if pkt[i] != orig[i] {
+				corrupted++
+				return
+			}
+		}
+	})
+	if err := ab.SetImpairment(&Impairment{CorruptRate: 1, DupRate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	const sent = 50
+	for i := 0; i < sent; i++ {
+		epA.Send(orig, epB.LocalAddr())
+	}
+	n.Kernel().Run()
+	if delivered != 2*sent {
+		t.Fatalf("delivered %d packets, want %d (DupRate=1)", delivered, 2*sent)
+	}
+	if corrupted == 0 {
+		t.Fatal("CorruptRate=1 corrupted nothing")
+	}
+}

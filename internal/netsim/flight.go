@@ -60,6 +60,11 @@ func flightStep(v any) { v.(*flight).step() }
 // next link, or arrive.
 func (fl *flight) step() {
 	if fl.path == nil {
+		if fl.net.Partitioned(fl.from, fl.to) {
+			fl.net.partitionDrop()
+			fl.free() // severed while awaiting sender CPU; packet lost
+			return
+		}
 		fl.path = fl.net.routes[[2]netapi.HostID{fl.from, fl.to}]
 		if fl.path == nil {
 			fl.free() // destination became unreachable; packet lost

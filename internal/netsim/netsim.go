@@ -45,8 +45,11 @@ type LinkStats struct {
 	DropsQueue  uint64 // tail-drop due to full queue (congestion)
 	DropsMTU    uint64 // packet exceeded link MTU
 	DropsRandom uint64 // DropRate losses
-	Corrupted   uint64 // BER bit-flips (delivered corrupted)
+	DropsDown   uint64 // offered while the link was administratively down
+	DropsBurst  uint64 // Gilbert–Elliott impairment losses
+	Corrupted   uint64 // BER or impairment bit-flips (delivered corrupted)
 	Duplicated  uint64
+	Reordered   uint64 // packets delayed past their slot by the impairment
 }
 
 // Link is a simplex transmission channel between two switching nodes. Links
@@ -57,6 +60,11 @@ type Link struct {
 	busyUntil time.Duration
 	stats     LinkStats
 	crossStop sim.Timer
+
+	// Fault-injection state (see faults.go).
+	down  bool
+	imp   *Impairment
+	geBad bool // Gilbert–Elliott chain is in the bad (bursty) state
 }
 
 // Config returns the link's configuration.
@@ -107,9 +115,23 @@ func (l *Link) serialize(size int) (departure time.Duration, ok bool) {
 // transit pushes a flight's packet through the link, scheduling the flight's
 // next step at the (possibly corrupted, jittered) arrival time. Dropped
 // packets end the flight here.
+//
+// Random draws happen in a fixed order, and the impairment draws occur only
+// while an Impairment is attached, so runs without fault injection consume
+// the seeded stream exactly as before (seed determinism across versions).
 func (l *Link) transit(fl *flight) {
+	if l.down {
+		l.stats.DropsDown++
+		fl.free()
+		return
+	}
 	pkt := fl.pkt
 	rng := l.net.kernel.Rand()
+	if l.imp != nil && l.geDrop(rng) {
+		l.stats.DropsBurst++
+		fl.free()
+		return
+	}
 	if l.cfg.DropRate > 0 && rng.Float64() < l.cfg.DropRate {
 		l.stats.DropsRandom++
 		fl.free()
@@ -129,13 +151,26 @@ func (l *Link) transit(fl *flight) {
 			pkt[idx/8] ^= 1 << (idx % 8)
 		}
 	}
+	if l.imp != nil && l.imp.CorruptRate > 0 && rng.Float64() < l.imp.CorruptRate {
+		l.stats.Corrupted++
+		idx := rng.Intn(len(pkt) * 8)
+		pkt[idx/8] ^= 1 << (idx % 8)
+	}
 	arrive := departure + l.cfg.PropDelay
 	if l.cfg.Jitter > 0 {
 		arrive += time.Duration(rng.Int63n(int64(l.cfg.Jitter)))
 	}
+	if l.imp != nil && l.imp.ReorderRate > 0 && rng.Float64() < l.imp.ReorderRate {
+		l.stats.Reordered++
+		arrive += l.imp.ReorderDelay
+	}
 	now := l.net.kernel.Now()
 	l.net.kernel.ScheduleArg(arrive-now, flightStep, fl)
-	if l.cfg.DupRate > 0 && rng.Float64() < l.cfg.DupRate {
+	dupP := l.cfg.DupRate
+	if l.imp != nil {
+		dupP += l.imp.DupRate * (1 - dupP)
+	}
+	if dupP > 0 && rng.Float64() < dupP {
 		l.stats.Duplicated++
 		dup := newFlight(fl.net, fl.from, fl.to, message.GetSlab(len(pkt)), fl.srcAddr, fl.dstAddr)
 		copy(dup.pkt, pkt)

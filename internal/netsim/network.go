@@ -73,6 +73,10 @@ type Network struct {
 	routes map[[2]netapi.HostID][]*Link
 	groups map[netapi.HostID]map[netapi.HostID]bool
 	nextID netapi.HostID
+
+	// Fault-injection state (see faults.go).
+	blocked    map[[2]netapi.HostID]bool // severed host pairs (partitions)
+	faultStats FaultStats
 }
 
 // New creates an empty network on the kernel.
@@ -214,6 +218,10 @@ func (n *Network) send(src *Host, pkt []byte, srcAddr, dst netapi.Addr, cost CPU
 			if m == src.id {
 				continue
 			}
+			if n.Partitioned(src.id, m) {
+				n.partitionDrop() // silent loss, like any other network drop
+				continue
+			}
 			fl := newFlight(n, src.id, m, message.GetSlab(len(pkt)), srcAddr, dstAddr)
 			copy(fl.pkt, pkt)
 			n.kernel.ScheduleArg(done-now, flightStep, fl)
@@ -228,6 +236,13 @@ func (n *Network) send(src *Host, pkt []byte, srcAddr, dst netapi.Addr, cost CPU
 	if n.routes[[2]netapi.HostID{src.id, dst.Host}] == nil {
 		message.PutSlab(pkt)
 		return errNoRoute
+	}
+	if n.Partitioned(src.id, dst.Host) {
+		// A partition is a network fault, not a caller error: the packet is
+		// silently lost so the transport sees it as loss and recovers.
+		n.partitionDrop()
+		message.PutSlab(pkt)
+		return nil
 	}
 	fl := newFlight(n, src.id, dst.Host, pkt, srcAddr, dst)
 	n.kernel.ScheduleArg(done-now, flightStep, fl)

@@ -25,6 +25,13 @@
 //	  "run_ms": 60000
 //	}
 //
+// Fault-injection events drive the netsim fault subsystem: "link_state"
+// takes a link down or up, "impair" attaches a Gilbert–Elliott burst-loss /
+// reorder / corrupt profile (or clears it), and "partition" severs host
+// groups until a heal. Sessions may carry "tsa" rules so the scenario
+// demonstrates policy-driven reconfiguration under those faults (see
+// scenarios/fault-burst.json).
+//
 // Workloads use the internal/measure specification language; ACDs use a
 // JSON projection of the ADAPTIVE Communication Descriptor.
 package scenario
@@ -88,13 +95,73 @@ type ACDDoc struct {
 
 // SessionDoc describes one dialed session and its traffic.
 type SessionDoc struct {
-	Name     string  `json:"name"`
-	From     string  `json:"from"`
-	To       string  `json:"to"` // host name or group name
-	Port     uint16  `json:"port"`
-	ACD      *ACDDoc `json:"acd"`
-	Workload string  `json:"workload"` // measure-language generate statement
-	StartMs  float64 `json:"start_ms"`
+	Name     string    `json:"name"`
+	From     string    `json:"from"`
+	To       string    `json:"to"` // host name or group name
+	Port     uint16    `json:"port"`
+	ACD      *ACDDoc   `json:"acd"`
+	TSA      []RuleDoc `json:"tsa"`      // run-time adaptation rules
+	Workload string    `json:"workload"` // measure-language generate statement
+	StartMs  float64   `json:"start_ms"`
+}
+
+// RuleDoc is the JSON projection of one Transport Service Adjustment rule
+// (<condition, action> with anti-flap controls).
+type RuleDoc struct {
+	Metric     string  `json:"metric"` // rtt|loss-rate|congestion|retransmit-rate|throughput|rcvbuf-fill|jitter
+	Op         string  `json:"op"`     // "gt" or "lt"
+	Threshold  float64 `json:"threshold"`
+	Action     string  `json:"action"`   // set-recovery|scale-rate|set-window-size
+	Recovery   string  `json:"recovery"` // none|go-back-n|selective-repeat|fec|fec-hybrid
+	Factor     float64 `json:"factor"`
+	Size       int     `json:"size"`
+	CooldownMs float64 `json:"cooldown_ms"`
+	OneShot    bool    `json:"one_shot"`
+}
+
+func (d *RuleDoc) rule() (mantts.Rule, error) {
+	var r mantts.Rule
+	metrics := map[string]mantts.MetricID{
+		"rtt": mantts.MetricRTT, "loss-rate": mantts.MetricLossRate,
+		"congestion": mantts.MetricCongestion, "retransmit-rate": mantts.MetricRetransmitRate,
+		"throughput": mantts.MetricThroughputBps, "rcvbuf-fill": mantts.MetricRcvBufFill,
+		"jitter": mantts.MetricJitter,
+	}
+	m, ok := metrics[d.Metric]
+	if !ok {
+		return r, fmt.Errorf("unknown metric %q", d.Metric)
+	}
+	r.Cond = mantts.Cond{Metric: m, Threshold: d.Threshold}
+	switch d.Op {
+	case "gt":
+		r.Cond.Op = mantts.OpGT
+	case "lt":
+		r.Cond.Op = mantts.OpLT
+	default:
+		return r, fmt.Errorf("unknown op %q", d.Op)
+	}
+	switch d.Action {
+	case "set-recovery":
+		recoveries := map[string]adaptive.RecoveryKind{
+			"none": adaptive.RecoveryNone, "go-back-n": adaptive.RecoveryGoBackN,
+			"selective-repeat": adaptive.RecoverySelectiveRepeat,
+			"fec":              adaptive.RecoveryFEC, "fec-hybrid": adaptive.RecoveryFECHybrid,
+		}
+		rec, ok := recoveries[d.Recovery]
+		if !ok {
+			return r, fmt.Errorf("unknown recovery %q", d.Recovery)
+		}
+		r.Action = mantts.Action{Kind: mantts.ActSetRecovery, Recovery: rec}
+	case "scale-rate":
+		r.Action = mantts.Action{Kind: mantts.ActScaleRate, Factor: d.Factor}
+	case "set-window-size":
+		r.Action = mantts.Action{Kind: mantts.ActSetWindowSize, Size: d.Size}
+	default:
+		return r, fmt.Errorf("unknown action %q", d.Action)
+	}
+	r.Cooldown = time.Duration(d.CooldownMs * float64(time.Millisecond))
+	r.OneShot = d.OneShot
+	return r, r.Validate()
 }
 
 // EventDoc is a timed network event.
@@ -102,6 +169,9 @@ type EventDoc struct {
 	AtMs         float64          `json:"at_ms"`
 	CrossTraffic *CrossTrafficDoc `json:"cross_traffic"`
 	RouteSwitch  *RouteSwitchDoc  `json:"route_switch"`
+	LinkState    *LinkStateDoc    `json:"link_state"`
+	Impair       *ImpairDoc       `json:"impair"`
+	Partition    *PartitionDoc    `json:"partition"`
 }
 
 // CrossTrafficDoc starts (or, with rate 0, stops) competing load on a link.
@@ -117,6 +187,48 @@ type RouteSwitchDoc struct {
 	From string  `json:"from"`
 	To   string  `json:"to"`
 	Link LinkDoc `json:"link"`
+}
+
+// LinkStateDoc takes a link administratively down (or back up).
+type LinkStateDoc struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Down bool   `json:"down"`
+}
+
+// ImpairDoc attaches (or, with clear, detaches) an impairment profile to a
+// link: Gilbert–Elliott burst loss plus reorder/duplicate/corrupt rates.
+type ImpairDoc struct {
+	From           string  `json:"from"`
+	To             string  `json:"to"`
+	Clear          bool    `json:"clear"`
+	PGoodToBad     float64 `json:"p_good_to_bad"`
+	PBadToGood     float64 `json:"p_bad_to_good"`
+	LossGood       float64 `json:"loss_good"`
+	LossBad        float64 `json:"loss_bad"`
+	ReorderRate    float64 `json:"reorder_rate"`
+	ReorderDelayMs float64 `json:"reorder_delay_ms"`
+	DupRate        float64 `json:"dup_rate"`
+	CorruptRate    float64 `json:"corrupt_rate"`
+}
+
+func (d *ImpairDoc) impairment() netsim.Impairment {
+	return netsim.Impairment{
+		PGoodToBad: d.PGoodToBad, PBadToGood: d.PBadToGood,
+		LossGood: d.LossGood, LossBad: d.LossBad,
+		ReorderRate:  d.ReorderRate,
+		ReorderDelay: time.Duration(d.ReorderDelayMs * float64(time.Millisecond)),
+		DupRate:      d.DupRate,
+		CorruptRate:  d.CorruptRate,
+	}
+}
+
+// PartitionDoc severs two host groups (or, with heal, lifts every
+// partition).
+type PartitionDoc struct {
+	A    []string `json:"a"`
+	B    []string `json:"b"`
+	Heal bool     `json:"heal"`
 }
 
 // SessionResult is one session's delivered outcome.
@@ -179,6 +291,32 @@ func Parse(raw []byte) (*Document, error) {
 		}
 		if l.BandwidthBps <= 0 {
 			return nil, fmt.Errorf("scenario: link %s->%s needs bandwidth_bps", l.From, l.To)
+		}
+	}
+	for i, ev := range doc.Events {
+		switch {
+		case ev.LinkState != nil:
+			if !names[ev.LinkState.From] || !names[ev.LinkState.To] {
+				return nil, fmt.Errorf("scenario: event %d link_state references unknown host", i)
+			}
+		case ev.Impair != nil:
+			if !names[ev.Impair.From] || !names[ev.Impair.To] {
+				return nil, fmt.Errorf("scenario: event %d impair references unknown host", i)
+			}
+			if !ev.Impair.Clear {
+				imp := ev.Impair.impairment()
+				if err := imp.Validate(); err != nil {
+					return nil, fmt.Errorf("scenario: event %d: %v", i, err)
+				}
+			}
+		case ev.Partition != nil:
+			if !ev.Partition.Heal {
+				for _, n := range append(append([]string(nil), ev.Partition.A...), ev.Partition.B...) {
+					if !names[n] {
+						return nil, fmt.Errorf("scenario: event %d partition references unknown host %q", i, n)
+					}
+				}
+			}
 		}
 	}
 	if len(doc.Sessions) == 0 {
@@ -247,9 +385,11 @@ func Build(doc *Document) (*Runtime, error) {
 		}
 	}
 	for name, h := range rt.hosts {
-		node, err := adaptive.NewNode(adaptive.Options{
-			Provider: rt.Net, Host: h.ID(), Seed: doc.Seed, Metrics: rt.Repo, Name: name,
-		})
+		node, err := adaptive.NewNode(
+			adaptive.WithProvider(rt.Net), adaptive.WithHost(h.ID()),
+			adaptive.WithSeed(doc.Seed), adaptive.WithMetrics(rt.Repo),
+			adaptive.WithName(name),
+		)
 		if err != nil {
 			return nil, err
 		}
@@ -294,6 +434,39 @@ func (rt *Runtime) Run() (*Result, error) {
 				link := rt.Net.NewLink(rs.Link.config())
 				rt.Net.SetRoute(from.ID(), to.ID(), link)
 				rt.links[[2]string{rs.From, rs.To}] = link
+			case ev.LinkState != nil:
+				ls := ev.LinkState
+				if l := rt.links[[2]string{ls.From, ls.To}]; l != nil {
+					l.SetDown(ls.Down)
+				}
+			case ev.Impair != nil:
+				im := ev.Impair
+				l := rt.links[[2]string{im.From, im.To}]
+				if l == nil {
+					return
+				}
+				if im.Clear {
+					_ = l.SetImpairment(nil)
+					return
+				}
+				imp := im.impairment()
+				_ = l.SetImpairment(&imp) // validated by Parse
+			case ev.Partition != nil:
+				pt := ev.Partition
+				if pt.Heal {
+					rt.Net.Heal()
+					return
+				}
+				ids := func(names []string) []adaptive.HostID {
+					var out []adaptive.HostID
+					for _, n := range names {
+						if h := rt.hosts[n]; h != nil {
+							out = append(out, h.ID())
+						}
+					}
+					return out
+				}
+				rt.Net.Partition(ids(pt.A), ids(pt.B))
 			}
 		})
 	}
@@ -352,7 +525,18 @@ func (rt *Runtime) Run() (*Result, error) {
 				Priority: acdDoc.Priority,
 			},
 		}
-		conn, err := srcNode.Dial(acd, port)
+		for _, rd := range sd.TSA {
+			rule, err := rd.rule()
+			if err != nil {
+				return nil, fmt.Errorf("scenario: session %q tsa: %v", sd.Name, err)
+			}
+			acd.TSA = append(acd.TSA, rule)
+		}
+		if len(acd.TSA) > 0 && acd.TMC.SampleRate == 0 {
+			// Rules need metric samples to evaluate against.
+			acd.TMC.SampleRate = 100 * time.Millisecond
+		}
+		conn, err := srcNode.Dial(acd, &adaptive.DialOptions{LocalPort: port})
 		if err != nil {
 			return nil, fmt.Errorf("scenario: session %q: %v", sd.Name, err)
 		}

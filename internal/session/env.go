@@ -52,7 +52,10 @@ func (e sessionEnv) Pump() { e.s.pump() }
 
 func (e sessionEnv) Notify(n mechanism.Notification) { e.s.notify(n) }
 
-func (e sessionEnv) ApplySpec(sp *mechanism.Spec) { e.s.ApplySpec(sp) }
+// ApplySpec adopts a peer-negotiated configuration. Mechanisms have no
+// error path for a failed adoption; failures are counted by the session
+// ("session.applyspec_errors") and the old configuration stays in force.
+func (e sessionEnv) ApplySpec(sp *mechanism.Spec) { _ = e.s.ApplySpec(sp) }
 
 func (e sessionEnv) WindowOnLoss() {
 	e.s.slots.Window.OnLoss()

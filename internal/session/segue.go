@@ -1,6 +1,7 @@
 package session
 
 import (
+	"errors"
 	"fmt"
 
 	"adaptive/internal/mechanism"
@@ -111,6 +112,10 @@ func (s *Session) afterSegue(slot, from, to string) {
 	s.segues++
 	s.markSegue = true
 	s.metrics.Count("session.segues", 1)
+	// A per-transition counter so UNITES snapshots record which concrete
+	// replacement happened (e.g. "session.segue.recovery.selective-repeat->
+	// fec-hybrid"), not just that one did.
+	s.metrics.Count(fmt.Sprintf("session.segue.%s.%s->%s", slot, from, to), 1)
 	s.notify(mechanism.Notification{
 		Kind:   mechanism.NoteSegue,
 		Detail: fmt.Sprintf("%s: %s -> %s", slot, from, to),
@@ -119,41 +124,48 @@ func (s *Session) afterSegue(slot, from, to string) {
 
 // ApplySpec installs a new configuration, re-synthesizing exactly the slots
 // whose mechanism kind or parameters changed (negotiation adjustment at
-// establishment, or a policy-driven reconfiguration mid-transfer).
-func (s *Session) ApplySpec(ns *mechanism.Spec) {
+// establishment, or a policy-driven reconfiguration mid-transfer). It
+// returns an error when synthesis fails or a required segue was refused
+// (immutable template session); parameter-only changes always succeed.
+func (s *Session) ApplySpec(ns *mechanism.Spec) error {
 	if s.factory == nil {
 		s.spec = ns
-		return
+		return nil
 	}
 	ns.Normalize()
 	old := s.spec
 	slots, err := s.factory(ns)
 	if err != nil {
 		s.metrics.Count("session.applyspec_errors", 1)
-		return
+		return fmt.Errorf("session: synthesizing mechanisms: %w", err)
 	}
 	// Spec must be swapped first: incoming mechanisms read parameters
 	// (FEC group size, RTO bounds) through env.Spec().
 	s.spec = ns
 	s.state.RcvBufCap = ns.RcvBufPDUs
 
+	segued := true
 	if ns.Recovery != old.Recovery || ns.FECGroup != old.FECGroup {
-		s.SegueRecovery(slots.Recovery)
+		segued = s.SegueRecovery(slots.Recovery) && segued
 	}
 	if ns.Window != old.Window || ns.WindowSize != old.WindowSize {
-		s.SegueWindow(slots.Window)
+		segued = s.SegueWindow(slots.Window) && segued
 	}
 	if ns.RateBps != old.RateBps {
 		if ns.RateBps > 0 && old.RateBps > 0 {
 			s.slots.Rate.SetRate(ns.RateBps) // parameter tweak, not a segue
 		} else {
-			s.SegueRate(slots.Rate)
+			segued = s.SegueRate(slots.Rate) && segued
 		}
 	}
 	if ns.Order != old.Order {
-		s.SegueOrderer(slots.Orderer)
+		segued = s.SegueOrderer(slots.Orderer) && segued
 	}
 	// Connection management cannot change mid-connection; checksum kind
 	// changes apply to future PDUs automatically via transmitPDU.
 	s.pump()
+	if !segued {
+		return errors.New("session: segue refused (session is not reconfigurable)")
+	}
+	return nil
 }

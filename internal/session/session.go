@@ -12,7 +12,9 @@ package session
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
+	"time"
 
 	"adaptive/internal/event"
 	"adaptive/internal/mechanism"
@@ -91,6 +93,8 @@ type Session struct {
 	sendQ     []queuedSeg
 	rtoTimer  *event.Event
 	pumpTimer *event.Event
+	kaTimer   *event.Event  // keepalive probe / dead-peer check
+	lastHeard time.Duration // virtual time of the last PDU from the peer
 
 	peerAdvert     int
 	closing        bool
@@ -217,7 +221,40 @@ func (s *Session) finishClose() {
 	if s.pumpTimer != nil {
 		s.pumpTimer.Cancel()
 	}
+	if s.kaTimer != nil {
+		s.kaTimer.Cancel()
+	}
 	s.slots.Conn.Close(s.env(), s.graceful)
+}
+
+// AbortEstablish cancels an in-progress active open (DialContext
+// cancellation or deadline expiry). It is a no-op once the connection is
+// established or closed; the connection manager reports the failure through
+// NoteEstablishFailed.
+func (s *Session) AbortEstablish(why string) {
+	if s.slots.Conn.Established() || s.slots.Conn.Closed() {
+		return
+	}
+	s.closing = true
+	s.slots.Conn.Abort(s.env(), why)
+}
+
+// Abort terminates the session immediately without the closing handshake.
+func (s *Session) Abort(why string) {
+	if s.slots.Conn.Closed() {
+		return
+	}
+	s.closing = true
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+	}
+	if s.pumpTimer != nil {
+		s.pumpTimer.Cancel()
+	}
+	if s.kaTimer != nil {
+		s.kaTimer.Cancel()
+	}
+	s.slots.Conn.Abort(s.env(), why)
 }
 
 func (s *Session) maybeFinishClose() {
@@ -401,8 +438,16 @@ func (s *Session) HandlePDU(p *wire.PDU) {
 	s.RecvPDUs++
 	s.RecvBytes += uint64(wire.Overhead + int(p.PayloadLen))
 	s.metrics.Count("pdu.received", 1)
+	s.lastHeard = s.clock.Now()
 	if p.Type == wire.TAck {
 		s.peerAdvert = int(p.Window)
+	}
+	if p.Type == wire.TKeepalive {
+		if p.Flags&wire.FlagEcho == 0 && !s.slots.Conn.Closed() {
+			s.transmitPDU(&wire.PDU{Header: wire.Header{Type: wire.TKeepalive, Flags: wire.FlagEcho}})
+		}
+		p.ReleasePayload()
+		return
 	}
 
 	if s.slots.Conn.OnPDU(s.env(), p) {
@@ -488,7 +533,51 @@ func (s *Session) deliver(d Delivery) {
 }
 
 func (s *Session) notify(n mechanism.Notification) {
+	if n.Kind == mechanism.NoteEstablished {
+		s.startKeepalive()
+	}
 	if s.noteCb != nil {
 		s.noteCb(n)
 	}
+}
+
+// --- keepalive / dead-peer detection ---
+
+// startKeepalive arms the keepalive probe cycle when the Spec enables it
+// (KeepaliveInterval > 0). An idle session probes the peer with TKeepalive
+// PDUs; DeadInterval of total silence declares the peer dead: the owner gets
+// NotePeerDead and the connection is torn down abortively (there is nobody
+// left to handshake with).
+func (s *Session) startKeepalive() {
+	iv := s.spec.KeepaliveInterval
+	if iv <= 0 || s.kaTimer != nil {
+		return
+	}
+	s.lastHeard = s.clock.Now()
+	s.kaTimer = s.timers.Schedule(iv, s.keepaliveTick)
+}
+
+func (s *Session) keepaliveTick() {
+	if s.closing || s.slots.Conn.Closed() {
+		return
+	}
+	iv := s.spec.KeepaliveInterval
+	if iv <= 0 {
+		return // reconfigured away mid-cycle
+	}
+	idle := s.clock.Now() - s.lastHeard
+	if dead := s.spec.DeadInterval; dead > 0 && idle >= dead {
+		s.metrics.Count("session.peer_dead", 1)
+		s.notify(mechanism.Notification{
+			Kind:   mechanism.NotePeerDead,
+			Detail: fmt.Sprintf("no traffic from peer for %v", idle),
+		})
+		s.Abort("peer dead")
+		return
+	}
+	if idle >= iv {
+		s.metrics.Count("session.keepalive_sent", 1)
+		s.transmitPDU(&wire.PDU{Header: wire.Header{Type: wire.TKeepalive}})
+	}
+	s.kaTimer = s.timers.Schedule(iv, s.keepaliveTick)
 }

@@ -99,6 +99,9 @@ func (connStub) Piggyback(mechanism.Env) []byte      { return nil }
 func (connStub) Close(e mechanism.Env, graceful bool) {
 	e.Notify(mechanism.Notification{Kind: mechanism.NoteClosed})
 }
+func (connStub) Abort(e mechanism.Env, why string) {
+	e.Notify(mechanism.Notification{Kind: mechanism.NoteClosed, Detail: why})
+}
 func (connStub) Closed() bool { return false }
 
 func newTestSession(t *testing.T, spec mechanism.Spec, out Outbound) *Session {

@@ -20,17 +20,18 @@ import (
 type Type uint8
 
 const (
-	TData     Type = 1  // application data
-	TAck      Type = 2  // cumulative acknowledgment (Ack field)
-	TNak      Type = 3  // selective negative ack; payload lists missing seqs
-	TConnReq  Type = 4  // connection request (explicit handshake step 1)
-	TConnAck  Type = 5  // connection accept (step 2)
-	TConnConf Type = 6  // connection confirm (3-way handshake step 3)
-	TFin      Type = 7  // graceful close request
-	TFinAck   Type = 8  // close acknowledgment
-	TSignal   Type = 9  // out-of-band control channel PDU
-	TParity   Type = 10 // FEC parity block covering a group of data PDUs
-	TProbe    Type = 11 // network monitor probe (RTT / liveness)
+	TData      Type = 1  // application data
+	TAck       Type = 2  // cumulative acknowledgment (Ack field)
+	TNak       Type = 3  // selective negative ack; payload lists missing seqs
+	TConnReq   Type = 4  // connection request (explicit handshake step 1)
+	TConnAck   Type = 5  // connection accept (step 2)
+	TConnConf  Type = 6  // connection confirm (3-way handshake step 3)
+	TFin       Type = 7  // graceful close request
+	TFinAck    Type = 8  // close acknowledgment
+	TSignal    Type = 9  // out-of-band control channel PDU
+	TParity    Type = 10 // FEC parity block covering a group of data PDUs
+	TProbe     Type = 11 // network monitor probe (RTT / liveness)
+	TKeepalive Type = 12 // session keepalive (FlagEcho marks the reply)
 )
 
 func (t Type) String() string {
@@ -57,6 +58,8 @@ func (t Type) String() string {
 		return "PARITY"
 	case TProbe:
 		return "PROBE"
+	case TKeepalive:
+		return "KEEPALIVE"
 	}
 	return fmt.Sprintf("TYPE(%d)", uint8(t))
 }

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Runs the E9 fault-injection sweep twice and diffs the output: the sweep is
+# driven entirely by deterministic FaultPlans, so two runs must be identical
+# byte-for-byte. E9 itself additionally reruns its adaptive burst-loss case
+# with the same seed and compares the full UNITES metric snapshots; look for
+# the "same-seed reproducibility ...: true" note and at least one recovery
+# segue in the "policy segues under burst loss" note.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/adaptivebench -experiment E9 >FAULTS_e9_run1.txt
+go run ./cmd/adaptivebench -experiment E9 >FAULTS_e9_run2.txt
+
+if ! cmp -s FAULTS_e9_run1.txt FAULTS_e9_run2.txt; then
+    echo "FAIL: two E9 runs differ" >&2
+    diff FAULTS_e9_run1.txt FAULTS_e9_run2.txt >&2 || true
+    exit 1
+fi
+cat FAULTS_e9_run1.txt
+
+if ! grep -q "reproducibility.*true" FAULTS_e9_run1.txt; then
+    echo "FAIL: E9 did not report byte-identical same-seed UNITES snapshots" >&2
+    exit 1
+fi
+if ! grep -q "policy segues under burst loss.*recovery\." FAULTS_e9_run1.txt; then
+    echo "FAIL: E9 recorded no policy-driven recovery segue under burst loss" >&2
+    exit 1
+fi
+echo "faults: E9 sweep reproducible; policy segue recorded in UNITES"
