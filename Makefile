@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench faults clean
+.PHONY: build test verify bench bench-scale bench-compare faults clean
 
 build:
 	$(GO) build ./...
@@ -22,11 +22,13 @@ verify:
 	$(GO) test ./...
 	$(GO) test -race ./...
 
-# faults runs the E9 fault-injection sweep twice and verifies the two runs
-# produce identical output (the experiment itself additionally compares the
-# UNITES snapshots of two same-seed runs byte-for-byte).
+# faults runs the deterministic sweeps twice each and verifies the runs are
+# byte-identical: the E9 fault-injection sweep (which also compares UNITES
+# snapshots of two same-seed runs) and the E10 scale soak (sharded kernels +
+# batched delivery, including the batched-vs-per-packet A/B equivalence).
 faults:
 	./scripts/faults_e9.sh
+	./scripts/scale_e10.sh
 
 # bench runs the data-path micro-benchmarks (packet codec, message pool,
 # netsim forwarding, sim kernel) 5 times with allocation stats and writes
@@ -34,5 +36,16 @@ faults:
 bench:
 	./scripts/bench_datapath.sh
 
+# bench-scale runs the E10 many-session soak benchmark and writes
+# BENCH_scale.json (pkts/s, events/pkt, ns/pkt, allocs/pkt per soak size,
+# with go version / GOMAXPROCS / CPU metadata).
+bench-scale:
+	./scripts/bench_scale.sh
+
+# bench-compare diffs freshly generated BENCH_*.json against the committed
+# baselines under scripts/baseline/ (set FAIL_THRESHOLD=<pct> to gate).
+bench-compare:
+	./scripts/bench_compare.sh
+
 clean:
-	rm -f BENCH_datapath.json BENCH_datapath.txt FAULTS_e9_run1.txt FAULTS_e9_run2.txt
+	rm -f BENCH_* FAULTS_* results_all.txt

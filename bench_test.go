@@ -7,6 +7,8 @@
 package adaptive_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -169,6 +171,7 @@ func BenchmarkE8_JoinLeave(b *testing.B)        { benchRunTables(b, experiment.R
 // benchRunTables executes a full experiment runner per iteration.
 func benchRunTables(b *testing.B, run func() []experiment.Table) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tables := run()
 		if len(tables) == 0 || len(tables[0].Rows) == 0 {
@@ -302,6 +305,7 @@ func BenchmarkChecksums(b *testing.B) {
 		b.Run(ck.String(), func(b *testing.B) {
 			p := &wire.PDU{Header: wire.Header{Type: wire.TData}, Payload: message.NewFromBytes(body)}
 			b.SetBytes(1400)
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pkt := wire.Encode(p, ck)
 				pkt.Release()
@@ -389,6 +393,36 @@ func BenchmarkEndToEndThroughput(b *testing.B) {
 		MSS: 9000, RcvBufPDUs: 256,
 	}
 	benchScenario(b, spec, link, 4<<20)
+}
+
+// BenchmarkE10_Scale is the many-session soak (see internal/experiment/e10.go):
+// N mixed-class sessions across 8 sharded kernels with batched link delivery.
+// Per size it reports wall packet rate, kernel events per delivered packet
+// (the scale metric — must stay below 1.0), ns and heap allocations per
+// delivered packet. `make bench-scale` records the sweep in BENCH_scale.json.
+func BenchmarkE10_Scale(b *testing.B) {
+	for _, n := range experiment.E10Sessions {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			var delivered, events uint64
+			for i := 0; i < b.N; i++ {
+				r := experiment.RunE10Scale(n)
+				if r.Delivered == 0 {
+					b.Fatal("soak delivered nothing")
+				}
+				delivered += r.Delivered
+				events += r.Events
+			}
+			runtime.ReadMemStats(&ms1)
+			elapsed := b.Elapsed()
+			b.ReportMetric(float64(delivered)/elapsed.Seconds(), "pkts/s")
+			b.ReportMetric(float64(events)/float64(delivered), "events/pkt")
+			b.ReportMetric(float64(elapsed.Nanoseconds())/float64(delivered), "ns/pkt")
+			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(delivered), "allocs/pkt")
+		})
+	}
 }
 
 func BenchmarkA1_DelayedAcks(b *testing.B)   { benchRunTables(b, experiment.RunA1) }

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("experiment", "all", "experiment id (T1, T2, F2, F3, E1..E9) or 'all'")
+		which   = flag.String("experiment", "all", "experiment id (T1, T2, F2, F3, E1..E10, A1..A3) or 'all'")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel experiment workers for -experiment all")
 	)

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"sync"
+	"time"
 
 	"adaptive/internal/message"
 	"adaptive/internal/netapi"
@@ -28,6 +29,11 @@ type flight struct {
 	dstAddr netapi.Addr
 	ep      *Endpoint // set once receiver CPU is committed
 	host    *Host
+
+	// Batched-delivery queue state (see linkqueue.go): arrival instant and
+	// the intrusive link in the owning Link's arrival queue.
+	at    time.Duration
+	qnext *flight
 }
 
 var flightPool = sync.Pool{New: func() any { return new(flight) }}

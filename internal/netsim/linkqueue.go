@@ -1,0 +1,111 @@
+package netsim
+
+import "time"
+
+// Per-link batched delivery (the scale path).
+//
+// In per-packet mode every transiting packet schedules its own kernel event
+// at its arrival instant, so kernel churn grows linearly with packet rate —
+// exactly the per-PDU overhead the paper's throughput-preservation problem
+// (§2.1A) says must stay flat. In batched mode each link instead keeps one
+// arrival queue, ordered by arrival time (stable for ties: enqueue order),
+// and arms a single kernel timer. When the timer fires, the drain delivers
+// every packet due at or before the current virtual time in one callback,
+// so a burst sharing an arrival instant — or falling inside the link's
+// coalesce window — costs one kernel event, not one per packet.
+//
+// Determinism is unaffected: all random draws (loss, corruption, jitter,
+// duplication, impairments) happen at enqueue time in Link.transit, in the
+// same order as per-packet mode, and the queue preserves enqueue order
+// among equal arrival times. With Coalesce == 0 every packet still steps at
+// its exact arrival instant; a positive Coalesce models NIC-style interrupt
+// coalescing (arrivals within the window are delivered together, at most
+// Coalesce late), trading bounded extra latency for amortized events.
+
+// enqueueArrival inserts fl, due at the absolute virtual time at, into the
+// link's arrival queue and (re)arms the drain timer. The queue is an
+// intrusive singly-linked list ordered by arrival time; arrivals are almost
+// always monotone (serialization orders departures), so the common case is
+// an O(1) tail append. Jittered or impairment-reordered packets walk from
+// the head — rare by construction.
+func (l *Link) enqueueArrival(fl *flight, at time.Duration) {
+	fl.at = at
+	fl.qnext = nil
+	switch {
+	case l.qTail == nil:
+		l.qHead, l.qTail = fl, fl
+	case at >= l.qTail.at:
+		l.qTail.qnext = fl
+		l.qTail = fl
+	case at < l.qHead.at:
+		fl.qnext = l.qHead
+		l.qHead = fl
+	default:
+		// Stable insert: after every queued flight with arrival <= at.
+		prev := l.qHead
+		for prev.qnext != nil && prev.qnext.at <= at {
+			prev = prev.qnext
+		}
+		fl.qnext = prev.qnext
+		prev.qnext = fl
+	}
+	l.armDrain()
+}
+
+// armDrain ensures the drain timer fires no later than the head arrival plus
+// the link's coalesce window.
+func (l *Link) armDrain() {
+	want := l.qHead.at + l.cfg.Coalesce
+	if l.drainTimer.Pending() {
+		if at, ok := l.drainTimer.At(); ok && at <= want {
+			return
+		}
+		l.drainTimer.Stop()
+	}
+	now := l.net.kernel.Now()
+	l.drainTimer = l.net.kernel.ScheduleArg(want-now, linkDrain, l)
+}
+
+// linkDrain is the ScheduleArg trampoline for a link's batched drain.
+func linkDrain(v any) { v.(*Link).drain() }
+
+// drain steps every queued flight due at or before the current virtual time,
+// in arrival order, then re-arms for the next head (if any). Steps may
+// enqueue further arrivals — on this link (multi-hop loops) or others — and
+// the loop picks up any that land due immediately.
+func (l *Link) drain() {
+	now := l.net.kernel.Now()
+	for l.qHead != nil && l.qHead.at <= now {
+		fl := l.qHead
+		l.qHead = fl.qnext
+		if l.qHead == nil {
+			l.qTail = nil
+		}
+		fl.qnext = nil
+		fl.step()
+	}
+	if l.qHead != nil {
+		l.armDrain()
+	}
+}
+
+// QueuedArrivals reports how many packets are awaiting their arrival instant
+// in the link's batched queue (whitebox metric for tests).
+func (l *Link) QueuedArrivals() int {
+	n := 0
+	for fl := l.qHead; fl != nil; fl = fl.qnext {
+		n++
+	}
+	return n
+}
+
+// scheduleArrival routes one transited packet toward its arrival: batched
+// mode enqueues on the link; per-packet mode schedules a dedicated kernel
+// event, exactly as the pre-batching code path did.
+func (l *Link) scheduleArrival(fl *flight, arrive time.Duration) {
+	if l.net.mode == DeliverBatched {
+		l.enqueueArrival(fl, arrive)
+		return
+	}
+	l.net.kernel.ScheduleArg(arrive-l.net.kernel.Now(), flightStep, fl)
+}

@@ -36,6 +36,13 @@ type LinkConfig struct {
 	DropRate  float64       // per-packet silent drop probability
 	DupRate   float64       // per-packet duplication probability
 	Jitter    time.Duration // uniform [0,Jitter) extra propagation delay
+
+	// Coalesce widens the batched-delivery drain window (interrupt
+	// coalescing): arrivals within this much of the queue head are
+	// delivered in the same drain callback, at most Coalesce later than
+	// their exact arrival instant. Zero delivers every packet at its
+	// exact arrival time. Ignored in per-packet delivery mode.
+	Coalesce time.Duration
 }
 
 // LinkStats counts traffic through a link.
@@ -60,6 +67,12 @@ type Link struct {
 	busyUntil time.Duration
 	stats     LinkStats
 	crossStop sim.Timer
+
+	// Batched-delivery state (see linkqueue.go): the arrival queue and its
+	// single drain timer.
+	qHead      *flight
+	qTail      *flight
+	drainTimer sim.Timer
 
 	// Fault-injection state (see faults.go).
 	down  bool
@@ -164,8 +177,7 @@ func (l *Link) transit(fl *flight) {
 		l.stats.Reordered++
 		arrive += l.imp.ReorderDelay
 	}
-	now := l.net.kernel.Now()
-	l.net.kernel.ScheduleArg(arrive-now, flightStep, fl)
+	l.scheduleArrival(fl, arrive)
 	dupP := l.cfg.DupRate
 	if l.imp != nil {
 		dupP += l.imp.DupRate * (1 - dupP)
@@ -176,7 +188,7 @@ func (l *Link) transit(fl *flight) {
 		copy(dup.pkt, pkt)
 		dup.path = fl.path
 		dup.i = fl.i
-		l.net.kernel.ScheduleArg(arrive+time.Microsecond-now, flightStep, dup)
+		l.scheduleArrival(dup, arrive+time.Microsecond)
 	}
 }
 

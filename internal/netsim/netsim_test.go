@@ -274,8 +274,10 @@ func TestCPUCostSerializes(t *testing.T) {
 
 func TestCrossTrafficCongestsQueue(t *testing.T) {
 	n, a, b, ab, _ := twoHosts(t, LinkConfig{Bandwidth: 8e6, MTU: 1500, QueueLen: 4000})
-	// Saturate the link with cross traffic at 100% of bandwidth.
-	ab.StartCrossTraffic(8e6, 1000)
+	// Saturate the link with cross traffic at 120% of bandwidth, so the
+	// queue is pinned at capacity regardless of how same-instant arrivals
+	// interleave with the cross-traffic ticks.
+	ab.StartCrossTraffic(9.6e6, 1000)
 	epA, _ := n.Open(a.ID(), 1)
 	epB, _ := n.Open(b.ID(), 2)
 	count := 0

@@ -66,6 +66,21 @@ func (h *Host) cpu(cost time.Duration) time.Duration {
 	return h.cpuBusy
 }
 
+// DeliveryMode selects how packets move from transit to delivery.
+type DeliveryMode uint8
+
+const (
+	// DeliverBatched (the default) queues arrivals per link and drains
+	// every packet due at or before the current virtual time in a single
+	// kernel callback, and runs zero-delay host CPU completions inline, so
+	// steady-state kernel events stay flat as packet rates grow. See
+	// linkqueue.go.
+	DeliverBatched DeliveryMode = iota
+	// DeliverPerPacket schedules one kernel event per packet movement —
+	// the pre-batching code path, kept for A/B equivalence tests.
+	DeliverPerPacket
+)
+
 // Network is the simulated internetwork.
 type Network struct {
 	kernel *sim.Kernel
@@ -73,6 +88,7 @@ type Network struct {
 	routes map[[2]netapi.HostID][]*Link
 	groups map[netapi.HostID]map[netapi.HostID]bool
 	nextID netapi.HostID
+	mode   DeliveryMode
 
 	// Fault-injection state (see faults.go).
 	blocked    map[[2]netapi.HostID]bool // severed host pairs (partitions)
@@ -88,6 +104,35 @@ func New(k *sim.Kernel) *Network {
 		groups: make(map[netapi.HostID]map[netapi.HostID]bool),
 		nextID: 1,
 	}
+}
+
+// SetDeliveryMode switches between batched and per-packet delivery. Call it
+// before traffic flows; switching with packets in flight panics.
+func (n *Network) SetDeliveryMode(m DeliveryMode) {
+	if m == n.mode {
+		return
+	}
+	for _, links := range n.routes {
+		for _, l := range links {
+			if l.qHead != nil {
+				panic("netsim: SetDeliveryMode with packets in flight")
+			}
+		}
+	}
+	n.mode = m
+}
+
+// DeliveryModeNow returns the current delivery mode.
+func (n *Network) DeliveryModeNow() DeliveryMode { return n.mode }
+
+// TotalReceived sums delivered packets across all hosts (the denominator of
+// the kernel-events-per-delivered-packet scale metric).
+func (n *Network) TotalReceived() uint64 {
+	var total uint64
+	for _, h := range n.hosts {
+		total += h.stats.Received
+	}
+	return total
 }
 
 // Kernel returns the simulation kernel driving this network.
@@ -205,7 +250,6 @@ var errNoRoute = errors.New("netsim: no route to host")
 func (n *Network) send(src *Host, pkt []byte, srcAddr, dst netapi.Addr, cost CPUCost) error {
 	src.stats.Sent++
 	done := src.cpu(cost.Cost(len(pkt)))
-	now := n.kernel.Now()
 	if dst.Host.IsMulticast() {
 		if _, ok := n.groups[dst.Host]; !ok {
 			message.PutSlab(pkt)
@@ -224,7 +268,7 @@ func (n *Network) send(src *Host, pkt []byte, srcAddr, dst netapi.Addr, cost CPU
 			}
 			fl := newFlight(n, src.id, m, message.GetSlab(len(pkt)), srcAddr, dstAddr)
 			copy(fl.pkt, pkt)
-			n.kernel.ScheduleArg(done-now, flightStep, fl)
+			n.launch(fl, done)
 		}
 		message.PutSlab(pkt)
 		return nil
@@ -245,8 +289,22 @@ func (n *Network) send(src *Host, pkt []byte, srcAddr, dst netapi.Addr, cost CPU
 		return nil
 	}
 	fl := newFlight(n, src.id, dst.Host, pkt, srcAddr, dst)
-	n.kernel.ScheduleArg(done-now, flightStep, fl)
+	n.launch(fl, done)
 	return nil
+}
+
+// launch releases a fresh flight once the sender CPU frees it at done. In
+// batched mode a zero-delay release (the common lightweight-stack case) steps
+// the flight inline — entering the first link's arrival queue without a
+// dedicated kernel event; transit never re-enters protocol code, so inline
+// stepping is re-entrancy-safe even mid-pump.
+func (n *Network) launch(fl *flight, done time.Duration) {
+	now := n.kernel.Now()
+	if n.mode == DeliverBatched && done <= now {
+		fl.step()
+		return
+	}
+	n.kernel.ScheduleArg(done-now, flightStep, fl)
 }
 
 // arrive delivers a flight's packet to the destination host's endpoint after
@@ -268,8 +326,17 @@ func (n *Network) arrive(fl *flight) {
 		fl.free()
 		return
 	}
-	h.cpuPending++
 	done := h.cpu(ep.cost.Cost(len(fl.pkt)))
+	if n.mode == DeliverBatched && done <= n.kernel.Now() {
+		// Zero receive-side CPU cost: upcall inline from the drain — no
+		// completion event. The receiver-copies contract (netapi) makes
+		// freeing the flight immediately after the upcall safe.
+		h.stats.Received++
+		ep.recv(fl.pkt, fl.srcAddr)
+		fl.free()
+		return
+	}
+	h.cpuPending++
 	fl.host = h
 	fl.ep = ep
 	n.kernel.ScheduleArg(done-n.kernel.Now(), flightRecv, fl)

@@ -1,6 +1,8 @@
 package reliable
 
 import (
+	"time"
+
 	"adaptive/internal/event"
 	"adaptive/internal/mechanism"
 )
@@ -9,15 +11,25 @@ import (
 // among the negotiated session parameters ("timer settings for delayed
 // acknowledgments", §4.1.1). With Spec.AckDelay zero it degenerates to
 // immediate cumulative acks; otherwise acks coalesce until the delay
-// expires or a second in-order PDU arrives, and anything anomalous
-// (out-of-order data, duplicates) acks immediately so loss detection at the
-// sender stays prompt.
+// expires or a second in-order PDU arrives at a later virtual instant, and
+// anything anomalous (out-of-order data, duplicates) acks immediately so
+// loss detection at the sender stays prompt.
+//
+// PDUs sharing one virtual instant — a batched link drain handing the
+// receiver a burst — coalesce into a single cumulative ack (capped at
+// ackBurstCap so a pathological burst still acks), which is what keeps
+// ack traffic, and with it kernel events per delivered packet, flat as
+// per-drain burst sizes grow.
 type delayedAcker struct {
 	timer     *event.Event
 	pending   bool
 	sinceAck  int
-	Coalesced uint64 // acks saved by coalescing (whitebox metric)
+	lastAt    time.Duration // virtual instant of the last coalesced PDU
+	Coalesced uint64        // acks saved by coalescing (whitebox metric)
 }
+
+// ackBurstCap bounds how many same-instant PDUs one cumulative ack covers.
+const ackBurstCap = 64
 
 // ack registers an ack-worthy in-order event.
 func (d *delayedAcker) ack(e mechanism.Env) {
@@ -26,11 +38,13 @@ func (d *delayedAcker) ack(e mechanism.Env) {
 		sendCumAck(e)
 		return
 	}
+	now := e.Clock().Now()
 	d.sinceAck++
-	if d.sinceAck >= 2 {
+	if d.sinceAck >= 2 && (now != d.lastAt || d.sinceAck >= ackBurstCap) {
 		d.flush(e)
 		return
 	}
+	d.lastAt = now
 	if d.pending {
 		return
 	}

@@ -23,6 +23,9 @@ func TestDelayedAckCoalescesEverySecondPDU(t *testing.T) {
 	if got := e.ControlCount(wire.TAck); got != 0 {
 		t.Fatalf("acked immediately (%d) despite delay", got)
 	}
+	// Advance virtual time so the second PDU is a distinct arrival, not a
+	// same-instant burst (bursts coalesce further; see the burst test).
+	e.Kernel.RunUntil(time.Millisecond)
 	feedData(e, s, 1, "b")
 	if got := e.ControlCount(wire.TAck); got != 1 {
 		t.Fatalf("second in-order PDU produced %d acks, want coalesced 1", got)
@@ -32,6 +35,45 @@ func TestDelayedAckCoalescesEverySecondPDU(t *testing.T) {
 	}
 	if s.AcksCoalesced() != 1 {
 		t.Fatalf("coalesced count %d", s.AcksCoalesced())
+	}
+}
+
+func TestDelayedAckCoalescesSameInstantBurst(t *testing.T) {
+	e := mechtest.New(delayedSpec())
+	s := NewSelectiveRepeat()
+	// Ten in-order PDUs at one virtual instant: a batched-drain burst. No
+	// ack until either time advances or the delay timer fires.
+	for seq := uint32(0); seq < 10; seq++ {
+		feedData(e, s, seq, "x")
+	}
+	if got := e.ControlCount(wire.TAck); got != 0 {
+		t.Fatalf("same-instant burst produced %d early acks", got)
+	}
+	// The next PDU at a later instant flushes one cumulative ack for all 11.
+	e.Kernel.RunUntil(time.Millisecond)
+	feedData(e, s, 10, "x")
+	if got := e.ControlCount(wire.TAck); got != 1 {
+		t.Fatalf("burst flushed %d acks, want 1", got)
+	}
+	if ack := e.LastControl(wire.TAck); ack.Ack != 11 {
+		t.Fatalf("burst ack covers %d, want 11", ack.Ack)
+	}
+	if s.AcksCoalesced() != 10 {
+		t.Fatalf("coalesced count %d, want 10", s.AcksCoalesced())
+	}
+}
+
+func TestDelayedAckBurstCapForcesFlush(t *testing.T) {
+	e := mechtest.New(delayedSpec())
+	s := NewSelectiveRepeat()
+	for seq := uint32(0); seq < ackBurstCap; seq++ {
+		feedData(e, s, seq, "x")
+	}
+	if got := e.ControlCount(wire.TAck); got != 1 {
+		t.Fatalf("capped burst produced %d acks, want 1 at the cap", got)
+	}
+	if ack := e.LastControl(wire.TAck); ack.Ack != ackBurstCap {
+		t.Fatalf("cap flush covers %d, want %d", ack.Ack, ackBurstCap)
 	}
 }
 

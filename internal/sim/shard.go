@@ -1,0 +1,78 @@
+package sim
+
+import "sync"
+
+// Sharded multi-kernel execution (the scale path).
+//
+// One Kernel is strictly single-threaded: every event shares one virtual
+// clock, one RNG stream, one timing wheel. That is the right model for one
+// internetwork, but a soak run of thousands of *independent* sessions does
+// not need a shared clock — it needs throughput. A ShardGroup partitions
+// independent work across kernels, one per shard, and runs them on a bounded
+// pool of worker goroutines.
+//
+// Determinism is preserved by construction:
+//
+//   - Each shard gets its own Kernel seeded by DeriveSeed(Seed, shard), so a
+//     shard's event and RNG stream depend only on (Seed, shard index), never
+//     on which worker ran it or in what order shards were scheduled.
+//   - Results are merged in shard order, so the combined output is identical
+//     whether Workers is 1 or NumCPU.
+//
+// The shard count is part of the experiment definition (it changes seed
+// derivation); the worker count is a machine detail (it never changes
+// results).
+
+// DeriveSeed maps a base seed and shard index to an independent, well-mixed
+// per-shard seed via the splitmix64 finalizer. Adjacent shard indices yield
+// statistically unrelated streams, and shard 0 is never the base seed itself
+// (so single-kernel and sharded runs don't silently share a stream).
+func DeriveSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + uint64(shard+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// ShardGroup describes a deterministic sharded run.
+type ShardGroup struct {
+	Seed   int64 // base seed; each shard derives its own via DeriveSeed
+	Shards int   // number of shards (part of the experiment definition)
+	// Workers bounds concurrent shards; <= 0 means Shards (fully
+	// concurrent). Workers is a machine knob: any value produces
+	// byte-identical merged results.
+	Workers int
+}
+
+// RunSharded runs fn once per shard, each on a fresh Kernel with a derived
+// seed, across the group's worker pool, and returns the per-shard results in
+// shard order. fn must confine itself to its own kernel (no shared mutable
+// state) — that is what makes the shards independent and the merge
+// deterministic.
+func RunSharded[T any](g ShardGroup, fn func(shard int, k *Kernel) T) []T {
+	if g.Shards <= 0 {
+		panic("sim: ShardGroup needs at least one shard")
+	}
+	workers := g.Workers
+	if workers <= 0 || workers > g.Shards {
+		workers = g.Shards
+	}
+	out := make([]T, g.Shards)
+	next := make(chan int, g.Shards)
+	for s := 0; s < g.Shards; s++ {
+		next <- s
+	}
+	close(next)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for s := range next {
+				out[s] = fn(s, NewKernel(DeriveSeed(g.Seed, s)))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

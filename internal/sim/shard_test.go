@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// shardTrace runs a small event workload on the shard's kernel and returns a
+// digest that depends on the shard's RNG stream, clock, and event count.
+func shardTrace(shard int, k *Kernel) uint64 {
+	var digest uint64
+	var tick func()
+	n := 0
+	tick = func() {
+		digest = digest*1099511628211 ^ uint64(k.Rand().Int63())
+		digest = digest*1099511628211 ^ uint64(k.Now())
+		n++
+		if n < 50 {
+			k.Schedule(time.Duration(1+k.Rand().Intn(1000))*time.Microsecond, tick)
+		}
+	}
+	k.Schedule(time.Millisecond, tick)
+	k.Run()
+	return digest ^ uint64(shard)<<32 ^ k.Executed()
+}
+
+func TestRunShardedWorkerCountInvariant(t *testing.T) {
+	base := ShardGroup{Seed: 42, Shards: 8}
+	want := RunSharded(ShardGroup{Seed: 42, Shards: 8, Workers: 1}, shardTrace)
+	for _, workers := range []int{2, 4, 8, 16} {
+		g := base
+		g.Workers = workers
+		got := RunSharded(g, shardTrace)
+		for s := range want {
+			if got[s] != want[s] {
+				t.Fatalf("workers=%d shard %d digest %#x, want %#x (1 worker)", workers, s, got[s], want[s])
+			}
+		}
+	}
+}
+
+func TestRunShardedMergesInShardOrder(t *testing.T) {
+	got := RunSharded(ShardGroup{Seed: 7, Shards: 5, Workers: 3}, func(shard int, k *Kernel) int {
+		return shard * 10
+	})
+	for s, v := range got {
+		if v != s*10 {
+			t.Fatalf("shard %d result %d, want %d", s, v, s*10)
+		}
+	}
+}
+
+func TestDeriveSeedIndependence(t *testing.T) {
+	seen := map[int64]int{}
+	for shard := 0; shard < 64; shard++ {
+		s := DeriveSeed(42, shard)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("shards %d and %d derived the same seed %d", prev, shard, s)
+		}
+		seen[s] = shard
+		if s == 42 {
+			t.Fatalf("shard %d derived the base seed itself", shard)
+		}
+	}
+	if DeriveSeed(42, 0) == DeriveSeed(43, 0) {
+		t.Fatal("different base seeds derived the same shard-0 seed")
+	}
+}

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Compares a freshly generated BENCH_*.json against the committed baselines
+# under scripts/baseline/. For every benchmark name the best (minimum) time
+# metric across runs is compared — ns_per_op for the data-path suite,
+# ns_per_pkt for the scale soak — and the percentage delta is printed.
+#
+#   ./scripts/bench_compare.sh                  # compare whatever exists
+#   FAIL_THRESHOLD=50 ./scripts/bench_compare.sh  # exit 1 past +50%
+#
+# Without FAIL_THRESHOLD the script is informational: machines differ, so
+# CI only records the table while a developer chasing a regression sets the
+# threshold.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${FAIL_THRESHOLD:-}"
+STATUS=0
+
+compare() {
+    current=$1
+    baseline=$2
+    metric=$3
+    [ -f "$current" ] || { echo "skip: $current not generated (run make bench / make bench-scale)"; return; }
+    [ -f "$baseline" ] || { echo "skip: $baseline missing"; return; }
+    echo "== $current vs $baseline ($metric, best-of-runs) =="
+    awk -v metric="\"$metric\":" -v threshold="${THRESHOLD:-0}" '
+    function best(file, mins,   line, name, v) {
+        while ((getline line < file) > 0) {
+            if (line !~ /"name"/) continue
+            if (match(line, /"name": "[^"]+"/)) {
+                name = substr(line, RSTART + 9, RLENGTH - 10)
+            } else continue
+            if (match(line, metric " [0-9.eE+-]+")) {
+                v = substr(line, RSTART + length(metric) + 1, RLENGTH - length(metric) - 1) + 0
+                if (!(name in mins) || v < mins[name]) mins[name] = v
+            }
+        }
+        close(file)
+    }
+    BEGIN {
+        best(ARGV[1], base)
+        best(ARGV[2], cur)
+        bad = 0
+        for (name in cur) {
+            if (!(name in base)) { printf "%-60s %12.1f  (new)\n", name, cur[name]; continue }
+            delta = base[name] > 0 ? (cur[name] - base[name]) / base[name] * 100 : 0
+            flag = ""
+            if (threshold + 0 > 0 && delta > threshold + 0) { flag = "  REGRESSION"; bad = 1 }
+            printf "%-60s %12.1f -> %12.1f  %+7.1f%%%s\n", name, base[name], cur[name], delta, flag
+        }
+        for (name in base) if (!(name in cur)) printf "%-60s dropped from current run\n", name
+        exit bad
+    }' "$baseline" "$current" || STATUS=1
+}
+
+compare BENCH_datapath.json scripts/baseline/BENCH_datapath.json ns_per_op
+compare BENCH_scale.json scripts/baseline/BENCH_scale.json ns_per_pkt
+
+exit $STATUS

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Runs the packet-path and kernel micro-benchmarks with -benchmem -count=5
-# and distills the raw `go test` output into BENCH_datapath.json, one object
-# per (benchmark, run) with ns/op, B/op, and allocs/op.
+# and distills the raw `go test` output into BENCH_datapath.json: a meta
+# header (go version, GOMAXPROCS, CPU model) plus one object per
+# (benchmark, run) with ns/op, B/op, and allocs/op — one object per line so
+# scripts/bench_compare.sh can diff runs with awk alone.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -10,8 +12,16 @@ PATTERN='BenchmarkWireEncode$|BenchmarkWireEncodeTo|BenchmarkWireDecode$|Benchma
 
 go test -run '^$' -bench "$PATTERN" -benchmem -count=5 . | tee BENCH_datapath.txt
 
-awk '
-BEGIN { print "["; first = 1 }
+GOVER=$(go version | awk '{print $3}')
+MAXPROCS=${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}
+CPU=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)
+
+awk -v gover="$GOVER" -v maxprocs="$MAXPROCS" -v cpu="$CPU" '
+BEGIN {
+    printf "{\n  \"meta\": {\"go\": \"%s\", \"gomaxprocs\": %s, \"cpu\": \"%s\"},\n", gover, maxprocs, cpu
+    print "  \"results\": ["
+    first = 1
+}
 /^Benchmark/ {
     name = $1; nsop = ""; bop = ""; allocs = ""
     for (i = 2; i <= NF; i++) {
@@ -22,9 +32,9 @@ BEGIN { print "["; first = 1 }
     if (nsop == "") next
     if (!first) printf ",\n"
     first = 0
-    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, (bop == "" ? "null" : bop), (allocs == "" ? "null" : allocs)
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, (bop == "" ? "null" : bop), (allocs == "" ? "null" : allocs)
 }
-END { print "\n]" }
+END { print "\n  ]\n}" }
 ' BENCH_datapath.txt > BENCH_datapath.json
 
 echo "wrote BENCH_datapath.json ($(grep -c '"name"' BENCH_datapath.json) samples)"

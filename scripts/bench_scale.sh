@@ -1,0 +1,53 @@
+#!/bin/sh
+# Runs the E10 many-session soak benchmark (BenchmarkE10_Scale) and distills
+# the output into BENCH_scale.json: a meta header (go version, GOMAXPROCS,
+# CPU model) plus one record per (size, run) with the soak metrics —
+# pkts/s (wall), events/pkt, ns/pkt, allocs/pkt. Records are one JSON object
+# per line so scripts/bench_compare.sh can diff runs with awk alone.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-2}"
+
+go test -run '^$' -bench 'BenchmarkE10_Scale' -count="$COUNT" . | tee BENCH_scale.txt
+
+GOVER=$(go version | awk '{print $3}')
+MAXPROCS=${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}
+CPU=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)
+
+awk -v gover="$GOVER" -v maxprocs="$MAXPROCS" -v cpu="$CPU" '
+BEGIN {
+    printf "{\n  \"meta\": {\"go\": \"%s\", \"gomaxprocs\": %s, \"cpu\": \"%s\"},\n", gover, maxprocs, cpu
+    print "  \"results\": ["
+    first = 1
+}
+/^BenchmarkE10_Scale/ {
+    name = $1
+    pkts = ""; events = ""; nspkt = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "pkts/s")     pkts   = $(i-1)
+        if ($i == "events/pkt") events = $(i-1)
+        if ($i == "ns/pkt")     nspkt  = $(i-1)
+        if ($i == "allocs/pkt") allocs = $(i-1)
+    }
+    if (pkts == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"pkts_per_sec\": %s, \"events_per_pkt\": %s, \"ns_per_pkt\": %s, \"allocs_per_pkt\": %s}", name, pkts, events, nspkt, allocs
+}
+END { print "\n  ]\n}" }
+' BENCH_scale.txt > BENCH_scale.json
+
+echo "wrote BENCH_scale.json ($(grep -c '"name"' BENCH_scale.json) samples)"
+
+# The scale acceptance bar: events per delivered packet strictly below 1.0
+# at every soak size.
+awk '/"events_per_pkt"/ {
+    if (match($0, /"events_per_pkt": [0-9.]+/)) {
+        v = substr($0, RSTART + 18, RLENGTH - 18) + 0
+        if (v >= 1.0) { bad = 1; print "FAIL: events/pkt >= 1.0 in: " $0 }
+    }
+}
+END { exit bad }
+' BENCH_scale.json && echo "scale: events/pkt < 1.0 at every soak size"

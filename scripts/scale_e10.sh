@@ -1,0 +1,32 @@
+#!/bin/sh
+# Determinism gate for the scale path. Two independent checks:
+#
+#  1. The E10 many-session soak, run twice via cmd/adaptivebench, must render
+#     byte-identical tables: sharded kernels (worker scheduling must not leak
+#     into results) and batched delivery (drain order must be stable) both
+#     feed this output.
+#  2. The batched delivery path must produce exactly the delivery sequence of
+#     the retired per-packet code path from the same seed — the A/B
+#     equivalence test in internal/netsim.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/adaptivebench -experiment E10 >FAULTS_e10_run1.txt
+go run ./cmd/adaptivebench -experiment E10 >FAULTS_e10_run2.txt
+
+if ! cmp -s FAULTS_e10_run1.txt FAULTS_e10_run2.txt; then
+    echo "FAIL: two E10 soak runs differ" >&2
+    diff FAULTS_e10_run1.txt FAULTS_e10_run2.txt >&2 || true
+    exit 1
+fi
+cat FAULTS_e10_run1.txt
+
+if ! awk '$1 ~ /^[0-9]+$/ && $5 + 0 >= 1.0 { exit 1 }' FAULTS_e10_run1.txt; then
+    echo "FAIL: a soak size reported events/pkt >= 1.0" >&2
+    exit 1
+fi
+
+go test -run 'TestBatchedMatchesPerPacketDelivery' ./internal/netsim/
+
+echo "scale: E10 soak reproducible; batched delivery byte-equivalent to per-packet path"
