@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-scale bench-compare faults clean
+.PHONY: build test verify bench bench-scale bench-compare faults trace clean
 
 build:
 	$(GO) build ./...
@@ -43,9 +43,19 @@ bench-scale:
 	./scripts/bench_scale.sh
 
 # bench-compare diffs freshly generated BENCH_*.json against the committed
-# baselines under scripts/baseline/ (set FAIL_THRESHOLD=<pct> to gate).
+# baselines under scripts/baseline/ and fails on time or allocation
+# regressions (TIME_THRESHOLD / ALLOC_THRESHOLD override the percent gates).
 bench-compare:
 	./scripts/bench_compare.sh
 
+# trace flight-records the E3 policy-segue run, renders it to Chrome
+# trace-event JSON (load TRACE_e3.json in chrome://tracing or
+# ui.perfetto.dev), and prints the per-kind summary. 1/16 sampling keeps the
+# whole 10-minute run inside the ring, so the segue markers survive.
+trace:
+	$(GO) run ./cmd/adaptivetrace -record e3 -sample 16 -o TRACE_e3.trace
+	$(GO) run ./cmd/adaptivetrace -chrome TRACE_e3.json -spans TRACE_e3.trace
+	$(GO) run ./cmd/adaptivetrace -summary TRACE_e3.trace
+
 clean:
-	rm -f BENCH_* FAULTS_* results_all.txt
+	rm -f BENCH_* FAULTS_* TRACE_* results_all.txt

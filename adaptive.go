@@ -48,6 +48,7 @@ import (
 	"adaptive/internal/protograph"
 	"adaptive/internal/session"
 	"adaptive/internal/tko"
+	"adaptive/internal/trace"
 	"adaptive/internal/unites"
 )
 
@@ -172,6 +173,9 @@ type Options struct {
 	// Metrics, when set, receives UNITES instrumentation for every
 	// session on this node. Nil disables collection.
 	Metrics *unites.Repository
+	// Tracer, when set, receives flight-recorder records for every session
+	// on this node (see internal/trace). Nil disables the hooks.
+	Tracer *trace.Recorder
 	// Name tags this node's metrics scope.
 	Name string
 	// Synth overrides the TKO synthesizer (template experiments).
@@ -200,6 +204,11 @@ func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
 // WithMetrics routes UNITES instrumentation for every session on this node
 // into the repository.
 func WithMetrics(r *unites.Repository) Option { return func(o *Options) { o.Metrics = r } }
+
+// WithTracer routes flight-recorder records for every session on this node
+// into the recorder. Attach the same recorder to the simulation kernel
+// (sim.Kernel.SetTracer) to capture kernel and link events alongside.
+func WithTracer(r *trace.Recorder) Option { return func(o *Options) { o.Tracer = r } }
 
 // WithName tags this node's metrics scope.
 func WithName(name string) Option { return func(o *Options) { o.Name = name } }
@@ -257,6 +266,7 @@ func newNode(opts Options) (*Node, error) {
 		Seed:     opts.Seed,
 		Synth:    opts.Synth,
 		Metrics:  mf,
+		Tracer:   opts.Tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"adaptive/internal/mechanism"
 	"adaptive/internal/netsim"
 	"adaptive/internal/sim"
+	"adaptive/internal/trace"
 	"adaptive/internal/unites"
 	"adaptive/internal/workload"
 )
@@ -44,6 +45,8 @@ type E10Result struct {
 	Delivered uint64 // packets (data + control) handed to receivers
 	Events    uint64 // kernel events executed
 	Shards    int
+	Latency   *unites.Distribution // stamped-message latency, merged across shards
+	Jitter    *unites.Distribution
 }
 
 // EventsPerPacket is the scale metric: kernel events per delivered packet.
@@ -63,6 +66,8 @@ func (r E10Result) VirtualPktRate() float64 {
 type e10Shard struct {
 	delivered uint64
 	events    uint64
+	latency   *unites.Distribution
+	jitter    *unites.Distribution
 }
 
 // e10Class is one Table-1-derived traffic class in the soak mix.
@@ -173,8 +178,16 @@ func e10ClassFor(mix []e10Class, i int) *e10Class {
 
 // runE10Shard builds one shard's private 2-host internetwork on the given
 // kernel, drives its share of the sessions, and returns post-warmup deltas.
-func runE10Shard(shard int, k *sim.Kernel, sessions int) e10Shard {
+// A nil repo gives the shard a private repository (the default); passing a
+// shared one exercises concurrent cross-shard recording. A non-nil tracer is
+// installed on the kernel and every node, so the shard's flight record
+// covers timers, links, and sessions.
+func runE10Shard(shard int, k *sim.Kernel, sessions int, repo *unites.Repository, tracer *trace.Recorder) e10Shard {
 	k.SetEventLimit(200_000_000)
+	if tracer != nil {
+		tracer.SetShard(shard)
+		k.SetTracer(tracer)
+	}
 	net := netsim.New(k)
 	a, b := net.AddHost(), net.AddHost()
 	link := netsim.LinkConfig{
@@ -189,7 +202,9 @@ func runE10Shard(shard int, k *sim.Kernel, sessions int) e10Shard {
 	net.SetRoute(a.ID(), b.ID(), net.NewLink(link))
 	net.SetRoute(b.ID(), a.ID(), net.NewLink(link))
 
-	repo := unites.NewRepository()
+	if repo == nil {
+		repo = unites.NewRepository()
+	}
 	mkNode := func(h *netsim.Host, name string, salt int64) *adaptive.Node {
 		n, err := adaptive.NewNode(
 			adaptive.WithProvider(net),
@@ -197,6 +212,7 @@ func runE10Shard(shard int, k *sim.Kernel, sessions int) e10Shard {
 			adaptive.WithSeed(sim.DeriveSeed(e10Seed, shard)+salt),
 			adaptive.WithMetrics(repo),
 			adaptive.WithName(fmt.Sprintf("e10s%d-%s", shard, name)),
+			adaptive.WithTracer(tracer),
 		)
 		if err != nil {
 			panic(err)
@@ -204,6 +220,9 @@ func runE10Shard(shard int, k *sim.Kernel, sessions int) e10Shard {
 		return n
 	}
 	sh := &e10Testbed{k: k, net: net, client: mkNode(a, "c", 1), server: mkNode(b, "s", 2)}
+	// One meter per shard measures stamped-message latency/jitter at the
+	// receivers (blackbox QoS); sessions of a shard share it, shards merge.
+	meter := workload.NewMeter(k)
 
 	mix := e10Mix()
 	for i := 0; i < sessions; i++ {
@@ -220,7 +239,7 @@ func runE10Shard(shard int, k *sim.Kernel, sessions int) e10Shard {
 			})
 		} else {
 			sh.server.Listen(port, nil, func(c *adaptive.Conn) {
-				c.OnDelivery(func(d adaptive.Delivery) { d.Msg.Release() })
+				c.OnDelivery(meter.OnDeliver)
 			})
 		}
 		conn, err := sh.client.DialSpec(cls.spec(), sh.server.Addr(), uint16(30000+i), port)
@@ -238,13 +257,21 @@ func runE10Shard(shard int, k *sim.Kernel, sessions int) e10Shard {
 	k.RunUntil(e10Warmup)
 	ev0, rx0 := k.Executed(), net.TotalReceived()
 	k.RunUntil(e10End)
-	return e10Shard{delivered: net.TotalReceived() - rx0, events: k.Executed() - ev0}
+	return e10Shard{delivered: net.TotalReceived() - rx0, events: k.Executed() - ev0,
+		latency: meter.Latency, jitter: meter.Jitter}
 }
 
 // RunE10Scale runs one soak of n total sessions across the fixed shard set
 // and aggregates the post-warmup counters. Worker parallelism follows
 // GOMAXPROCS but never changes the result (see sim.RunSharded).
 func RunE10Scale(n int) E10Result {
+	return runE10ScaleOpt(n, nil, nil)
+}
+
+// runE10ScaleOpt is RunE10Scale with optional observation hooks: a shared
+// repository (nil = per-shard private repos) and per-shard trace recorders
+// (nil = tracing disabled; otherwise must hold e10Shards entries).
+func runE10ScaleOpt(n int, repo *unites.Repository, tracers []*trace.Recorder) E10Result {
 	per := n / e10Shards
 	rem := n % e10Shards
 	g := sim.ShardGroup{Seed: e10Seed, Shards: e10Shards, Workers: runtime.GOMAXPROCS(0)}
@@ -253,12 +280,20 @@ func RunE10Scale(n int) E10Result {
 		if shard < rem {
 			s++
 		}
-		return runE10Shard(shard, k, s)
+		var tr *trace.Recorder
+		if tracers != nil {
+			tr = tracers[shard]
+		}
+		return runE10Shard(shard, k, s, repo, tr)
 	})
-	r := E10Result{Sessions: n, Shards: e10Shards}
+	r := E10Result{Sessions: n, Shards: e10Shards,
+		Latency: unites.NewDistribution(), Jitter: unites.NewDistribution()}
 	for _, s := range shards {
 		r.Delivered += s.delivered
 		r.Events += s.events
+		// Shard order is fixed, so the merged histograms are deterministic.
+		r.Latency.Merge(s.latency)
+		r.Jitter.Merge(s.jitter)
 	}
 	return r
 }
@@ -268,7 +303,7 @@ func RunE10() []Table {
 	t := Table{
 		ID:      "E10",
 		Title:   "Scale soak: mixed-class sessions, sharded kernels, batched delivery",
-		Headers: []string{"sessions", "shards", "delivered pkts", "kernel events", "events/pkt", "virtual pkt rate"},
+		Headers: []string{"sessions", "shards", "delivered pkts", "kernel events", "events/pkt", "virtual pkt rate", "lat p50", "lat p99", "lat p999"},
 	}
 	for _, n := range E10Sessions {
 		r := RunE10Scale(n)
@@ -279,12 +314,16 @@ func RunE10() []Table {
 			fmt.Sprintf("%d", r.Events),
 			fmt.Sprintf("%.3f", r.EventsPerPacket()),
 			fmt.Sprintf("%.0f pkt/s", r.VirtualPktRate()),
+			fmtQuantile(r.Latency, 0.5),
+			fmtQuantile(r.Latency, 0.99),
+			fmtQuantile(r.Latency, 0.999),
 		})
 	}
 	t.Notes = append(t.Notes,
 		"mix per 10 sessions: 2 voice CBR / 4 video VBR (FEC) / 2 bulk (delayed-ack) / 2 OLTP req-resp",
 		"per shard: 2 hosts, 1 Gbps duplex, 500us propagation, 200us delivery coalesce window",
 		fmt.Sprintf("counters are post-warmup deltas (%v..%v of virtual time); all values virtual-time-deterministic", e10Warmup, e10End),
-		"scale target: events/pkt < 1.0 — per-packet kernel bookkeeping amortized away (§2.2A)")
+		"scale target: events/pkt < 1.0 — per-packet kernel bookkeeping amortized away (§2.2A)",
+		"latency quantiles: stamped-message delivery latency, log-bucketed histogram merged across shards")
 	return []Table{t}
 }

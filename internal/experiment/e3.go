@@ -8,6 +8,7 @@ import (
 	"adaptive/internal/mantts"
 	"adaptive/internal/netapi"
 	"adaptive/internal/netsim"
+	"adaptive/internal/trace"
 	"adaptive/internal/workload"
 )
 
@@ -23,9 +24,9 @@ func RunE3() []Table {
 		Title:   "Congestion policy: selective-repeat <-> go-back-n (congested middle phase)",
 		Headers: []string{"configuration", "completion", "goodput", "retransmits", "peak rcv buffer", "segues"},
 	}
-	t.Rows = append(t.Rows, runE3Case("static selective-repeat", "sr"))
-	t.Rows = append(t.Rows, runE3Case("static go-back-n", "gbn"))
-	t.Rows = append(t.Rows, runE3Case("adaptive (TSA policy)", "adaptive"))
+	t.Rows = append(t.Rows, runE3Case("static selective-repeat", "sr", nil))
+	t.Rows = append(t.Rows, runE3Case("static go-back-n", "gbn", nil))
+	t.Rows = append(t.Rows, runE3Case("adaptive (TSA policy)", "adaptive", nil))
 	t.Notes = append(t.Notes,
 		"phases: 0-1s clean, 1-4s cross traffic at 95% of the bottleneck, then clean until done; 4 MB transfer",
 		"expected shape: the policy holds selective repeat on the clean phases, runs go-back-n through the",
@@ -34,11 +35,16 @@ func RunE3() []Table {
 	return []Table{t}
 }
 
-func runE3Case(label, mode string) []string {
+// runE3Case runs one configuration; a non-nil tracer flight-records the run
+// (this is the reference trace adaptivetrace renders to Chrome format).
+func runE3Case(label, mode string, tracer *trace.Recorder) []string {
 	link := netsim.LinkConfig{Bandwidth: 10e6, PropDelay: 10 * time.Millisecond, MTU: 1500, QueueLen: 64000}
-	tb, err := NewTestbed(2, link, 4242)
+	tb, err := NewTestbed(2, link, 4242, adaptive.WithTracer(tracer))
 	if err != nil {
 		panic(err)
+	}
+	if tracer != nil {
+		tb.K.SetTracer(tracer)
 	}
 	tb.SeedPaths()
 

@@ -11,6 +11,7 @@ import (
 	"adaptive/internal/mantts"
 	"adaptive/internal/netapi"
 	"adaptive/internal/netsim"
+	"adaptive/internal/trace"
 	"adaptive/internal/unites"
 	"adaptive/internal/workload"
 )
@@ -31,16 +32,16 @@ func RunE9() []Table {
 		ID:    "E9",
 		Title: "Fault sweep: burst loss, link flap, partition (FaultPlan-driven adaptation)",
 		Headers: []string{"fault profile", "configuration", "completion", "delivered",
-			"retransmits", "fec repaired", "segues", "policy actions"},
+			"retransmits", "fec repaired", "segues", "policy actions", "lat p50", "lat p99", "lat p999"},
 	}
 
 	profiles := []string{"burst loss (GE ~4.5%)", "link flap (300ms)", "partition (1s)"}
 	var burstSnap []byte
 	var burstTransitions []string
 	for _, prof := range profiles {
-		row, _, _ := runE9Case(prof, false)
+		row, _, _ := runE9Case(prof, false, nil, false)
 		t.Rows = append(t.Rows, row)
-		row, snap, trans := runE9Case(prof, true)
+		row, snap, trans := runE9Case(prof, true, nil, false)
 		t.Rows = append(t.Rows, row)
 		if strings.HasPrefix(prof, "burst") {
 			burstSnap, burstTransitions = snap, trans
@@ -49,7 +50,7 @@ func RunE9() []Table {
 
 	// Determinism proof: rerun the adaptive burst-loss case with the same
 	// seed and fault plan; the full UNITES snapshot must match byte-for-byte.
-	_, again, _ := runE9Case(profiles[0], true)
+	_, again, _ := runE9Case(profiles[0], true, nil, false)
 	identical := bytes.Equal(burstSnap, again)
 
 	t.Notes = append(t.Notes,
@@ -64,12 +65,20 @@ func RunE9() []Table {
 
 // runE9Case runs one (fault profile, configuration) cell and returns the
 // table row, the run's UNITES snapshot JSON, and the segue-transition
-// counters it recorded.
-func runE9Case(profile string, adaptivePolicy bool) ([]string, []byte, []string) {
+// counters it recorded. A non-nil tracer flight-records the run (kernel +
+// nodes); perturb injects one extra no-op kernel event at t=2s — the
+// single-event disturbance the trace-diff regression test must localize.
+func runE9Case(profile string, adaptivePolicy bool, tracer *trace.Recorder, perturb bool) ([]string, []byte, []string) {
 	link := netsim.LinkConfig{Bandwidth: 10e6, PropDelay: 5 * time.Millisecond, MTU: 1500, QueueLen: 1 << 20}
-	tb, err := NewTestbed(2, link, 9090)
+	tb, err := NewTestbed(2, link, 9090, adaptive.WithTracer(tracer))
 	if err != nil {
 		panic(err)
+	}
+	if tracer != nil {
+		tb.K.SetTracer(tracer)
+	}
+	if perturb {
+		tb.K.Schedule(2*time.Second, func() {})
 	}
 	tb.SeedPaths()
 
@@ -101,12 +110,14 @@ func runE9Case(profile string, adaptivePolicy bool) ([]string, []byte, []string)
 	const total = 4 << 20
 	var got int
 	var doneAt time.Duration
+	meter := workload.NewMeter(tb.K)
 	tb.Nodes[1].Listen(80, nil, func(c *adaptive.Conn) {
 		c.OnDelivery(func(d adaptive.Delivery) {
 			got += d.Msg.Len()
 			if got >= total && doneAt == 0 {
 				doneAt = tb.K.Now()
 			}
+			meter.Observe(d)
 			d.Msg.Release()
 		})
 	})
@@ -174,6 +185,9 @@ func runE9Case(profile string, adaptivePolicy bool) ([]string, []byte, []string)
 		fmt.Sprintf("%d", st.FECRecovered),
 		fmt.Sprintf("%d", st.Segues),
 		fmt.Sprintf("%d", sumCounterPrefix(snap, "policy.action.")),
+		fmtQuantile(meter.Latency, 0.5),
+		fmtQuantile(meter.Latency, 0.99),
+		fmtQuantile(meter.Latency, 0.999),
 	}
 	js, err := tb.Repo.JSON()
 	if err != nil {

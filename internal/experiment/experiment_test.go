@@ -304,8 +304,22 @@ func TestE10ScaleDeterministicAndAmortized(t *testing.T) {
 	// counters must not depend on goroutine scheduling or repetition.
 	first := RunE10Scale(100)
 	second := RunE10Scale(100)
-	if first != second {
+	if first.Delivered != second.Delivered || first.Events != second.Events ||
+		first.Shards != second.Shards || first.Sessions != second.Sessions {
 		t.Fatalf("same-seed soak differs across runs: %+v vs %+v", first, second)
+	}
+	// The merged latency histogram must be identical too: shard meters feed
+	// shard-ordered Distribution.Merge, so quantiles are run-invariant.
+	if first.Latency.Count != second.Latency.Count {
+		t.Fatalf("latency sample counts differ: %d vs %d", first.Latency.Count, second.Latency.Count)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a, b := first.Latency.HistQuantile(q), second.Latency.HistQuantile(q); a != b {
+			t.Fatalf("latency p%g differs across runs: %g vs %g", q*100, a, b)
+		}
+	}
+	if first.Latency.Count == 0 {
+		t.Fatal("soak recorded no stamped-message latencies")
 	}
 	if first.Delivered == 0 {
 		t.Fatal("soak delivered nothing")

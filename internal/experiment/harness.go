@@ -78,8 +78,9 @@ type Testbed struct {
 }
 
 // NewTestbed builds n hosts fully meshed with per-direction links of the
-// given configuration.
-func NewTestbed(n int, link netsim.LinkConfig, seed int64) (*Testbed, error) {
+// given configuration. Extra options (e.g. adaptive.WithTracer) are applied
+// to every node.
+func NewTestbed(n int, link netsim.LinkConfig, seed int64, extra ...adaptive.Option) (*Testbed, error) {
 	k := sim.NewKernel(seed)
 	k.SetEventLimit(200_000_000)
 	net := netsim.New(k)
@@ -98,13 +99,14 @@ func NewTestbed(n int, link netsim.LinkConfig, seed int64) (*Testbed, error) {
 		}
 	}
 	for i := 0; i < n; i++ {
-		node, err := adaptive.NewNode(
+		opts := []adaptive.Option{
 			adaptive.WithProvider(net),
 			adaptive.WithHost(tb.Hosts[i].ID()),
-			adaptive.WithSeed(seed+int64(i)),
+			adaptive.WithSeed(seed + int64(i)),
 			adaptive.WithMetrics(tb.Repo),
 			adaptive.WithName(fmt.Sprintf("host%d", i)),
-		)
+		}
+		node, err := adaptive.NewNode(append(opts, extra...)...)
 		if err != nil {
 			return nil, err
 		}
@@ -159,6 +161,15 @@ func fmtBps(bps float64) string {
 }
 
 func fmtPct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// fmtQuantile renders a latency quantile (seconds-valued distribution) as a
+// duration cell, using the log-bucketed histogram.
+func fmtQuantile(d *unites.Distribution, q float64) string {
+	if d == nil || d.Count == 0 {
+		return "-"
+	}
+	return fmtDur(time.Duration(d.HistQuantile(q) * float64(time.Second)))
+}
 
 // Runner is one experiment.
 type Runner struct {

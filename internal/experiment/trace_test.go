@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"adaptive/internal/trace"
+	"adaptive/internal/unites"
+)
+
+// TestTraceE9SeedDeterminism is the seed-determinism regression test: two
+// same-seed flight recordings of the adaptive burst-loss E9 case must be
+// record-for-record identical, and a run with one injected no-op kernel
+// event must be reported as divergent with the first differing record
+// localized.
+func TestTraceE9SeedDeterminism(t *testing.T) {
+	const buffer = 1 << 18 // large enough that the whole run is retained
+	a := TraceE9(buffer, 1, false)
+	b := TraceE9(buffer, 1, false)
+	if a.Len() == 0 {
+		t.Fatal("E9 recording is empty")
+	}
+	if d, ok := trace.Diff(a, b); !ok {
+		t.Fatalf("same-seed E9 recordings diverge: %s", d)
+	}
+
+	perturbed := TraceE9(buffer, 1, true)
+	d, ok := trace.Diff(a, perturbed)
+	if ok {
+		t.Fatal("single-event perturbation went undetected by trace.Diff")
+	}
+	if d.A == nil && d.B == nil {
+		t.Fatalf("divergence carries no records to localize: %+v", d)
+	}
+	t.Logf("perturbation localized: %s", d)
+}
+
+// TestTraceE10SharedRepositoryConcurrentReaders stresses the UNITES
+// repository under -race: the sharded E10 soak records into one shared
+// repository from its worker goroutines while reader goroutines continuously
+// snapshot, render, and total it.
+func TestTraceE10SharedRepositoryConcurrentReaders(t *testing.T) {
+	repo := unites.NewRepository()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				js, err := repo.JSON()
+				if err != nil {
+					t.Errorf("repository JSON during recording: %v", err)
+					return
+				}
+				var snap unites.Snapshot
+				if err := json.Unmarshal(js, &snap); err != nil {
+					t.Errorf("snapshot JSON invalid during recording: %v", err)
+					return
+				}
+				repo.TotalCounter("rel.retransmissions")
+				repo.Render()
+			}
+		}()
+	}
+
+	set := TraceE10(100, 1<<12, 16, repo)
+	close(done)
+	wg.Wait()
+
+	if set.Len() == 0 {
+		t.Fatal("E10 recording is empty")
+	}
+	if len(set.Shards) != e10Shards {
+		t.Fatalf("collected %d shards, want %d", len(set.Shards), e10Shards)
+	}
+	for i, sh := range set.Shards {
+		if sh.Shard != i {
+			t.Fatalf("shard %d collected out of order (got id %d)", i, sh.Shard)
+		}
+	}
+	if len(repo.Recorders()) == 0 {
+		t.Fatal("shared repository recorded no connections")
+	}
+}

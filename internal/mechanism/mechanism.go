@@ -21,6 +21,7 @@ import (
 	"adaptive/internal/event"
 	"adaptive/internal/message"
 	"adaptive/internal/netapi"
+	"adaptive/internal/trace"
 	"adaptive/internal/wire"
 )
 
@@ -76,6 +77,9 @@ type Env interface {
 	Timers() *event.Manager
 	Rand() *rand.Rand
 	Metrics() MetricSink
+	// Tracer returns the session's flight recorder; nil when tracing is
+	// disabled (hooks must tolerate nil — trace.Recorder methods do).
+	Tracer() *trace.Recorder
 
 	// ConnID returns the session's connection identifier.
 	ConnID() uint32

@@ -12,6 +12,7 @@ import (
 	"adaptive/internal/netapi"
 	"adaptive/internal/netsim"
 	"adaptive/internal/sim"
+	"adaptive/internal/trace"
 	"adaptive/internal/wire"
 )
 
@@ -70,6 +71,7 @@ func (e *Env) Clock() netapi.Clock             { return e.TimerMg.Clock() }
 func (e *Env) Timers() *event.Manager          { return e.TimerMg }
 func (e *Env) Rand() *rand.Rand                { return e.Rng }
 func (e *Env) Metrics() mechanism.MetricSink   { return e.Sink }
+func (e *Env) Tracer() *trace.Recorder         { return nil }
 func (e *Env) ConnID() uint32                  { return 0xc0ffee }
 func (e *Env) LocalPort() uint16               { return 1 }
 func (e *Env) PeerAddr() netapi.Addr           { return netapi.Addr{Host: 2, Port: 7700} }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"adaptive/internal/netapi"
+	"adaptive/internal/trace"
 )
 
 // Fault injection (run-time adaptation inputs).
@@ -86,7 +87,14 @@ func (imp *Impairment) ExpectedLossRate() float64 {
 
 // SetDown takes the link down (true) or back up (false). A down link drops
 // every packet offered to it; packets already past the link are unaffected.
-func (l *Link) SetDown(down bool) { l.down = down }
+func (l *Link) SetDown(down bool) {
+	l.down = down
+	code := uint64(trace.FaultLinkUp)
+	if down {
+		code = trace.FaultLinkDown
+	}
+	l.tracer().Emit(l.traceNow(), trace.KFault, l.id, code, 0, 0)
+}
 
 // IsDown reports whether the link is administratively down.
 func (l *Link) IsDown() bool { return l.down }
@@ -97,6 +105,7 @@ func (l *Link) SetImpairment(imp *Impairment) error {
 	if imp == nil {
 		l.imp = nil
 		l.geBad = false
+		l.tracer().Emit(l.traceNow(), trace.KFault, l.id, trace.FaultClearImpair, 0, 0)
 		return nil
 	}
 	if err := imp.Validate(); err != nil {
@@ -105,6 +114,8 @@ func (l *Link) SetImpairment(imp *Impairment) error {
 	cp := *imp
 	l.imp = &cp
 	l.geBad = false
+	l.tracer().Emit(l.traceNow(), trace.KFault, l.id, trace.FaultImpair,
+		uint64(imp.ExpectedLossRate()*1e6), 0)
 	return nil
 }
 
@@ -164,12 +175,15 @@ func (n *Network) Partition(a, b []netapi.HostID) {
 			n.blocked[[2]netapi.HostID{y, x}] = true
 		}
 	}
+	n.kernel.Tracer().Emit(n.kernel.Now(), trace.KFault, 0, trace.FaultPartition,
+		uint64(len(a)*len(b)), 0)
 }
 
 // Heal removes every partition.
 func (n *Network) Heal() {
 	if len(n.blocked) > 0 {
 		n.faultStats.Heals++
+		n.kernel.Tracer().Emit(n.kernel.Now(), trace.KFault, 0, trace.FaultHeal, 0, 0)
 	}
 	n.blocked = nil
 }

@@ -1,6 +1,10 @@
 package netsim
 
-import "time"
+import (
+	"time"
+
+	"adaptive/internal/trace"
+)
 
 // Per-link batched delivery (the scale path).
 //
@@ -75,6 +79,7 @@ func linkDrain(v any) { v.(*Link).drain() }
 // the loop picks up any that land due immediately.
 func (l *Link) drain() {
 	now := l.net.kernel.Now()
+	batch := uint64(0)
 	for l.qHead != nil && l.qHead.at <= now {
 		fl := l.qHead
 		l.qHead = fl.qnext
@@ -83,6 +88,10 @@ func (l *Link) drain() {
 		}
 		fl.qnext = nil
 		fl.step()
+		batch++
+	}
+	if tr := l.tracer(); tr != nil && batch > 0 {
+		tr.Emit(now, trace.KLinkDrain, l.id, batch, 0, 0)
 	}
 	if l.qHead != nil {
 		l.armDrain()

@@ -23,6 +23,7 @@ import (
 
 	"adaptive/internal/message"
 	"adaptive/internal/sim"
+	"adaptive/internal/trace"
 )
 
 // LinkConfig sets the static characteristics of a link.
@@ -64,6 +65,7 @@ type LinkStats struct {
 type Link struct {
 	net       *Network
 	cfg       LinkConfig
+	id        uint32 // creation-ordered, deterministic; trace record ID
 	busyUntil time.Duration
 	stats     LinkStats
 	crossStop sim.Timer
@@ -82,6 +84,27 @@ type Link struct {
 
 // Config returns the link's configuration.
 func (l *Link) Config() LinkConfig { return l.cfg }
+
+// ID returns the link's creation-ordered identifier (trace record ID).
+func (l *Link) ID() uint32 { return l.id }
+
+// tracer returns the kernel's flight recorder (nil when tracing is off or
+// the link is detached, e.g. a bare Link driven directly in tests).
+func (l *Link) tracer() *trace.Recorder {
+	if l.net == nil {
+		return nil
+	}
+	return l.net.kernel.Tracer()
+}
+
+// traceNow returns the kernel's virtual time for trace records, zero for a
+// detached link.
+func (l *Link) traceNow() time.Duration {
+	if l.net == nil {
+		return 0
+	}
+	return l.net.kernel.Now()
+}
 
 // Stats returns a copy of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
@@ -108,10 +131,12 @@ func (l *Link) serialize(size int) (departure time.Duration, ok bool) {
 	now := l.net.kernel.Now()
 	if l.cfg.MTU > 0 && size > l.cfg.MTU {
 		l.stats.DropsMTU++
+		l.tracer().Emit(now, trace.KLinkDrop, l.id, trace.DropMTU, uint64(size), 0)
 		return 0, false
 	}
 	if l.cfg.QueueLen > 0 && l.QueuedBytes()+size > l.cfg.QueueLen {
 		l.stats.DropsQueue++
+		l.tracer().Emit(now, trace.KLinkDrop, l.id, trace.DropQueue, uint64(size), 0)
 		return 0, false
 	}
 	start := l.busyUntil
@@ -133,8 +158,10 @@ func (l *Link) serialize(size int) (departure time.Duration, ok bool) {
 // while an Impairment is attached, so runs without fault injection consume
 // the seeded stream exactly as before (seed determinism across versions).
 func (l *Link) transit(fl *flight) {
+	tr := l.tracer()
 	if l.down {
 		l.stats.DropsDown++
+		tr.Emit(l.net.kernel.Now(), trace.KLinkDrop, l.id, trace.DropDown, uint64(len(fl.pkt)), 0)
 		fl.free()
 		return
 	}
@@ -142,11 +169,13 @@ func (l *Link) transit(fl *flight) {
 	rng := l.net.kernel.Rand()
 	if l.imp != nil && l.geDrop(rng) {
 		l.stats.DropsBurst++
+		tr.Emit(l.net.kernel.Now(), trace.KLinkDrop, l.id, trace.DropBurst, uint64(len(pkt)), 0)
 		fl.free()
 		return
 	}
 	if l.cfg.DropRate > 0 && rng.Float64() < l.cfg.DropRate {
 		l.stats.DropsRandom++
+		tr.Emit(l.net.kernel.Now(), trace.KLinkDrop, l.id, trace.DropRandom, uint64(len(pkt)), 0)
 		fl.free()
 		return
 	}
@@ -155,6 +184,10 @@ func (l *Link) transit(fl *flight) {
 		fl.free()
 		return
 	}
+	if tr != nil {
+		tr.EmitKeyed(l.stats.TxPackets, l.net.kernel.Now(), trace.KLinkTx, l.id,
+			uint64(len(pkt)), l.stats.TxPackets, 0)
+	}
 	if l.cfg.BER > 0 {
 		bits := float64(len(pkt) * 8)
 		pCorrupt := 1 - pow1m(l.cfg.BER, bits)
@@ -162,12 +195,14 @@ func (l *Link) transit(fl *flight) {
 			l.stats.Corrupted++
 			idx := rng.Intn(len(pkt) * 8)
 			pkt[idx/8] ^= 1 << (idx % 8)
+			tr.Emit(l.net.kernel.Now(), trace.KLinkCorrupt, l.id, uint64(len(pkt)), uint64(idx), 0)
 		}
 	}
 	if l.imp != nil && l.imp.CorruptRate > 0 && rng.Float64() < l.imp.CorruptRate {
 		l.stats.Corrupted++
 		idx := rng.Intn(len(pkt) * 8)
 		pkt[idx/8] ^= 1 << (idx % 8)
+		tr.Emit(l.net.kernel.Now(), trace.KLinkCorrupt, l.id, uint64(len(pkt)), uint64(idx), 0)
 	}
 	arrive := departure + l.cfg.PropDelay
 	if l.cfg.Jitter > 0 {
@@ -184,6 +219,7 @@ func (l *Link) transit(fl *flight) {
 	}
 	if dupP > 0 && rng.Float64() < dupP {
 		l.stats.Duplicated++
+		tr.Emit(l.net.kernel.Now(), trace.KLinkDup, l.id, uint64(len(pkt)), 0, 0)
 		dup := newFlight(fl.net, fl.from, fl.to, message.GetSlab(len(pkt)), fl.srcAddr, fl.dstAddr)
 		copy(dup.pkt, pkt)
 		dup.path = fl.path

@@ -93,6 +93,8 @@ type Network struct {
 	// Fault-injection state (see faults.go).
 	blocked    map[[2]netapi.HostID]bool // severed host pairs (partitions)
 	faultStats FaultStats
+
+	linkSeq uint32 // creation-ordered link ids (deterministic across runs)
 }
 
 // New creates an empty network on the kernel.
@@ -155,7 +157,8 @@ func (n *Network) NewLink(cfg LinkConfig) *Link {
 	if cfg.Bandwidth <= 0 {
 		panic("netsim: link needs positive bandwidth")
 	}
-	return &Link{net: n, cfg: cfg}
+	n.linkSeq++
+	return &Link{net: n, cfg: cfg, id: n.linkSeq}
 }
 
 // SetRoute installs the unidirectional path from a to b as a sequence of

@@ -15,6 +15,7 @@ import (
 	"adaptive/internal/netapi"
 	"adaptive/internal/session"
 	"adaptive/internal/tko"
+	"adaptive/internal/trace"
 	"adaptive/internal/wire"
 )
 
@@ -61,6 +62,7 @@ type Stack struct {
 	rng     *rand.Rand
 	synth   *tko.Synthesizer
 	metrics MetricFactory
+	tracer  *trace.Recorder
 
 	sessions  map[uint32]*session.Session
 	listeners map[uint16]*Listener
@@ -81,6 +83,9 @@ type Config struct {
 	Seed     int64
 	Synth    *tko.Synthesizer
 	Metrics  MetricFactory
+	// Tracer, when non-nil, is handed to every session so the flight
+	// recorder captures the send/receive pipeline and segue events.
+	Tracer *trace.Recorder
 }
 
 // DefaultSAPPort is the conventional transport SAP.
@@ -105,6 +110,7 @@ func NewStack(cfg Config) (*Stack, error) {
 		rng:       rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Host)<<20)),
 		synth:     cfg.Synth,
 		metrics:   cfg.Metrics,
+		tracer:    cfg.Tracer,
 		sessions:  make(map[uint32]*session.Session),
 		listeners: make(map[uint16]*Listener),
 	}
@@ -249,6 +255,7 @@ func (st *Stack) buildSession(connID uint32, spec *mechanism.Spec, res tko.Resul
 		Timers:    st.timers,
 		Rand:      st.rng,
 		Metrics:   sink,
+		Tracer:    st.tracer,
 		Out:       st,
 	})
 	if res.Static {

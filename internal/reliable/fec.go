@@ -7,6 +7,7 @@ import (
 	"adaptive/internal/event"
 	"adaptive/internal/mechanism"
 	"adaptive/internal/message"
+	"adaptive/internal/trace"
 	"adaptive/internal/wire"
 )
 
@@ -287,6 +288,7 @@ func (f *FEC) tryReconstruct(e mechanism.Env, base uint32) {
 	}
 	st.RcvBuf[seq] = &mechanism.RecvPDU{PDU: pdu, ArrivedAt: e.Clock().Now(), Recovered: true}
 	st.FECRecovered++
+	e.Tracer().Emit(e.Clock().Now(), trace.KFECRepair, e.ConnID(), uint64(seq), 0, 0)
 	e.Metrics().Count("rel.fec_recovered", 1)
 }
 

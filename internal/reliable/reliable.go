@@ -18,6 +18,7 @@ import (
 
 	"adaptive/internal/mechanism"
 	"adaptive/internal/message"
+	"adaptive/internal/trace"
 	"adaptive/internal/wire"
 )
 
@@ -36,7 +37,11 @@ func minRetxGap(st *mechanism.TransferState) time.Duration {
 
 // sendCumAck emits a cumulative acknowledgment for everything below RcvNxt.
 func sendCumAck(e mechanism.Env) {
-	e.EmitControl(&wire.PDU{Header: wire.Header{Type: wire.TAck, Ack: e.State().RcvNxt}})
+	ack := e.State().RcvNxt
+	if tr := e.Tracer(); tr != nil {
+		tr.EmitKeyed(uint64(ack), e.Clock().Now(), trace.KAckSend, e.ConnID(), uint64(ack), 0, 0)
+	}
+	e.EmitControl(&wire.PDU{Header: wire.Header{Type: wire.TAck, Ack: ack}})
 }
 
 // deliverRun releases a contiguous run drained from RcvBuf.
@@ -63,6 +68,7 @@ func retransmit(e mechanism.Env, seq uint32, lastRetx map[uint32]time.Duration) 
 	lastRetx[seq] = now
 	entry.Retransmits++
 	st.Retransmissions++
+	e.Tracer().Emit(now, trace.KRetransmit, e.ConnID(), uint64(seq), uint64(entry.Retransmits), 0)
 	e.Metrics().Count("rel.retransmissions", 1)
 	e.EmitData(entry.PDU)
 	return true

@@ -7,6 +7,7 @@ import (
 	"adaptive/internal/mechanism"
 	"adaptive/internal/message"
 	"adaptive/internal/netapi"
+	"adaptive/internal/trace"
 	"adaptive/internal/wire"
 )
 
@@ -23,6 +24,7 @@ func (e sessionEnv) Clock() netapi.Clock             { return e.s.clock }
 func (e sessionEnv) Timers() *event.Manager          { return e.s.timers }
 func (e sessionEnv) Rand() *rand.Rand                { return e.s.rng }
 func (e sessionEnv) Metrics() mechanism.MetricSink   { return e.s.metrics }
+func (e sessionEnv) Tracer() *trace.Recorder         { return e.s.tracer }
 func (e sessionEnv) ConnID() uint32                  { return e.s.connID }
 func (e sessionEnv) LocalPort() uint16               { return e.s.localPort }
 func (e sessionEnv) PeerAddr() netapi.Addr           { return e.s.peerNet }

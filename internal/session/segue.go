@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"adaptive/internal/mechanism"
+	"adaptive/internal/trace"
 )
 
 // parityFlusher is implemented by FEC recovery so a segue away from it can
@@ -41,6 +42,7 @@ func (s *Session) SegueRecovery(next mechanism.Recovery) bool {
 		return false
 	}
 	old := s.slots.Recovery
+	s.tracer.Emit(s.clock.Now(), trace.KSegueBegin, s.connID, trace.SlotRecovery, 0, 0)
 	if f, ok := old.(parityFlusher); ok {
 		f.FlushParity(s.env())
 	}
@@ -63,6 +65,7 @@ func (s *Session) SegueWindow(next mechanism.Window) bool {
 		return false
 	}
 	old := s.slots.Window
+	s.tracer.Emit(s.clock.Now(), trace.KSegueBegin, s.connID, trace.SlotWindow, 0, 0)
 	if oc, ok := old.(mechanism.StateCarrier); ok {
 		if nc, ok2 := next.(mechanism.StateCarrier); ok2 {
 			nc.ImportState(oc.ExportState())
@@ -81,6 +84,7 @@ func (s *Session) SegueRate(next mechanism.Rate) bool {
 		return false
 	}
 	old := s.slots.Rate
+	s.tracer.Emit(s.clock.Now(), trace.KSegueBegin, s.connID, trace.SlotRate, 0, 0)
 	if oc, ok := old.(mechanism.StateCarrier); ok {
 		if nc, ok2 := next.(mechanism.StateCarrier); ok2 {
 			nc.ImportState(oc.ExportState())
@@ -100,6 +104,7 @@ func (s *Session) SegueOrderer(next mechanism.Orderer) bool {
 		return false
 	}
 	old := s.slots.Orderer
+	s.tracer.Emit(s.clock.Now(), trace.KSegueBegin, s.connID, trace.SlotOrder, 0, 0)
 	for _, d := range old.Flush() {
 		s.deliver(d)
 	}
@@ -108,9 +113,25 @@ func (s *Session) SegueOrderer(next mechanism.Orderer) bool {
 	return true
 }
 
+func segueSlotCode(slot string) uint64 {
+	switch slot {
+	case "recovery":
+		return trace.SlotRecovery
+	case "window":
+		return trace.SlotWindow
+	case "rate":
+		return trace.SlotRate
+	case "order":
+		return trace.SlotOrder
+	}
+	return 0
+}
+
 func (s *Session) afterSegue(slot, from, to string) {
 	s.segues++
 	s.markSegue = true
+	s.tracer.Emit(s.clock.Now(), trace.KSegueCommit, s.connID,
+		segueSlotCode(slot), trace.HashName(from), trace.HashName(to))
 	s.metrics.Count("session.segues", 1)
 	// A per-transition counter so UNITES snapshots record which concrete
 	// replacement happened (e.g. "session.segue.recovery.selective-repeat->

@@ -20,6 +20,7 @@ import (
 	"adaptive/internal/mechanism"
 	"adaptive/internal/message"
 	"adaptive/internal/netapi"
+	"adaptive/internal/trace"
 	"adaptive/internal/wire"
 )
 
@@ -61,6 +62,7 @@ type Params struct {
 	Timers    *event.Manager
 	Rand      *rand.Rand
 	Metrics   mechanism.MetricSink
+	Tracer    *trace.Recorder // nil disables flight-recorder hooks
 	Out       Outbound
 }
 
@@ -85,6 +87,7 @@ type Session struct {
 	timers  *event.Manager
 	rng     *rand.Rand
 	metrics mechanism.MetricSink
+	tracer  *trace.Recorder
 	out     Outbound
 
 	recvCb func(Delivery)
@@ -132,6 +135,7 @@ func New(p Params) *Session {
 		timers:         p.Timers,
 		rng:            p.Rand,
 		metrics:        p.Metrics,
+		tracer:         p.Tracer,
 		out:            p.Out,
 		peerAdvert:     p.Spec.RcvBufPDUs,
 		reconfigurable: true,
@@ -278,6 +282,7 @@ func (s *Session) SendMessage(m *message.Message) error {
 		m.Release()
 		return errClosed
 	}
+	s.tracer.Emit(s.clock.Now(), trace.KSendSubmit, s.connID, uint64(m.Len()), 0, 0)
 	mss := s.spec.MSS
 	for m.Len() > mss {
 		rest := m.Split(mss)
@@ -397,6 +402,10 @@ func (s *Session) transmitPDU(p *wire.PDU) {
 	wire.EncodeTo(p, s.spec.Checksum, func(pkt []byte) error {
 		s.SentPDUs++
 		s.SentBytes += uint64(len(pkt))
+		if s.tracer != nil {
+			s.tracer.EmitKeyed(uint64(p.Seq)|uint64(p.Ack), s.clock.Now(), trace.KPDUSend,
+				s.connID, uint64(p.Seq), uint64(p.Type), uint64(len(pkt)))
+		}
 		s.metrics.Count("pdu.sent", 1)
 		s.metrics.Count("bytes.sent", uint64(len(pkt)))
 		if err := s.out.Transmit(pkt, s.peerNet); err != nil {
@@ -437,6 +446,10 @@ func (s *Session) onRTO() {
 func (s *Session) HandlePDU(p *wire.PDU) {
 	s.RecvPDUs++
 	s.RecvBytes += uint64(wire.Overhead + int(p.PayloadLen))
+	if s.tracer != nil {
+		s.tracer.EmitKeyed(uint64(p.Seq)|uint64(p.Ack), s.clock.Now(), trace.KPDURecv,
+			s.connID, uint64(p.Seq), uint64(p.Type), uint64(p.PayloadLen))
+	}
 	s.metrics.Count("pdu.received", 1)
 	s.lastHeard = s.clock.Now()
 	if p.Type == wire.TAck {
@@ -523,6 +536,14 @@ func (s *Session) releaseData(seq uint32, m *message.Message, eom bool) {
 func (s *Session) deliver(d Delivery) {
 	s.DeliveredMsg++
 	s.DeliveredBytes += uint64(d.Msg.Len())
+	if s.tracer != nil {
+		eom := uint64(0)
+		if d.EOM {
+			eom = 1
+		}
+		s.tracer.EmitKeyed(uint64(d.Seq), s.clock.Now(), trace.KDeliver,
+			s.connID, uint64(d.Seq), uint64(d.Msg.Len()), eom)
+	}
 	s.metrics.Count("app.delivered_pdus", 1)
 	s.metrics.Count("app.delivered_bytes", uint64(d.Msg.Len()))
 	if s.recvCb != nil {

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"adaptive/internal/trace"
 )
 
 // Event is a scheduled callback, owned and recycled by the kernel. User code
@@ -55,6 +57,9 @@ func (t Timer) Stop() bool {
 	}
 	t.ev.canceled = true
 	t.k.stopped++
+	if t.k.tracer != nil {
+		t.k.tracer.Emit(t.k.now, trace.KTimerStop, 0, t.ev.seq, 0, 0)
+	}
 	return true
 }
 
@@ -85,7 +90,17 @@ type Kernel struct {
 	queued   int    // scheduled events not yet fired or reaped
 	stopped  int    // canceled events awaiting reap (queued includes them)
 	limit    uint64 // safety valve against runaway simulations; 0 = none
+	tracer   *trace.Recorder
 }
+
+// SetTracer attaches a flight recorder; nil (the default) disables tracing,
+// reducing every hook to a single branch.
+func (k *Kernel) SetTracer(r *trace.Recorder) { k.tracer = r }
+
+// Tracer returns the attached flight recorder (nil when tracing is off).
+// Subsystems driven by this kernel (netsim, sessions) read it per event, so
+// attaching a tracer instruments the whole world behind the kernel.
+func (k *Kernel) Tracer() *trace.Recorder { return k.tracer }
 
 // NewKernel returns a kernel whose clock starts at zero and whose random
 // source is seeded deterministically.
@@ -225,6 +240,9 @@ func (k *Kernel) Step() bool {
 	k.executed++
 	if k.limit > 0 && k.executed > k.limit {
 		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", k.limit, k.now))
+	}
+	if k.tracer != nil {
+		k.tracer.EmitKeyed(ev.seq, k.now, trace.KTimerFire, 0, ev.seq, k.executed, 0)
 	}
 	// Recycle before the callback: a handle stopped from within its own
 	// callback (or re-armed) then correctly reports not-pending.

@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ChromeOptions controls the trace-event export.
+type ChromeOptions struct {
+	// Kinds filters which record kinds are exported; nil exports all.
+	Kinds map[Kind]bool
+	// Conn, when non-zero, keeps only session-scoped records of that
+	// connection id (link/kernel records are always kept).
+	Conn uint32
+	// Spans derives duration ("X") events pairing the first KPDUSend of a
+	// sequence number with its first KPDURecv on the same connection, so a
+	// PDU's time-in-flight renders as a bar.
+	Spans bool
+	// DataType is the wire type code of data PDUs, used to restrict span
+	// pairing to data traffic (control PDUs reuse seq 0). Callers pass
+	// uint64(wire.TData); zero pairs every type.
+	DataType uint64
+}
+
+// chromeEvent is one entry in the Chrome trace-event JSON array
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// sessionKind reports whether a record's ID field is a connection id.
+func sessionKind(k Kind) bool {
+	switch k {
+	case KSendSubmit, KPDUSend, KPDURecv, KDeliver, KSegueBegin, KSegueCommit,
+		KRetransmit, KAckSend, KFECRepair:
+		return true
+	}
+	return false
+}
+
+func chromeArgs(r Record) map[string]any {
+	switch r.Kind {
+	case KTimerFire:
+		return map[string]any{"seq": r.A, "executed": r.B}
+	case KTimerStop:
+		return map[string]any{"seq": r.A}
+	case KLinkTx:
+		return map[string]any{"bytes": r.A, "tx_packets": r.B}
+	case KLinkDrop:
+		return map[string]any{"reason": dropReason(r.A), "bytes": r.B}
+	case KLinkDup, KLinkCorrupt:
+		return map[string]any{"bytes": r.A}
+	case KLinkDrain:
+		return map[string]any{"batch": r.A}
+	case KFault:
+		return map[string]any{"fault": faultName(r.A), "detail": r.B}
+	case KSendSubmit:
+		return map[string]any{"bytes": r.A}
+	case KPDUSend, KPDURecv:
+		return map[string]any{"seq": r.A, "type": r.B, "bytes": r.C}
+	case KDeliver:
+		return map[string]any{"seq": r.A, "bytes": r.B, "eom": r.C == 1}
+	case KSegueBegin:
+		return map[string]any{"slot": SlotName(r.A)}
+	case KSegueCommit:
+		return map[string]any{"slot": SlotName(r.A), "from": fmt.Sprintf("%016x", r.B), "to": fmt.Sprintf("%016x", r.C)}
+	case KRetransmit:
+		return map[string]any{"seq": r.A, "attempt": r.B}
+	case KAckSend:
+		return map[string]any{"ack": r.A}
+	case KFECRepair:
+		return map[string]any{"seq": r.A}
+	}
+	return map[string]any{"a": r.A, "b": r.B, "c": r.C}
+}
+
+func dropReason(code uint64) string {
+	switch code {
+	case DropDown:
+		return "down"
+	case DropBurst:
+		return "burst"
+	case DropRandom:
+		return "random"
+	case DropMTU:
+		return "mtu"
+	case DropQueue:
+		return "queue"
+	}
+	return fmt.Sprintf("reason(%d)", code)
+}
+
+func faultName(code uint64) string {
+	switch code {
+	case FaultLinkDown:
+		return "link-down"
+	case FaultLinkUp:
+		return "link-up"
+	case FaultImpair:
+		return "impair"
+	case FaultClearImpair:
+		return "clear-impair"
+	case FaultPartition:
+		return "partition"
+	case FaultHeal:
+		return "heal"
+	}
+	return fmt.Sprintf("fault(%d)", code)
+}
+
+// WriteChrome renders the Set as Chrome trace-event JSON (load in
+// chrome://tracing or https://ui.perfetto.dev). Shards map to processes and
+// connections (or links, for link events) to threads; every record becomes
+// an instant event, and with opt.Spans each data PDU's send→receive pair
+// additionally becomes a duration bar.
+func (s *Set) WriteChrome(w io.Writer, opt ChromeOptions) error {
+	var events []chromeEvent
+	type spanKey struct {
+		conn uint32
+		seq  uint64
+	}
+	for _, sh := range s.Shards {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: sh.Shard,
+			Args: map[string]any{"name": fmt.Sprintf("shard %d", sh.Shard)},
+		})
+		sends := make(map[spanKey]time.Duration)
+		for _, r := range sh.Records {
+			if opt.Kinds != nil && !opt.Kinds[r.Kind] {
+				continue
+			}
+			if opt.Conn != 0 && sessionKind(r.Kind) && r.ID != opt.Conn {
+				continue
+			}
+			tid := uint64(r.ID)
+			if !sessionKind(r.Kind) {
+				// Kernel/link lanes sit above 2^32 so they never collide
+				// with connection ids.
+				tid = 1<<32 | uint64(r.ID)
+			}
+			events = append(events, chromeEvent{
+				Name: r.Kind.String(),
+				Cat:  strings.SplitN(r.Kind.String(), ".", 2)[0],
+				Ph:   "i", S: "t",
+				Ts:  usec(r.At),
+				Pid: sh.Shard, Tid: tid,
+				Args: chromeArgs(r),
+			})
+			if opt.Spans {
+				isData := opt.DataType == 0 || r.B == opt.DataType
+				switch {
+				case r.Kind == KPDUSend && isData:
+					k := spanKey{r.ID, r.A}
+					if _, seen := sends[k]; !seen {
+						sends[k] = r.At
+					}
+				case r.Kind == KPDURecv && isData:
+					k := spanKey{r.ID, r.A}
+					if t0, seen := sends[k]; seen {
+						events = append(events, chromeEvent{
+							Name: fmt.Sprintf("pdu %d", r.A), Cat: "span", Ph: "X",
+							Ts: usec(t0), Dur: usec(r.At - t0),
+							Pid: sh.Shard, Tid: uint64(r.ID),
+							Args: map[string]any{"seq": r.A, "bytes": r.C},
+						})
+						delete(sends, k)
+					}
+				}
+			}
+		}
+	}
+	// Chrome's JSON-array form tolerates unsorted events, but sorted output
+	// is deterministic and friendlier to text diffs.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Pid != events[j].Pid {
+			return events[i].Pid < events[j].Pid
+		}
+		return events[i].Ts < events[j].Ts
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		Unit        string        `json:"displayTimeUnit"`
+	}{events, "ms"})
+}
+
+// Summarize renders per-kind counts and per-shard totals as a text report.
+func (s *Set) Summarize() string {
+	var b strings.Builder
+	var kinds [kindCount]uint64
+	var first, last time.Duration
+	total := 0
+	for _, sh := range s.Shards {
+		for _, r := range sh.Records {
+			if int(r.Kind) < len(kinds) {
+				kinds[r.Kind]++
+			}
+			if total == 0 || r.At < first {
+				first = r.At
+			}
+			if r.At > last {
+				last = r.At
+			}
+			total++
+		}
+	}
+	fmt.Fprintf(&b, "trace: %d shard(s), %d retained record(s)", len(s.Shards), total)
+	if total > 0 {
+		fmt.Fprintf(&b, ", virtual span %v .. %v", first, last)
+	}
+	b.WriteByte('\n')
+	for _, sh := range s.Shards {
+		fmt.Fprintf(&b, "  shard %d: %d retained / %d emitted\n", sh.Shard, len(sh.Records), sh.Total)
+	}
+	for k := Kind(0); k < kindCount; k++ {
+		if kinds[k] > 0 {
+			fmt.Fprintf(&b, "  %-14s %d\n", k.String(), kinds[k])
+		}
+	}
+	return b.String()
+}

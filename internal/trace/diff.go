@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Divergence describes the first point where two traces disagree. Index is
+// the position inside the retained window of shard Shard; A and B are the
+// records at that position (nil on the side whose trace is shorter).
+type Divergence struct {
+	Shard int
+	Index int
+	A, B  *Record // nil when that side has no record at Index
+	// ATotal/BTotal are the lifetime emitted counts of the divergent shard
+	// (useful when totals differ but the retained windows happen to match).
+	ATotal, BTotal uint64
+	Reason         string
+}
+
+func (d *Divergence) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "divergence in shard %d at record %d: %s\n", d.Shard, d.Index, d.Reason)
+	if d.A != nil {
+		fmt.Fprintf(&b, "  run A: %v\n", *d.A)
+	} else {
+		fmt.Fprintf(&b, "  run A: <no record>\n")
+	}
+	if d.B != nil {
+		fmt.Fprintf(&b, "  run B: %v\n", *d.B)
+	} else {
+		fmt.Fprintf(&b, "  run B: <no record>\n")
+	}
+	fmt.Fprintf(&b, "  shard totals: A=%d B=%d", d.ATotal, d.BTotal)
+	return b.String()
+}
+
+// Diff compares two traces of the same run configuration and returns the
+// first divergent record, scanning shards in order. It returns (nil, true)
+// when the traces are identical. Because same-seed runs wrap their rings
+// identically, comparing retained windows is exact even after wrap-around.
+func Diff(a, b *Set) (*Divergence, bool) {
+	if len(a.Shards) != len(b.Shards) {
+		return &Divergence{
+			Shard:  min(len(a.Shards), len(b.Shards)),
+			Reason: fmt.Sprintf("shard count differs: A has %d, B has %d", len(a.Shards), len(b.Shards)),
+		}, false
+	}
+	for i := range a.Shards {
+		sa, sb := &a.Shards[i], &b.Shards[i]
+		n := min(len(sa.Records), len(sb.Records))
+		for j := 0; j < n; j++ {
+			if sa.Records[j] != sb.Records[j] {
+				return &Divergence{
+					Shard: sa.Shard, Index: j,
+					A: &sa.Records[j], B: &sb.Records[j],
+					ATotal: sa.Total, BTotal: sb.Total,
+					Reason: "records differ",
+				}, false
+			}
+		}
+		if len(sa.Records) != len(sb.Records) {
+			d := &Divergence{
+				Shard: sa.Shard, Index: n,
+				ATotal: sa.Total, BTotal: sb.Total,
+				Reason: fmt.Sprintf("record count differs: A retains %d, B retains %d", len(sa.Records), len(sb.Records)),
+			}
+			if n < len(sa.Records) {
+				d.A = &sa.Records[n]
+			}
+			if n < len(sb.Records) {
+				d.B = &sb.Records[n]
+			}
+			return d, false
+		}
+		if sa.Total != sb.Total {
+			return &Divergence{
+				Shard: sa.Shard, Index: n,
+				ATotal: sa.Total, BTotal: sb.Total,
+				Reason: "retained windows match but lifetime totals differ (divergence overwritten by ring wrap; rerun with a larger buffer)",
+			}, false
+		}
+	}
+	return nil, true
+}

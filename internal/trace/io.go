@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+func int64AsDuration(u uint64) time.Duration { return time.Duration(int64(u)) }
+
+// Binary trace-file format (little-endian):
+//
+//	magic   [4]byte  "ADTR"
+//	version uint16   (1)
+//	shards  uint16
+//	per shard:
+//	  shard   uint32
+//	  total   uint64  lifetime emitted count
+//	  count   uint32  retained records that follow
+//	  records count × 38 bytes: at int64, a/b/c uint64, id uint32, kind uint16
+//
+// Records are fixed-size so the file is seekable and the encoder allocates
+// nothing per record beyond one reused scratch buffer.
+
+var fileMagic = [4]byte{'A', 'D', 'T', 'R'}
+
+const (
+	fileVersion = 1
+	recordSize  = 8 + 8 + 8 + 8 + 4 + 2
+)
+
+// WriteTo serializes the Set in the binary trace-file format.
+func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	var hdr [8]byte
+	copy(hdr[0:4], fileMagic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], fileVersion)
+	if len(s.Shards) > 1<<16-1 {
+		return 0, fmt.Errorf("trace: too many shards (%d)", len(s.Shards))
+	}
+	binary.LittleEndian.PutUint16(hdr[6:8], uint16(len(s.Shards)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return n, err
+	}
+	n += int64(len(hdr))
+
+	var rec [recordSize]byte
+	for _, sh := range s.Shards {
+		var shHdr [16]byte
+		binary.LittleEndian.PutUint32(shHdr[0:4], uint32(sh.Shard))
+		binary.LittleEndian.PutUint64(shHdr[4:12], sh.Total)
+		binary.LittleEndian.PutUint32(shHdr[12:16], uint32(len(sh.Records)))
+		if _, err := bw.Write(shHdr[:]); err != nil {
+			return n, err
+		}
+		n += int64(len(shHdr))
+		for _, r := range sh.Records {
+			binary.LittleEndian.PutUint64(rec[0:8], uint64(r.At))
+			binary.LittleEndian.PutUint64(rec[8:16], r.A)
+			binary.LittleEndian.PutUint64(rec[16:24], r.B)
+			binary.LittleEndian.PutUint64(rec[24:32], r.C)
+			binary.LittleEndian.PutUint32(rec[32:36], r.ID)
+			binary.LittleEndian.PutUint16(rec[36:38], uint16(r.Kind))
+			if _, err := bw.Write(rec[:]); err != nil {
+				return n, err
+			}
+			n += recordSize
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadSet parses a binary trace file.
+func ReadSet(r io.Reader) (*Set, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q (not a trace file)", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	shards := int(binary.LittleEndian.Uint16(hdr[6:8]))
+
+	s := &Set{Shards: make([]ShardTrace, 0, shards)}
+	var rec [recordSize]byte
+	for i := 0; i < shards; i++ {
+		var shHdr [16]byte
+		if _, err := io.ReadFull(br, shHdr[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading shard %d header: %w", i, err)
+		}
+		sh := ShardTrace{
+			Shard: int(binary.LittleEndian.Uint32(shHdr[0:4])),
+			Total: binary.LittleEndian.Uint64(shHdr[4:12]),
+		}
+		count := int(binary.LittleEndian.Uint32(shHdr[12:16]))
+		sh.Records = make([]Record, 0, count)
+		for j := 0; j < count; j++ {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return nil, fmt.Errorf("trace: reading shard %d record %d: %w", i, j, err)
+			}
+			sh.Records = append(sh.Records, Record{
+				At:   int64AsDuration(binary.LittleEndian.Uint64(rec[0:8])),
+				A:    binary.LittleEndian.Uint64(rec[8:16]),
+				B:    binary.LittleEndian.Uint64(rec[16:24]),
+				C:    binary.LittleEndian.Uint64(rec[24:32]),
+				ID:   binary.LittleEndian.Uint32(rec[32:36]),
+				Kind: Kind(binary.LittleEndian.Uint16(rec[36:38])),
+			})
+		}
+		s.Shards = append(s.Shards, sh)
+	}
+	return s, nil
+}
+
+// WriteFile writes the Set to path.
+func (s *Set) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := s.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a trace Set from path.
+func ReadFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSet(f)
+}

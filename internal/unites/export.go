@@ -10,16 +10,22 @@ import (
 // access to the metric repository (§4.3): machine-readable snapshots at
 // systemwide, per-host, and per-connection scope.
 
-// DistSnapshot summarizes a distribution.
+// DistSnapshot summarizes a distribution. The quantile fields (p50..p999)
+// come from the log-bucketed histogram (bounded relative error, exact under
+// cross-shard merge); hist lists its non-empty buckets so consumers can
+// recompute arbitrary quantiles or re-merge snapshots.
 type DistSnapshot struct {
-	Count  uint64  `json:"count"`
-	Mean   float64 `json:"mean"`
-	StdDev float64 `json:"stddev"`
-	Min    float64 `json:"min"`
-	Max    float64 `json:"max"`
-	P50    float64 `json:"p50"`
-	P95    float64 `json:"p95"`
-	P99    float64 `json:"p99"`
+	Count  uint64       `json:"count"`
+	Mean   float64      `json:"mean"`
+	StdDev float64      `json:"stddev"`
+	Min    float64      `json:"min"`
+	Max    float64      `json:"max"`
+	P50    float64      `json:"p50"`
+	P90    float64      `json:"p90"`
+	P95    float64      `json:"p95"`
+	P99    float64      `json:"p99"`
+	P999   float64      `json:"p999"`
+	Hist   []HistBucket `json:"hist,omitempty"`
 }
 
 // RecorderSnapshot is one scope's metrics.
@@ -57,11 +63,17 @@ func snapshotOf(r *Recorder) RecorderSnapshot {
 	if len(r.dists) > 0 {
 		out.Dists = make(map[string]DistSnapshot, len(r.dists))
 		for k, d := range r.dists {
-			out.Dists[k] = DistSnapshot{
+			snap := DistSnapshot{
 				Count: d.Count, Mean: d.Mean(), StdDev: d.StdDev(),
 				Min: d.Min, Max: d.Max,
-				P50: d.Quantile(0.5), P95: d.Quantile(0.95), P99: d.Quantile(0.99),
+				P50: d.HistQuantile(0.5), P90: d.HistQuantile(0.9),
+				P95: d.HistQuantile(0.95), P99: d.HistQuantile(0.99),
+				P999: d.HistQuantile(0.999),
 			}
+			if h := d.Hist(); h != nil {
+				snap.Hist = h.Buckets()
+			}
+			out.Dists[k] = snap
 		}
 	}
 	return out

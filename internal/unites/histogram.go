@@ -1,0 +1,130 @@
+package unites
+
+import "math"
+
+// Log-bucketed histogram: the quantile backbone of UNITES latency/jitter
+// reporting. Buckets are geometric — histSub sub-buckets per power of two —
+// so relative error is bounded (≤ 1/histSub ≈ 12% bucket width, ~6% at the
+// midpoint) across the whole dynamic range from microseconds to kiloseconds,
+// and two histograms merge exactly (bucket-wise addition), which is what
+// lets sharded E10 runs aggregate per-shard latency into one p999. The
+// reservoir behind Distribution.Quantile cannot do that: merging reservoirs
+// loses tail mass precisely where p999 lives.
+const (
+	histSubBits = 3 // 8 sub-buckets per octave
+	histSub     = 1 << histSubBits
+	histMinExp  = -20 // first octave covers [2^-20, 2^-19) ≈ [0.95µs, 1.9µs) in seconds
+	histMaxExp  = 10  // last octave covers [2^9, 2^10); larger values clamp into it
+	histBuckets = (histMaxExp - histMinExp) * histSub
+)
+
+// Histogram is a fixed-size log-bucketed counter array. The zero value is
+// ready to use. Values ≤ 0 are counted separately (virtual-time latencies
+// can legitimately be exactly zero); positive values outside the bucketed
+// range clamp to the first/last bucket.
+type Histogram struct {
+	zeros   uint64
+	total   uint64
+	buckets [histBuckets]uint64
+}
+
+// histIndex maps a positive value to its bucket.
+func histIndex(v float64) int {
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	octave := exp - 1 - histMinExp
+	if octave < 0 {
+		return 0
+	}
+	if octave >= histMaxExp-histMinExp {
+		return histBuckets - 1
+	}
+	sub := int((frac - 0.5) * 2 * histSub)
+	if sub >= histSub {
+		sub = histSub - 1
+	}
+	return octave<<histSubBits | sub
+}
+
+// histBounds returns the [lo, hi) value range of a bucket.
+func histBounds(idx int) (lo, hi float64) {
+	octave := idx >> histSubBits
+	sub := idx & (histSub - 1)
+	base := math.Ldexp(1, histMinExp+octave)
+	lo = base * (1 + float64(sub)/histSub)
+	return lo, lo + base/histSub
+}
+
+// Add folds in one sample.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	if v <= 0 {
+		h.zeros++
+		return
+	}
+	h.buckets[histIndex(v)]++
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Merge adds o's counts into h (exact: bucket-wise addition).
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	h.zeros += o.zeros
+	h.total += o.total
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1): the midpoint of the bucket
+// containing the q·total-th sample. Zero/negative samples report as 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total-1))
+	if rank < h.zeros {
+		return 0
+	}
+	cum := h.zeros
+	for i, c := range h.buckets {
+		cum += c
+		if rank < cum {
+			lo, hi := histBounds(i)
+			return (lo + hi) / 2
+		}
+	}
+	return 0
+}
+
+// HistBucket is one non-empty bucket in an export snapshot.
+type HistBucket struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Count uint64  `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending value order, with a
+// leading [0,0) bucket when zero/negative samples were recorded.
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	if h.zeros > 0 {
+		out = append(out, HistBucket{Count: h.zeros})
+	}
+	for i, c := range h.buckets {
+		if c > 0 {
+			lo, hi := histBounds(i)
+			out = append(out, HistBucket{Lo: lo, Hi: hi, Count: c})
+		}
+	}
+	return out
+}

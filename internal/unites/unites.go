@@ -54,6 +54,7 @@ type Distribution struct {
 	reservoir      []float64
 	reservoirLimit int
 	lcg            uint64
+	hist           *Histogram // lazily allocated on first Add
 }
 
 const defaultReservoir = 2048
@@ -74,6 +75,10 @@ func (d *Distribution) Add(v float64) {
 	d.Count++
 	d.Sum += v
 	d.SumSq += v * v
+	if d.hist == nil {
+		d.hist = &Histogram{}
+	}
+	d.hist.Add(v)
 	if len(d.reservoir) < d.reservoirLimit {
 		d.reservoir = append(d.reservoir, v)
 		return
@@ -122,6 +127,51 @@ func (d *Distribution) Quantile(q float64) float64 {
 		idx = len(s) - 1
 	}
 	return s[idx]
+}
+
+// Hist returns the log-bucketed histogram backing HistQuantile, or nil when
+// the distribution is empty.
+func (d *Distribution) Hist() *Histogram { return d.hist }
+
+// HistQuantile returns the q-quantile from the log-bucketed histogram
+// (bounded relative error, exact under Merge). Distributions that predate
+// the histogram — e.g. restored from a snapshot — fall back to the
+// reservoir estimate.
+func (d *Distribution) HistQuantile(q float64) float64 {
+	if d.hist != nil {
+		return d.hist.Quantile(q)
+	}
+	return d.Quantile(q)
+}
+
+// Merge folds o's samples into d. Moments and histogram merge exactly;
+// the reservoir concatenates up to its limit (quantiles from a merged
+// distribution should come from HistQuantile, not Quantile).
+func (d *Distribution) Merge(o *Distribution) {
+	if o == nil || o.Count == 0 {
+		return
+	}
+	if d.Count == 0 || o.Min < d.Min {
+		d.Min = o.Min
+	}
+	if d.Count == 0 || o.Max > d.Max {
+		d.Max = o.Max
+	}
+	d.Count += o.Count
+	d.Sum += o.Sum
+	d.SumSq += o.SumSq
+	if o.hist != nil {
+		if d.hist == nil {
+			d.hist = &Histogram{}
+		}
+		d.hist.Merge(o.hist)
+	}
+	for _, v := range o.reservoir {
+		if len(d.reservoir) >= d.reservoirLimit {
+			break
+		}
+		d.reservoir = append(d.reservoir, v)
+	}
 }
 
 // Recorder collects metrics for one session (or one named scope). It

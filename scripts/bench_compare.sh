@@ -1,60 +1,82 @@
 #!/bin/sh
-# Compares a freshly generated BENCH_*.json against the committed baselines
-# under scripts/baseline/. For every benchmark name the best (minimum) time
-# metric across runs is compared — ns_per_op for the data-path suite,
-# ns_per_pkt for the scale soak — and the percentage delta is printed.
+# Compares freshly generated BENCH_*.json files against the committed
+# baselines under scripts/baseline/ and FAILS (non-zero exit) on regression.
 #
-#   ./scripts/bench_compare.sh                  # compare whatever exists
-#   FAIL_THRESHOLD=50 ./scripts/bench_compare.sh  # exit 1 past +50%
+# Two metrics are enforced per benchmark name, best (minimum) across runs:
 #
-# Without FAIL_THRESHOLD the script is informational: machines differ, so
-# CI only records the table while a developer chasing a regression sets the
-# threshold.
+#   time   — ns_per_op (data-path suite) / ns_per_pkt (scale soak).
+#            Threshold TIME_THRESHOLD percent, default 60: machines differ,
+#            so the default only catches gross regressions; CI overrides it
+#            to something looser, a developer chasing a regression sets it
+#            tight.
+#   allocs — allocs_per_op / allocs_per_pkt. Threshold ALLOC_THRESHOLD
+#            percent, default 10. Allocation counts are machine-independent,
+#            so this is the hard gate: any new allocation on a
+#            zero-allocation path fails regardless of threshold.
+#
+#   ./scripts/bench_compare.sh
+#   TIME_THRESHOLD=200 ./scripts/bench_compare.sh   # CI: noisy shared runner
+#   FAIL_THRESHOLD=50  ./scripts/bench_compare.sh   # legacy alias for TIME_THRESHOLD
 set -eu
 
 cd "$(dirname "$0")/.."
 
-THRESHOLD="${FAIL_THRESHOLD:-}"
+TIME_THRESHOLD="${TIME_THRESHOLD:-${FAIL_THRESHOLD:-60}}"
+ALLOC_THRESHOLD="${ALLOC_THRESHOLD:-10}"
 STATUS=0
 
 compare() {
     current=$1
     baseline=$2
-    metric=$3
+    time_metric=$3
+    alloc_metric=$4
     [ -f "$current" ] || { echo "skip: $current not generated (run make bench / make bench-scale)"; return; }
     [ -f "$baseline" ] || { echo "skip: $baseline missing"; return; }
-    echo "== $current vs $baseline ($metric, best-of-runs) =="
-    awk -v metric="\"$metric\":" -v threshold="${THRESHOLD:-0}" '
-    function best(file, mins,   line, name, v) {
+    echo "== $current vs $baseline ($time_metric <= +${TIME_THRESHOLD}%, $alloc_metric <= +${ALLOC_THRESHOLD}%, best-of-runs) =="
+    awk -v tmetric="\"$time_metric\":" -v ametric="\"$alloc_metric\":" \
+        -v tthresh="$TIME_THRESHOLD" -v athresh="$ALLOC_THRESHOLD" '
+    function best(file, tmins, amins,   line, name, v) {
         while ((getline line < file) > 0) {
             if (line !~ /"name"/) continue
             if (match(line, /"name": "[^"]+"/)) {
                 name = substr(line, RSTART + 9, RLENGTH - 10)
             } else continue
-            if (match(line, metric " [0-9.eE+-]+")) {
-                v = substr(line, RSTART + length(metric) + 1, RLENGTH - length(metric) - 1) + 0
-                if (!(name in mins) || v < mins[name]) mins[name] = v
+            if (match(line, tmetric " [0-9.eE+-]+")) {
+                v = substr(line, RSTART + length(tmetric) + 1, RLENGTH - length(tmetric) - 1) + 0
+                if (!(name in tmins) || v < tmins[name]) tmins[name] = v
+            }
+            if (match(line, ametric " [0-9.eE+-]+")) {
+                v = substr(line, RSTART + length(ametric) + 1, RLENGTH - length(ametric) - 1) + 0
+                if (!(name in amins) || v < amins[name]) amins[name] = v
             }
         }
         close(file)
     }
     BEGIN {
-        best(ARGV[1], base)
-        best(ARGV[2], cur)
+        best(ARGV[1], baset, basea)
+        best(ARGV[2], curt, cura)
         bad = 0
-        for (name in cur) {
-            if (!(name in base)) { printf "%-60s %12.1f  (new)\n", name, cur[name]; continue }
-            delta = base[name] > 0 ? (cur[name] - base[name]) / base[name] * 100 : 0
+        for (name in curt) {
+            if (!(name in baset)) { printf "%-60s %12.1f  (new)\n", name, curt[name]; continue }
+            tdelta = baset[name] > 0 ? (curt[name] - baset[name]) / baset[name] * 100 : 0
             flag = ""
-            if (threshold + 0 > 0 && delta > threshold + 0) { flag = "  REGRESSION"; bad = 1 }
-            printf "%-60s %12.1f -> %12.1f  %+7.1f%%%s\n", name, base[name], cur[name], delta, flag
+            if (tdelta > tthresh + 0) { flag = flag "  TIME-REGRESSION"; bad = 1 }
+            adelta = 0
+            if (name in cura && name in basea) {
+                if (basea[name] > 0) adelta = (cura[name] - basea[name]) / basea[name] * 100
+                else if (cura[name] > 0) adelta = 1e9  # new allocs on a zero-alloc path
+                if (adelta > athresh + 0) { flag = flag "  ALLOC-REGRESSION"; bad = 1 }
+            }
+            printf "%-60s %12.1f -> %12.1f  %+7.1f%%  allocs %g -> %g%s\n", \
+                name, baset[name], curt[name], tdelta, basea[name], cura[name], flag
         }
-        for (name in base) if (!(name in cur)) printf "%-60s dropped from current run\n", name
+        for (name in baset) if (!(name in curt)) printf "%-60s dropped from current run\n", name
         exit bad
     }' "$baseline" "$current" || STATUS=1
 }
 
-compare BENCH_datapath.json scripts/baseline/BENCH_datapath.json ns_per_op
-compare BENCH_scale.json scripts/baseline/BENCH_scale.json ns_per_pkt
+compare BENCH_datapath.json scripts/baseline/BENCH_datapath.json ns_per_op allocs_per_op
+compare BENCH_scale.json scripts/baseline/BENCH_scale.json ns_per_pkt allocs_per_pkt
 
+[ "$STATUS" -eq 0 ] || echo "bench-compare: REGRESSION detected (see flags above)" >&2
 exit $STATUS

@@ -8,9 +8,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+COUNT="${COUNT:-5}"
+
 PATTERN='BenchmarkWireEncode$|BenchmarkWireEncodeTo|BenchmarkWireDecode$|BenchmarkWireDecodeInto|BenchmarkChecksums|BenchmarkMessagePushPop|BenchmarkMessageSplitClone|BenchmarkNetsimPacketForwarding|BenchmarkSimKernelEvents|BenchmarkKernelChurn'
 
-go test -run '^$' -bench "$PATTERN" -benchmem -count=5 . | tee BENCH_datapath.txt
+go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" . | tee BENCH_datapath.txt
 
 GOVER=$(go version | awk '{print $3}')
 MAXPROCS=${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}

@@ -1,11 +1,15 @@
 #!/bin/sh
-# Determinism gate for the scale path. Two independent checks:
+# Determinism gate for the scale path. Three independent checks:
 #
 #  1. The E10 many-session soak, run twice via cmd/adaptivebench, must render
 #     byte-identical tables: sharded kernels (worker scheduling must not leak
 #     into results) and batched delivery (drain order must be stable) both
 #     feed this output.
-#  2. The batched delivery path must produce exactly the delivery sequence of
+#  2. Two same-seed flight recordings of the soak (cmd/adaptivetrace) must be
+#     record-for-record identical under trace.Diff — a far finer probe than
+#     the table: every timer fire, link transmission, PDU, and delivery is
+#     compared in virtual-time order, per shard.
+#  3. The batched delivery path must produce exactly the delivery sequence of
 #     the retired per-packet code path from the same seed — the A/B
 #     equivalence test in internal/netsim.
 set -eu
@@ -27,6 +31,19 @@ if ! awk '$1 ~ /^[0-9]+$/ && $5 + 0 >= 1.0 { exit 1 }' FAULTS_e10_run1.txt; then
     exit 1
 fi
 
+# Flight-recorder determinism: trace the 1000-session soak twice and demand
+# zero divergence. Sampling (1/16) keeps the rings covering the whole run so
+# a divergence cannot hide behind a ring wrap.
+go run ./cmd/adaptivetrace -record e10 -sessions 1000 -sample 16 -o FAULTS_e10_a.trace
+go run ./cmd/adaptivetrace -record e10 -sessions 1000 -sample 16 -o FAULTS_e10_b.trace
+if go run ./cmd/adaptivetrace -diff FAULTS_e10_a.trace FAULTS_e10_b.trace >FAULTS_e10_tracediff.txt 2>&1; then
+    cat FAULTS_e10_tracediff.txt
+else
+    echo "FAIL: same-seed E10 flight recordings diverge" >&2
+    cat FAULTS_e10_tracediff.txt >&2
+    exit 1
+fi
+
 go test -run 'TestBatchedMatchesPerPacketDelivery' ./internal/netsim/
 
-echo "scale: E10 soak reproducible; batched delivery byte-equivalent to per-packet path"
+echo "scale: E10 soak reproducible; flight recordings identical; batched delivery byte-equivalent to per-packet path"
