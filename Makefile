@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-scale bench-compare faults trace clean
+.PHONY: build test verify live bench bench-scale bench-compare faults trace clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,14 @@ verify:
 	fi
 	$(GO) test ./...
 	$(GO) test -race ./...
+
+# live runs the E-series parity scenarios over real UDP loopback sockets
+# (segue mid-stream, seeded impairment) under the race detector, plus the
+# udpnet lifecycle stress tests: the sim and live runs of each scenario must
+# deliver byte-identical streams with zero data loss.
+live:
+	$(GO) test -race -count=1 -v -run 'TestLive' ./internal/experiment/
+	$(GO) test -race -count=1 ./internal/udpnet/ ./internal/impair/
 
 # faults runs the deterministic sweeps twice each and verifies the runs are
 # byte-identical: the E9 fault-injection sweep (which also compares UNITES

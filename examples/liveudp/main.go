@@ -19,7 +19,10 @@ import (
 )
 
 func main() {
-	provider := udpnet.New()
+	provider := udpnet.New(
+		udpnet.WithSocketBuffers(4<<20, 4<<20), // several MB for high-rate loopback
+		udpnet.WithQueueLen(8192),              // bounded loop queue; overflow = counted drops
+	)
 	defer provider.Close()
 
 	sender, err := adaptive.NewNode(adaptive.WithProvider(provider), adaptive.WithHost(1), adaptive.WithName("udp-sender"))
@@ -75,7 +78,8 @@ func main() {
 		fmt.Printf("\ntransferred %d bytes over loopback UDP in %v (%.1f Mbps)\n",
 			len(got), elapsed.Round(time.Millisecond),
 			float64(len(got))*8/elapsed.Seconds()/1e6)
-		fmt.Printf("intact: %v\n", bytes.Equal(got, payload))
+		fmt.Printf("intact: %v, loop-queue drops: %d\n",
+			bytes.Equal(got, payload), provider.DroppedPosts())
 		if !bytes.Equal(got, payload) {
 			log.Fatal("corruption over UDP")
 		}

@@ -1,0 +1,301 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"adaptive"
+	"adaptive/internal/impair"
+	"adaptive/internal/mantts"
+	"adaptive/internal/netapi"
+	"adaptive/internal/netsim"
+	"adaptive/internal/sim"
+	"adaptive/internal/udpnet"
+)
+
+// This file is the live harness: it runs one scenario — phased bulk transfer
+// with optional mid-stream reconfigurations and optional network impairment —
+// over both network providers and lets tests assert the two environments
+// deliver byte-identical streams. The scenario is phrased in terms of
+// delivery progress (send N bytes, wait until the receiver has them) rather
+// than timestamps, so the identical steps drive the virtual-time simulator
+// and wall-clock UDP loopback.
+
+// LivePhase is one stage of a live scenario: an optional spec mutation
+// (negotiated with the peer, applied by segue) followed by Bytes of payload.
+type LivePhase struct {
+	Label string
+	Bytes int
+	// Mutate, when non-nil, reconfigures the connection before this
+	// phase's data is queued (e.g. switch recovery strategies mid-stream).
+	Mutate func(s *adaptive.Spec)
+}
+
+// LiveScenario describes a parity experiment between the simulator and the
+// UDP provider.
+type LiveScenario struct {
+	Name string
+	Seed int64
+	// ChunkSize segments the payload into Send calls (default 32 KiB).
+	ChunkSize int
+	Phases    []LivePhase
+	// Impair, when active, wraps BOTH providers with the same seeded
+	// impairment shim, so the lossy scenario needs no netem on the live
+	// side and no special link on the sim side.
+	Impair impair.Config
+	// Link is the simulator-side link (zero value picks a clean 50 Mbps,
+	// 2 ms path).
+	Link netsim.LinkConfig
+	// PhaseTimeout caps each phase of the live run in wall time
+	// (default 30s; the sim run is capped in virtual time instead).
+	PhaseTimeout time.Duration
+}
+
+// TotalBytes is the whole scenario's payload size.
+func (sc *LiveScenario) TotalBytes() int {
+	n := 0
+	for _, ph := range sc.Phases {
+		n += ph.Bytes
+	}
+	return n
+}
+
+// Payload generates the deterministic source stream both runs transmit.
+func (sc *LiveScenario) Payload() []byte {
+	buf := make([]byte, sc.TotalBytes())
+	rand.New(rand.NewSource(sc.Seed ^ 0x5eed)).Read(buf)
+	return buf
+}
+
+func (sc *LiveScenario) chunk() int {
+	if sc.ChunkSize > 0 {
+		return sc.ChunkSize
+	}
+	return 32 << 10
+}
+
+func (sc *LiveScenario) phaseTimeout() time.Duration {
+	if sc.PhaseTimeout > 0 {
+		return sc.PhaseTimeout
+	}
+	return 30 * time.Second
+}
+
+func (sc *LiveScenario) acd(peer netapi.Addr) *mantts.ACD {
+	return &mantts.ACD{
+		Participants: []netapi.Addr{peer},
+		RemotePort:   80,
+		Quant:        mantts.QuantQoS{AvgThroughputBps: 20e6},
+		Qual:         mantts.QualQoS{Ordered: true},
+	}
+}
+
+// LiveRun is the outcome of one environment's execution of a scenario.
+type LiveRun struct {
+	Delivered   []byte
+	Stats       adaptive.Stats
+	Impairments impair.Counters
+	// QueueDrops is the udpnet loop-queue overflow count (always zero for
+	// the sim run).
+	QueueDrops uint64
+}
+
+// RunSim executes the scenario on the deterministic simulator.
+func (sc *LiveScenario) RunSim() (*LiveRun, error) {
+	k := sim.NewKernel(sc.Seed)
+	k.SetEventLimit(200_000_000)
+	net := netsim.New(k)
+	ha, hb := net.AddHost(), net.AddHost()
+	link := sc.Link
+	if link.Bandwidth == 0 {
+		link = netsim.LinkConfig{Bandwidth: 50e6, PropDelay: 2 * time.Millisecond, MTU: 1500, QueueLen: 64000}
+	}
+	net.SetRoute(ha.ID(), hb.ID(), net.NewLink(link))
+	net.SetRoute(hb.ID(), ha.ID(), net.NewLink(link))
+
+	var prov netapi.Provider = net
+	var imp *impair.Provider
+	if sc.Impair.Active() {
+		imp = impair.Wrap(net, sc.Impair)
+		prov = imp
+	}
+	na, err := adaptive.NewNode(adaptive.WithProvider(prov), adaptive.WithHost(ha.ID()),
+		adaptive.WithSeed(sc.Seed), adaptive.WithName("sim-a"))
+	if err != nil {
+		return nil, err
+	}
+	nb, err := adaptive.NewNode(adaptive.WithProvider(prov), adaptive.WithHost(hb.ID()),
+		adaptive.WithSeed(sc.Seed+1), adaptive.WithName("sim-b"))
+	if err != nil {
+		return nil, err
+	}
+
+	var delivered []byte
+	if err := nb.Listen(80, nil, func(c *adaptive.Conn) {
+		c.OnReceive(func(data []byte, _ bool) {
+			delivered = append(delivered, data...)
+		})
+	}); err != nil {
+		return nil, err
+	}
+	conn, err := na.Dial(sc.acd(nb.Addr()), &adaptive.DialOptions{LocalPort: 1000})
+	if err != nil {
+		return nil, err
+	}
+	for !conn.Established() {
+		if k.Now() > 30*time.Second {
+			return nil, fmt.Errorf("%s/sim: establishment stalled", sc.Name)
+		}
+		k.RunFor(time.Millisecond)
+	}
+
+	src := sc.Payload()
+	off := 0
+	for _, ph := range sc.Phases {
+		if ph.Mutate != nil {
+			if err := conn.Reconfigure(ph.Mutate); err != nil {
+				return nil, fmt.Errorf("%s/sim: reconfigure %q: %w", sc.Name, ph.Label, err)
+			}
+		}
+		end := off + ph.Bytes
+		for off < end {
+			n := sc.chunk()
+			if end-off < n {
+				n = end - off
+			}
+			if err := conn.Send(src[off : off+n]); err != nil {
+				return nil, fmt.Errorf("%s/sim: send in %q: %w", sc.Name, ph.Label, err)
+			}
+			off += n
+		}
+		deadline := k.Now() + 5*time.Minute
+		for len(delivered) < end && k.Now() < deadline {
+			k.RunFor(5 * time.Millisecond)
+		}
+		if len(delivered) < end {
+			return nil, fmt.Errorf("%s/sim: phase %q stalled at %d of %d bytes",
+				sc.Name, ph.Label, len(delivered), end)
+		}
+	}
+	run := &LiveRun{Delivered: delivered, Stats: conn.Stats()}
+	if imp != nil {
+		run.Impairments = imp.Counters()
+	}
+	return run, nil
+}
+
+// RunLive executes the scenario over UDP loopback sockets and the wall
+// clock. All interaction with the connection happens on the provider's
+// event loop (via Wait); progress is observed through a signal channel the
+// receive upcall pings.
+func (sc *LiveScenario) RunLive() (*LiveRun, error) {
+	base := udpnet.New(udpnet.WithQueueLen(1<<14), udpnet.WithSocketBuffers(4<<20, 4<<20))
+	defer base.Close()
+	var prov netapi.Provider = base
+	var imp *impair.Provider
+	if sc.Impair.Active() {
+		imp = impair.Wrap(base, sc.Impair)
+		prov = imp
+	}
+	na, err := adaptive.NewNode(adaptive.WithProvider(prov), adaptive.WithHost(1),
+		adaptive.WithSeed(sc.Seed), adaptive.WithName("live-a"))
+	if err != nil {
+		return nil, err
+	}
+	nb, err := adaptive.NewNode(adaptive.WithProvider(prov), adaptive.WithHost(2),
+		adaptive.WithSeed(sc.Seed+1), adaptive.WithName("live-b"))
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex
+	var delivered []byte
+	progress := make(chan struct{}, 1)
+	var listenErr error
+	base.Wait(func() {
+		listenErr = nb.Listen(80, nil, func(c *adaptive.Conn) {
+			c.OnReceive(func(data []byte, _ bool) {
+				mu.Lock()
+				delivered = append(delivered, data...)
+				mu.Unlock()
+				select {
+				case progress <- struct{}{}:
+				default:
+				}
+			})
+		})
+	})
+	if listenErr != nil {
+		return nil, listenErr
+	}
+	var conn *adaptive.Conn
+	var dialErr error
+	base.Wait(func() {
+		conn, dialErr = na.Dial(sc.acd(nb.Addr()), &adaptive.DialOptions{LocalPort: 1000})
+	})
+	if dialErr != nil {
+		return nil, dialErr
+	}
+	establishBy := time.Now().Add(10 * time.Second)
+	for {
+		var est bool
+		base.Wait(func() { est = conn.Established() })
+		if est {
+			break
+		}
+		if time.Now().After(establishBy) {
+			return nil, fmt.Errorf("%s/live: establishment stalled", sc.Name)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	src := sc.Payload()
+	off := 0
+	for _, ph := range sc.Phases {
+		if ph.Mutate != nil {
+			var rerr error
+			base.Wait(func() { rerr = conn.Reconfigure(ph.Mutate) })
+			if rerr != nil {
+				return nil, fmt.Errorf("%s/live: reconfigure %q: %w", sc.Name, ph.Label, rerr)
+			}
+		}
+		end := off + ph.Bytes
+		base.Wait(func() {
+			for off < end {
+				n := sc.chunk()
+				if end-off < n {
+					n = end - off
+				}
+				conn.Send(src[off : off+n])
+				off += n
+			}
+		})
+		timeout := time.After(sc.phaseTimeout())
+		for {
+			mu.Lock()
+			n := len(delivered)
+			mu.Unlock()
+			if n >= end {
+				break
+			}
+			select {
+			case <-progress:
+			case <-timeout:
+				return nil, fmt.Errorf("%s/live: phase %q stalled at %d of %d bytes",
+					sc.Name, ph.Label, n, end)
+			}
+		}
+	}
+	var stats adaptive.Stats
+	base.Wait(func() { stats = conn.Stats() })
+	mu.Lock()
+	got := append([]byte(nil), delivered...)
+	mu.Unlock()
+	run := &LiveRun{Delivered: got, Stats: stats, QueueDrops: base.DroppedPosts()}
+	if imp != nil {
+		run.Impairments = imp.Counters()
+	}
+	return run, nil
+}

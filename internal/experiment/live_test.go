@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"adaptive"
+	"adaptive/internal/impair"
+)
+
+// checkParity asserts the two environments both delivered the exact source
+// stream — zero data loss, byte-identical content.
+func checkParity(t *testing.T, sc *LiveScenario, simRun, liveRun *LiveRun) {
+	t.Helper()
+	src := sc.Payload()
+	if !bytes.Equal(simRun.Delivered, src) {
+		t.Fatalf("sim run corrupted the stream: delivered %d of %d bytes (equal=%v)",
+			len(simRun.Delivered), len(src), bytes.Equal(simRun.Delivered, src))
+	}
+	if !bytes.Equal(liveRun.Delivered, src) {
+		t.Fatalf("live run corrupted the stream: delivered %d of %d bytes",
+			len(liveRun.Delivered), len(src))
+	}
+	if !bytes.Equal(simRun.Delivered, liveRun.Delivered) {
+		t.Fatal("sim and live delivered streams differ")
+	}
+}
+
+// TestLiveE3SegueParity is the E3 scenario over real sockets: a bulk
+// transfer that switches recovery selective-repeat -> go-back-n -> back
+// mid-stream. Both the simulated and the UDP-loopback run must complete
+// every segue and deliver the identical byte stream.
+func TestLiveE3SegueParity(t *testing.T) {
+	sc := &LiveScenario{
+		Name: "e3-segue",
+		Seed: 71,
+		Phases: []LivePhase{
+			{Label: "sr", Bytes: 128 << 10},
+			{Label: "gbn", Bytes: 128 << 10,
+				Mutate: func(s *adaptive.Spec) { s.Recovery = adaptive.RecoveryGoBackN }},
+			{Label: "sr-again", Bytes: 128 << 10,
+				Mutate: func(s *adaptive.Spec) { s.Recovery = adaptive.RecoverySelectiveRepeat }},
+		},
+	}
+	simRun, err := sc.RunSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRun, err := sc.RunLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkParity(t, sc, simRun, liveRun)
+	if simRun.Stats.Segues < 2 {
+		t.Fatalf("sim run performed %d segues, want >= 2", simRun.Stats.Segues)
+	}
+	if liveRun.Stats.Segues < 2 {
+		t.Fatalf("live run performed %d segues, want >= 2", liveRun.Stats.Segues)
+	}
+}
+
+// TestLiveE9LossyParity is the E9-style scenario: the same seeded software
+// impairment shim (loss + reorder + duplication — no netem, no privileges)
+// wraps both providers, and the reliable session must still deliver the
+// byte-identical stream in both environments.
+func TestLiveE9LossyParity(t *testing.T) {
+	sc := &LiveScenario{
+		Name: "e9-lossy",
+		Seed: 72,
+		Impair: impair.Config{
+			Seed:         72,
+			Loss:         0.02,
+			DupRate:      0.01,
+			ReorderRate:  0.02,
+			ReorderDelay: 3 * time.Millisecond,
+		},
+		Phases:       []LivePhase{{Label: "lossy-bulk", Bytes: 256 << 10}},
+		PhaseTimeout: 60 * time.Second,
+	}
+	simRun, err := sc.RunSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRun, err := sc.RunLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkParity(t, sc, simRun, liveRun)
+	// The scenario is only meaningful if the shim actually hurt: both
+	// environments must have seen real drops that recovery repaired.
+	if simRun.Impairments.Dropped == 0 {
+		t.Fatal("sim run saw no impairment drops")
+	}
+	if liveRun.Impairments.Dropped == 0 {
+		t.Fatal("live run saw no impairment drops")
+	}
+	if simRun.Stats.Retransmissions == 0 && liveRun.Stats.Retransmissions == 0 {
+		t.Fatal("no retransmissions anywhere: recovery never engaged")
+	}
+}

@@ -1,0 +1,97 @@
+package impair
+
+import (
+	"testing"
+	"time"
+
+	"adaptive/internal/netapi"
+	"adaptive/internal/netsim"
+	"adaptive/internal/sim"
+)
+
+// testNet builds a two-host simulated network and returns the kernel, the
+// wrapped provider, and the host IDs.
+func testNet(t *testing.T, cfg Config) (*sim.Kernel, *Provider, netapi.HostID, netapi.HostID) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	net := netsim.New(k)
+	a, b := net.AddHost(), net.AddHost()
+	link := netsim.LinkConfig{Bandwidth: 100e6, PropDelay: time.Millisecond, MTU: 1500, QueueLen: 10000}
+	net.SetRoute(a.ID(), b.ID(), net.NewLink(link))
+	net.SetRoute(b.ID(), a.ID(), net.NewLink(link))
+	return k, Wrap(net, cfg), a.ID(), b.ID()
+}
+
+// TestLossIsSeededAndCounted sends a fixed batch through a 30% lossy shim
+// and checks the delivered count matches the drop counter exactly, and that
+// the loss rate is in the statistical neighborhood of the configuration.
+func TestLossIsSeededAndCounted(t *testing.T) {
+	const n = 2000
+	k, p, ha, hb := testNet(t, Config{Seed: 9, Loss: 0.3})
+	src, err := p.Open(ha, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := p.Open(hb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	dst.SetReceiver(func([]byte, netapi.Addr) { got++ })
+	for i := 0; i < n; i++ {
+		if err := src.Send([]byte{byte(i)}, dst.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil(time.Second)
+	c := p.Counters()
+	if int(c.Dropped)+got != n {
+		t.Fatalf("dropped %d + delivered %d != sent %d", c.Dropped, got, n)
+	}
+	if c.Dropped < n/5 || c.Dropped > n/2 {
+		t.Fatalf("dropped %d of %d: far from the configured 30%%", c.Dropped, n)
+	}
+}
+
+// TestDuplicateAndReorder checks duplication delivers extra copies and
+// reordering delivers late but intact.
+func TestDuplicateAndReorder(t *testing.T) {
+	const n = 1000
+	k, p, ha, hb := testNet(t, Config{Seed: 5, DupRate: 0.2, ReorderRate: 0.2, ReorderDelay: 10 * time.Millisecond})
+	src, _ := p.Open(ha, 1)
+	dst, _ := p.Open(hb, 2)
+	var got int
+	dst.SetReceiver(func([]byte, netapi.Addr) { got++ })
+	for i := 0; i < n; i++ {
+		src.Send([]byte{1}, dst.LocalAddr())
+	}
+	k.RunUntil(time.Second)
+	c := p.Counters()
+	if c.Duplicated == 0 || c.Reordered == 0 {
+		t.Fatalf("shim idle: %+v", c)
+	}
+	if want := n + int(c.Duplicated); got != want {
+		t.Fatalf("delivered %d, want %d (n=%d + %d duplicates)", got, want, n, c.Duplicated)
+	}
+}
+
+// TestZeroConfigPassesThrough checks the inactive shim is transparent.
+func TestZeroConfigPassesThrough(t *testing.T) {
+	if (Config{}).Active() {
+		t.Fatal("zero config claims to be active")
+	}
+	const n = 500
+	k, p, ha, hb := testNet(t, Config{Seed: 3})
+	src, _ := p.Open(ha, 1)
+	dst, _ := p.Open(hb, 2)
+	var got int
+	dst.SetReceiver(func([]byte, netapi.Addr) { got++ })
+	for i := 0; i < n; i++ {
+		src.Send([]byte{1}, dst.LocalAddr())
+	}
+	k.RunUntil(time.Second)
+	c := p.Counters()
+	if got != n || c.Dropped != 0 || c.Duplicated != 0 || c.Reordered != 0 {
+		t.Fatalf("pass-through shim interfered: got %d of %d, counters %+v", got, n, c)
+	}
+}

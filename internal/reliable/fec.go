@@ -77,6 +77,11 @@ func (f *FEC) Name() string {
 
 func (f *FEC) Reliable() bool { return f.hybrid }
 
+// ConsumesRTO reports that FEC acts on RTO expiry even in loss-tolerant
+// mode (abandoning the window-accounting buffer), so the session keeps the
+// retransmission timer armed across a segue to pure FEC.
+func (f *FEC) ConsumesRTO() bool { return true }
+
 // blockSize returns the XOR block size for the session's MSS.
 func blockSize(e mechanism.Env) int { return 2 + e.Spec().MSS }
 
@@ -149,7 +154,13 @@ func (f *FEC) emitParity(e mechanism.Env) {
 // FlushParity force-emits a partial group (end of burst / segue away).
 func (f *FEC) FlushParity(e mechanism.Env) { f.emitParity(e) }
 
-func (f *FEC) OnAck(e mechanism.Env, p *wire.PDU) {}
+// OnAck prunes hybrid retransmission throttling state the cumulative ack
+// advanced past (same bounded-map discipline as the ARQ strategies).
+func (f *FEC) OnAck(e mechanism.Env, p *wire.PDU) {
+	if f.hybrid {
+		pruneStale(f.lastRetx, e.State().SndUna)
+	}
+}
 
 // OnNak (hybrid only) retransmits the listed sequences.
 func (f *FEC) OnNak(e mechanism.Env, p *wire.PDU) {

@@ -1,0 +1,136 @@
+package reliable
+
+import (
+	"testing"
+	"time"
+
+	"adaptive/internal/mechanism/mechtest"
+	"adaptive/internal/wire"
+)
+
+// ackPDU builds a cumulative ack.
+func ackPDU(ack uint32) *wire.PDU {
+	return &wire.PDU{Header: wire.Header{Type: wire.TAck, Ack: ack, Window: 64}}
+}
+
+// TestSelectiveRepeatRetxMapBounded soaks the sender-side throttle map
+// through heavy sequence churn: every window is NAK-retransmitted, then
+// acked. Before pruning, lastRetx kept one entry per ever-retransmitted
+// sequence for the life of the session.
+func TestSelectiveRepeatRetxMapBounded(t *testing.T) {
+	e := mechtest.New(nil)
+	s := NewSelectiveRepeat()
+	const window, rounds = 32, 500
+	var seq uint32
+	for r := 0; r < rounds; r++ {
+		base := seq
+		for i := 0; i < window; i++ {
+			e.SentEntry(seq, "p", e.Clock().Now())
+			seq++
+		}
+		// Peer NAKs the whole window; each sequence lands in lastRetx.
+		missing := make([]uint32, 0, window)
+		for q := base; q < seq; q++ {
+			missing = append(missing, q)
+		}
+		nak := EncodeNak(missing)
+		s.OnNak(e, nak)
+		// Everything is then acked: the session clears Unacked and
+		// advances SndUna before the strategy sees the ack.
+		for q := base; q < seq; q++ {
+			delete(e.StateV.Unacked, q)
+		}
+		e.StateV.SndUna = seq
+		s.OnAck(e, ackPDU(seq))
+		e.Kernel.RunUntil(e.Clock().Now() + 100*time.Millisecond)
+	}
+	if len(s.lastRetx) > window {
+		t.Fatalf("lastRetx grew to %d entries after %d rounds (want <= %d)",
+			len(s.lastRetx), rounds, window)
+	}
+}
+
+// TestSelectiveRepeatNakMapBounded soaks the receiver-side NAK throttle:
+// each round arrives with a gap (triggering NAKs) that then fills. Before
+// pruning, lastNak kept one entry per ever-NAKed sequence.
+func TestSelectiveRepeatNakMapBounded(t *testing.T) {
+	e := mechtest.New(nil)
+	s := NewSelectiveRepeat()
+	const rounds = 500
+	var seq uint32
+	for r := 0; r < rounds; r++ {
+		lost := seq
+		// seq arrives out of order first, NAKing the hole at `lost`.
+		s.OnData(e, mechtest.DataPDU(seq+1, "b"))
+		s.OnData(e, mechtest.DataPDU(lost, "a"))
+		seq += 2
+		e.Kernel.RunUntil(e.Clock().Now() + 50*time.Millisecond)
+	}
+	if e.StateV.RcvNxt != seq {
+		t.Fatalf("receiver advanced to %d, want %d", e.StateV.RcvNxt, seq)
+	}
+	if len(s.lastNak) > 8 {
+		t.Fatalf("lastNak grew to %d entries after %d rounds", len(s.lastNak), rounds)
+	}
+	if len(e.StateV.RcvBuf) != 0 {
+		t.Fatalf("receive buffer holds %d PDUs after full delivery", len(e.StateV.RcvBuf))
+	}
+}
+
+// TestGoBackNRetxMapBounded soaks go-back-n through repeated RTO-driven
+// window retransmissions followed by acks.
+func TestGoBackNRetxMapBounded(t *testing.T) {
+	e := mechtest.New(nil)
+	g := NewGoBackN()
+	const window, rounds = 16, 500
+	var seq uint32
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < window; i++ {
+			e.SentEntry(seq, "p", e.Clock().Now())
+			seq++
+		}
+		g.OnRTO(e) // retransmits the whole window, populating lastRetx
+		for q := seq - window; q < seq; q++ {
+			delete(e.StateV.Unacked, q)
+		}
+		e.StateV.SndUna = seq
+		g.OnAck(e, ackPDU(seq))
+		e.Kernel.RunUntil(e.Clock().Now() + 100*time.Millisecond)
+	}
+	if len(g.lastRetx) > window {
+		t.Fatalf("lastRetx grew to %d entries after %d rounds (want <= %d)",
+			len(g.lastRetx), rounds, window)
+	}
+}
+
+// TestFECHybridRetxMapBounded covers the same leak in the hybrid FEC
+// retransmission path.
+func TestFECHybridRetxMapBounded(t *testing.T) {
+	e := mechtest.New(nil)
+	f := NewFEC(true)
+	const window, rounds = 16, 300
+	var seq uint32
+	for r := 0; r < rounds; r++ {
+		base := seq
+		for i := 0; i < window; i++ {
+			e.SentEntry(seq, "p", e.Clock().Now())
+			seq++
+		}
+		missing := make([]uint32, 0, window)
+		for q := base; q < seq; q++ {
+			missing = append(missing, q)
+		}
+		nak := EncodeNak(missing)
+		f.OnNak(e, nak)
+		for q := base; q < seq; q++ {
+			delete(e.StateV.Unacked, q)
+		}
+		e.StateV.SndUna = seq
+		f.OnAck(e, ackPDU(seq))
+		e.Kernel.RunUntil(e.Clock().Now() + 100*time.Millisecond)
+	}
+	if len(f.lastRetx) > window {
+		t.Fatalf("lastRetx grew to %d entries after %d rounds (want <= %d)",
+			len(f.lastRetx), rounds, window)
+	}
+}

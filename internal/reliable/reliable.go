@@ -35,6 +35,20 @@ func minRetxGap(st *mechanism.TransferState) time.Duration {
 	return g
 }
 
+// pruneStale drops throttle entries for sequences the transfer has moved
+// past (below SndUna for retransmission maps, below RcvNxt for NAK maps).
+// Without it the per-sequence pacing maps grow monotonically over a long
+// session; with it their size is bounded by the in-flight window. The scan
+// is O(len(m)), but every surviving entry is at or above the floor, so the
+// amortized cost per acknowledged sequence is constant.
+func pruneStale(m map[uint32]time.Duration, floor uint32) {
+	for q := range m {
+		if q < floor {
+			delete(m, q)
+		}
+	}
+}
+
 // sendCumAck emits a cumulative acknowledgment for everything below RcvNxt.
 func sendCumAck(e mechanism.Env) {
 	ack := e.State().RcvNxt
@@ -147,6 +161,7 @@ func (g *GoBackN) OnSendData(e mechanism.Env, p *wire.PDU) {
 // performed by the session before strategies see the PDU.)
 func (g *GoBackN) OnAck(e mechanism.Env, p *wire.PDU) {
 	st := e.State()
+	pruneStale(g.lastRetx, st.SndUna)
 	if st.DupAcks == 3 && st.InFlight() > 0 {
 		e.WindowOnLoss()
 		e.Metrics().Count("rel.fast_retransmits", 1)
@@ -234,7 +249,11 @@ func (*SelectiveRepeat) Reliable() bool { return true }
 
 func (s *SelectiveRepeat) OnSendData(e mechanism.Env, p *wire.PDU) {}
 
-func (s *SelectiveRepeat) OnAck(e mechanism.Env, p *wire.PDU) {}
+// OnAck prunes retransmission throttling state the cumulative ack advanced
+// past (the generic ack bookkeeping runs in the session before this).
+func (s *SelectiveRepeat) OnAck(e mechanism.Env, p *wire.PDU) {
+	pruneStale(s.lastRetx, e.State().SndUna)
+}
 
 // OnNak retransmits exactly the listed sequences.
 func (s *SelectiveRepeat) OnNak(e mechanism.Env, p *wire.PDU) {
@@ -298,6 +317,7 @@ func (s *SelectiveRepeat) OnData(e mechanism.Env, p *wire.PDU) {
 		// Gaps and duplicates signal loss: acknowledge immediately.
 		s.acker.ackNow(e)
 	}
+	pruneStale(s.lastNak, st.RcvNxt)
 	s.nakGaps(e)
 }
 

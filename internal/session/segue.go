@@ -52,8 +52,16 @@ func (s *Session) SegueRecovery(next mechanism.Recovery) bool {
 	next.ImportState(old.ExportState())
 	s.slots.Recovery = next
 	s.afterSegue("recovery", old.Name(), next.Name())
-	// A newly reliable mechanism must resume loss detection immediately.
-	s.armRTO()
+	if recoveryUsesRTO(next) {
+		// A newly reliable (or RTO-consuming, e.g. pure FEC) mechanism
+		// must resume loss detection immediately.
+		s.armRTO()
+	} else if s.rtoTimer != nil {
+		// The incoming mechanism never acts on an RTO (reliable.None): a
+		// standing timer would fire spuriously forever, since the session
+		// re-arms after every expiry while data stays in flight.
+		s.rtoTimer.Cancel()
+	}
 	s.pump()
 	return true
 }
@@ -155,31 +163,47 @@ func (s *Session) ApplySpec(ns *mechanism.Spec) error {
 	}
 	ns.Normalize()
 	old := s.spec
+
+	// Work out which slots the new spec actually replaces, before touching
+	// any session state: ApplySpec must be atomic — a refused segue on a
+	// non-reconfigurable session must not leave new parameters (spec,
+	// receive-buffer capacity) paired with the old mechanisms.
+	needRecovery := ns.Recovery != old.Recovery || ns.FECGroup != old.FECGroup
+	needWindow := ns.Window != old.Window || ns.WindowSize != old.WindowSize
+	rateParamOnly := ns.RateBps != old.RateBps && ns.RateBps > 0 && old.RateBps > 0
+	needRate := ns.RateBps != old.RateBps && !rateParamOnly
+	needOrder := ns.Order != old.Order
+	if (needRecovery || needWindow || needRate || needOrder) && !s.reconfigurable {
+		s.metrics.Count("session.segue_refused", 1)
+		s.metrics.Count("session.applyspec_refused", 1)
+		return errors.New("session: segue refused (session is not reconfigurable)")
+	}
+
 	slots, err := s.factory(ns)
 	if err != nil {
 		s.metrics.Count("session.applyspec_errors", 1)
 		return fmt.Errorf("session: synthesizing mechanisms: %w", err)
 	}
-	// Spec must be swapped first: incoming mechanisms read parameters
-	// (FEC group size, RTO bounds) through env.Spec().
+	// Spec must be swapped before the segues: incoming mechanisms read
+	// parameters (FEC group size, RTO bounds) through env.Spec().
 	s.spec = ns
 	s.state.RcvBufCap = ns.RcvBufPDUs
 
+	// Reconfigurability was validated above, so these segues cannot
+	// refuse; the belt-and-braces accumulation guards future refusal modes.
 	segued := true
-	if ns.Recovery != old.Recovery || ns.FECGroup != old.FECGroup {
+	if needRecovery {
 		segued = s.SegueRecovery(slots.Recovery) && segued
 	}
-	if ns.Window != old.Window || ns.WindowSize != old.WindowSize {
+	if needWindow {
 		segued = s.SegueWindow(slots.Window) && segued
 	}
-	if ns.RateBps != old.RateBps {
-		if ns.RateBps > 0 && old.RateBps > 0 {
-			s.slots.Rate.SetRate(ns.RateBps) // parameter tweak, not a segue
-		} else {
-			segued = s.SegueRate(slots.Rate) && segued
-		}
+	if rateParamOnly {
+		s.slots.Rate.SetRate(ns.RateBps) // parameter tweak, not a segue
+	} else if needRate {
+		segued = s.SegueRate(slots.Rate) && segued
 	}
-	if ns.Order != old.Order {
+	if needOrder {
 		segued = s.SegueOrderer(slots.Orderer) && segued
 	}
 	// Connection management cannot change mid-connection; checksum kind

@@ -415,6 +415,22 @@ func (s *Session) transmitPDU(p *wire.PDU) {
 	})
 }
 
+// rtoConsumer marks recovery mechanisms that make progress on RTO expiry
+// despite not being reliable (pure FEC abandons outstanding data on RTO).
+// Unreliable mechanisms without it — reliable.None — get no RTO at all: their
+// OnRTO is a no-op, so a standing timer would fire spuriously forever.
+type rtoConsumer interface{ ConsumesRTO() bool }
+
+// recoveryUsesRTO reports whether the session should keep the
+// retransmission timer armed for this recovery mechanism.
+func recoveryUsesRTO(r mechanism.Recovery) bool {
+	if r.Reliable() {
+		return true
+	}
+	c, ok := r.(rtoConsumer)
+	return ok && c.ConsumesRTO()
+}
+
 // armRTO (re)starts the retransmission timer while data is outstanding.
 func (s *Session) armRTO() {
 	if s.state.InFlight() == 0 {
@@ -435,7 +451,9 @@ func (s *Session) onRTO() {
 	}
 	s.metrics.Count("rel.rto_fired", 1)
 	s.slots.Recovery.OnRTO(s.env())
-	s.armRTO()
+	if recoveryUsesRTO(s.slots.Recovery) {
+		s.armRTO()
+	}
 	s.pump()
 }
 

@@ -1,0 +1,197 @@
+package udpnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adaptive/internal/netapi"
+)
+
+// TestStressConcurrentLifecycle hammers Send, SetReceiver, endpoint Close,
+// timer churn, and provider Close from many goroutines at once. The
+// pre-rewrite provider had unsynchronized Endpoint.closed/recv/counters and
+// a panic-masking Post; under -race this test fails on that code and must
+// pass on the current one.
+func TestStressConcurrentLifecycle(t *testing.T) {
+	p := New(WithQueueLen(256))
+	defer p.Close()
+
+	a, err := p.Open(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Open(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := a.(*Endpoint)
+	bb := b.(*Endpoint)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Receiver churn: reinstall the upcall while packets flow.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b.SetReceiver(func(pkt []byte, src netapi.Addr) {})
+			if i%64 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	// Senders in both directions.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pkt := []byte("stress payload")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a.Send(pkt, b.LocalAddr()) // errors fine once closed
+				b.Send(pkt, a.LocalAddr())
+			}
+		}()
+	}
+
+	// Timer churn through the provider clock.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tm := p.Clock().AfterFunc(time.Microsecond, func() {})
+			tm.Stop()
+		}
+	}()
+
+	// Counter readers race the reader goroutines.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = ab.SentCount() + bb.ReceivedCount() + bb.DroppedCount() + p.DroppedPosts()
+		}
+	}()
+
+	// Concurrent endpoint closes mid-traffic.
+	time.Sleep(50 * time.Millisecond)
+	var cwg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		cwg.Add(1)
+		go func() { defer cwg.Done(); a.Close() }()
+	}
+	cwg.Wait()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Provider close races nothing now, but must be idempotent and safe to
+	// call again from multiple goroutines.
+	var pwg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		pwg.Add(1)
+		go func() { defer pwg.Done(); p.Close() }()
+	}
+	pwg.Wait()
+
+	// Post after close must refuse rather than panic or deadlock.
+	if p.Post(func() {}) {
+		t.Fatal("Post accepted work after Close")
+	}
+	p.Wait(func() {}) // must return promptly
+}
+
+// TestQueueOverflowDropsNotBlocks proves the bounded loop queue sheds
+// packets under overload instead of wedging the socket reader: with a
+// one-slot queue jammed by a blocked closure, a burst of datagrams must
+// still drain from the socket, with drops counted.
+func TestQueueOverflowDropsNotBlocks(t *testing.T) {
+	p := New(WithQueueLen(1))
+	defer p.Close()
+	a, _ := p.Open(1, 100)
+	defer a.Close()
+	b, _ := p.Open(2, 100)
+	bb := b.(*Endpoint)
+	defer b.Close()
+	b.SetReceiver(func(pkt []byte, src netapi.Addr) {})
+
+	// Jam the loop.
+	release := make(chan struct{})
+	p.Post(func() { <-release })
+
+	const burst = 200
+	for i := 0; i < burst; i++ {
+		if err := a.Send([]byte("x"), b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The reader must keep draining the socket even though the loop is
+	// jammed: wait until every datagram was either queued or dropped.
+	deadline := time.Now().Add(5 * time.Second)
+	for bb.ReceivedCount() < burst {
+		if time.Now().After(deadline) {
+			t.Fatalf("reader wedged: %d of %d datagrams read", bb.ReceivedCount(), burst)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if bb.DroppedCount() == 0 {
+		t.Fatal("no drops counted despite a jammed one-slot queue")
+	}
+	close(release)
+}
+
+// TestShutdownDrainsReaders verifies Close ordering: after provider Close
+// returns, no receiver upcall can fire.
+func TestShutdownDrainsReaders(t *testing.T) {
+	p := New()
+	a, _ := p.Open(1, 100)
+	b, _ := p.Open(2, 100)
+	var mu sync.Mutex
+	closed := false
+	b.SetReceiver(func(pkt []byte, src netapi.Addr) {
+		mu.Lock()
+		if closed {
+			mu.Unlock()
+			t.Error("upcall after provider Close returned")
+			return
+		}
+		mu.Unlock()
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10000; i++ {
+			if a.Send([]byte("y"), b.LocalAddr()) != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	p.Close()
+	mu.Lock()
+	closed = true
+	mu.Unlock()
+	<-done
+}

@@ -5,7 +5,22 @@
 // Concurrency model: all protocol code for one provider runs on a single
 // event loop goroutine. Socket readers and timer expirations post closures
 // into the loop, preserving the no-locking discipline mechanisms are written
-// against.
+// against. State is split into three classes:
+//
+//   - loop-confined: the receive upcall always runs on the loop goroutine,
+//     so protocol state behind it needs no locks.
+//   - atomic: lifecycle flags (Provider/Endpoint closed), the receiver slot,
+//     and the per-endpoint Sent/Received/Dropped counters, which reader and
+//     caller goroutines touch concurrently.
+//   - mutex-guarded: the host and group registries, which Open/Close/Send
+//     consult from arbitrary goroutines.
+//
+// The packet path from socket reader to loop is a bounded queue: a reader
+// that finds the loop full drops the datagram and counts it (congestion
+// loss, exactly the netapi.Endpoint.Send contract) instead of blocking the
+// socket drain. Shutdown is ordered: Provider.Close first closes every
+// endpoint, waits for all reader goroutines to exit, then stops the loop —
+// so no packet upcall can run after Close returns.
 package udpnet
 
 import (
@@ -13,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adaptive/internal/netapi"
@@ -21,24 +37,73 @@ import (
 // maxPacket bounds received datagram size.
 const maxPacket = 64 << 10
 
+// Config carries the provider's tunables; zero values pick the defaults
+// noted on each field.
+type Config struct {
+	// BindIP is the local address endpoints bind ("127.0.0.1" default).
+	// Use a real interface address (or "0.0.0.0") to serve a LAN.
+	BindIP string
+	// QueueLen bounds the event-loop queue (default 4096). Packets that
+	// arrive while the queue is full are dropped and counted.
+	QueueLen int
+	// ReadBuffer / WriteBuffer set the socket buffer sizes in bytes
+	// (0 keeps the OS default). High-speed transfers want several MB.
+	ReadBuffer, WriteBuffer int
+}
+
+// Option configures a Provider.
+type Option func(*Config)
+
+// WithBindIP sets the local IP endpoints bind (default 127.0.0.1).
+func WithBindIP(ip string) Option { return func(c *Config) { c.BindIP = ip } }
+
+// WithQueueLen bounds the event-loop queue.
+func WithQueueLen(n int) Option { return func(c *Config) { c.QueueLen = n } }
+
+// WithSocketBuffers sets the per-socket read/write buffer sizes in bytes.
+func WithSocketBuffers(read, write int) Option {
+	return func(c *Config) { c.ReadBuffer, c.WriteBuffer = read, write }
+}
+
 // Provider maps netapi.HostID values onto UDP addresses.
 type Provider struct {
 	mu     sync.Mutex
 	hosts  map[netapi.HostID]*net.UDPAddr // host -> where its endpoint listens
+	eps    map[netapi.HostID]*Endpoint    // locally opened endpoints
 	groups map[netapi.HostID][]netapi.HostID
 
-	loop   chan func()
-	done   chan struct{}
-	clock  clock
-	closed bool
+	cfg     Config
+	loop    chan func()
+	quit    chan struct{} // closed by Close after readers drain
+	done    chan struct{} // closed when the loop goroutine exits
+	closed  atomic.Bool
+	readers sync.WaitGroup
+	clock   clock
+
+	// droppedPosts counts loop-queue overflow drops provider-wide (the
+	// per-endpoint Dropped counters attribute them to a receiver).
+	droppedPosts atomic.Uint64
 }
 
 // New returns a provider with a running event loop.
-func New() *Provider {
+func New(opts ...Option) *Provider {
+	cfg := Config{BindIP: "127.0.0.1", QueueLen: 4096}
+	for _, fn := range opts {
+		fn(&cfg)
+	}
+	if cfg.BindIP == "" {
+		cfg.BindIP = "127.0.0.1"
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 4096
+	}
 	p := &Provider{
 		hosts:  make(map[netapi.HostID]*net.UDPAddr),
+		eps:    make(map[netapi.HostID]*Endpoint),
 		groups: make(map[netapi.HostID][]netapi.HostID),
-		loop:   make(chan func(), 1024),
+		cfg:    cfg,
+		loop:   make(chan func(), cfg.QueueLen),
+		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
 	p.clock = clock{p: p, epoch: time.Now()}
@@ -47,35 +112,91 @@ func New() *Provider {
 }
 
 func (p *Provider) run() {
-	for fn := range p.loop {
-		fn()
+	for {
+		select {
+		case fn := <-p.loop:
+			fn()
+		case <-p.quit:
+			// Drain whatever was queued before shutdown, then stop.
+			for {
+				select {
+				case fn := <-p.loop:
+					fn()
+				default:
+					close(p.done)
+					return
+				}
+			}
+		}
 	}
-	close(p.done)
 }
 
 // Post schedules fn onto the provider's event loop (applications use this to
-// interact with connections safely).
-func (p *Provider) Post(fn func()) {
-	defer func() { recover() }() // tolerate post-after-close
-	p.loop <- fn
+// interact with connections safely). It reports whether the closure was
+// accepted; after Close it is a no-op returning false — there is no hidden
+// recover, so real panics in protocol code propagate and crash loudly.
+func (p *Provider) Post(fn func()) bool {
+	if p.closed.Load() {
+		return false
+	}
+	select {
+	case p.loop <- fn:
+		return true
+	case <-p.quit:
+		return false
+	}
 }
 
-// Wait runs fn on the loop and blocks until it completes.
+// tryPost is the packet path: never blocks; a full queue drops.
+func (p *Provider) tryPost(fn func()) bool {
+	if p.closed.Load() {
+		return false
+	}
+	select {
+	case p.loop <- fn:
+		return true
+	default:
+		p.droppedPosts.Add(1)
+		return false
+	}
+}
+
+// Wait runs fn on the loop and blocks until it completes (or the provider
+// shuts down first, in which case fn may not run).
 func (p *Provider) Wait(fn func()) {
 	ch := make(chan struct{})
-	p.Post(func() { fn(); close(ch) })
-	<-ch
+	if !p.Post(func() { fn(); close(ch) }) {
+		return
+	}
+	select {
+	case <-ch:
+	case <-p.done:
+	}
 }
 
-// Close stops the event loop (endpoints should be closed first).
+// DroppedPosts reports how many packet upcalls the bounded loop queue shed.
+func (p *Provider) DroppedPosts() uint64 { return p.droppedPosts.Load() }
+
+// Close shuts the provider down in order: close every endpoint (which
+// unblocks its reader), wait for the readers to drain, then stop the event
+// loop and wait for it to finish the queued work. Idempotent.
 func (p *Provider) Close() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !p.closed {
-		p.closed = true
-		close(p.loop)
+	if p.closed.Swap(true) {
 		<-p.done
+		return
 	}
+	p.mu.Lock()
+	eps := make([]*Endpoint, 0, len(p.eps))
+	for _, ep := range p.eps {
+		eps = append(eps, ep)
+	}
+	p.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	p.readers.Wait()
+	close(p.quit)
+	<-p.done
 }
 
 // RegisterGroup declares a software multicast group: sends to it fan out as
@@ -84,6 +205,23 @@ func (p *Provider) RegisterGroup(group netapi.HostID, members ...netapi.HostID) 
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.groups[group] = append([]netapi.HostID(nil), members...)
+}
+
+// RegisterHost maps a remote host ID onto a UDP address ("10.0.0.7:9000"),
+// so endpoints on this provider can reach peers opened by another provider
+// instance on a different machine. Locally opened hosts register themselves.
+func (p *Provider) RegisterHost(host netapi.HostID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp4", addr)
+	if err != nil {
+		return fmt.Errorf("udpnet: resolving %q: %w", addr, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, local := p.eps[host]; local {
+		return fmt.Errorf("udpnet: host %v is opened locally", host)
+	}
+	p.hosts[host] = ua
+	return nil
 }
 
 // clock is wall time relative to the provider epoch.
@@ -98,6 +236,8 @@ func (c clock) Now() time.Duration { return time.Since(c.epoch) }
 
 func (c clock) AfterFunc(d time.Duration, fn func()) netapi.Timer {
 	t := &timer{}
+	// Timer callbacks are control-plane work: use the blocking Post (a
+	// full queue delays the timer rather than dropping protocol events).
 	t.t = time.AfterFunc(d, func() { c.p.Post(fn) })
 	return t
 }
@@ -115,38 +255,79 @@ type Endpoint struct {
 	host   netapi.HostID
 	port   uint16
 	sock   *net.UDPConn
-	recv   netapi.Receiver
-	closed bool
+	closed atomic.Bool
 
-	Sent, Received uint64
+	// recv holds the receive upcall as a receiver box; it is written by
+	// SetReceiver (any goroutine, including the loop itself) and loaded by
+	// the packet closures, which invoke it on the loop goroutine only.
+	recv atomic.Value // of recvBox
+
+	sent     atomic.Uint64 // datagrams written to the socket
+	received atomic.Uint64 // datagrams read from the socket
+	dropped  atomic.Uint64 // datagrams shed by the bounded loop queue
 }
 
 var _ netapi.Endpoint = (*Endpoint)(nil)
 
-// Open binds a loopback UDP socket for the host and starts its reader. The
-// netapi port is carried inside each datagram header byte pair (hosts are
-// distinguished by UDP port, so one OS port serves one host).
+// SentCount reports datagrams successfully written to the socket.
+func (ep *Endpoint) SentCount() uint64 { return ep.sent.Load() }
+
+// ReceivedCount reports datagrams read from the socket (before any queue
+// shedding).
+func (ep *Endpoint) ReceivedCount() uint64 { return ep.received.Load() }
+
+// DroppedCount reports datagrams shed because the event-loop queue was full.
+func (ep *Endpoint) DroppedCount() uint64 { return ep.dropped.Load() }
+
+// Open binds a UDP socket for the host on the provider's bind address and
+// starts its reader. The netapi port is carried inside each datagram header
+// byte pair (hosts are distinguished by UDP port, so one OS port serves one
+// host).
 func (p *Provider) Open(host netapi.HostID, port uint16) (netapi.Endpoint, error) {
+	if p.closed.Load() {
+		return nil, errors.New("udpnet: provider closed")
+	}
+	ip := net.ParseIP(p.cfg.BindIP)
+	if ip == nil {
+		return nil, fmt.Errorf("udpnet: invalid bind IP %q", p.cfg.BindIP)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, busy := p.hosts[host]; busy {
 		return nil, fmt.Errorf("udpnet: host %v already open (one endpoint per host)", host)
 	}
-	sock, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+	sock, err := net.ListenUDP("udp4", &net.UDPAddr{IP: ip, Port: 0})
 	if err != nil {
 		return nil, err
+	}
+	if p.cfg.ReadBuffer > 0 {
+		if err := sock.SetReadBuffer(p.cfg.ReadBuffer); err != nil {
+			sock.Close()
+			return nil, fmt.Errorf("udpnet: read buffer: %w", err)
+		}
+	}
+	if p.cfg.WriteBuffer > 0 {
+		if err := sock.SetWriteBuffer(p.cfg.WriteBuffer); err != nil {
+			sock.Close()
+			return nil, fmt.Errorf("udpnet: write buffer: %w", err)
+		}
 	}
 	if port == 0 {
 		port = 49152
 	}
 	ep := &Endpoint{p: p, host: host, port: port, sock: sock}
 	p.hosts[host] = sock.LocalAddr().(*net.UDPAddr)
+	p.eps[host] = ep
+	p.readers.Add(1)
 	go ep.reader()
 	return ep, nil
 }
 
-// reader pumps datagrams into the event loop.
+// reader pumps datagrams into the event loop. It owns its socket until the
+// socket closes, then signals the provider's reader WaitGroup — Close waits
+// on that before stopping the loop, so shutdown never strands an upcall.
 func (ep *Endpoint) reader() {
+	defer ep.p.readers.Done()
 	buf := make([]byte, maxPacket)
 	for {
 		n, _, err := ep.sock.ReadFromUDP(buf)
@@ -156,6 +337,7 @@ func (ep *Endpoint) reader() {
 		if n < 6 {
 			continue
 		}
+		ep.received.Add(1)
 		// Frame: srcHost uint32 | srcPort uint16 | payload.
 		src := netapi.Addr{
 			Host: netapi.HostID(buf[0])<<24 | netapi.HostID(buf[1])<<16 | netapi.HostID(buf[2])<<8 | netapi.HostID(buf[3]),
@@ -163,18 +345,21 @@ func (ep *Endpoint) reader() {
 		}
 		pkt := make([]byte, n-6)
 		copy(pkt, buf[6:n])
-		ep.p.Post(func() {
-			ep.Received++
-			if ep.recv != nil && !ep.closed {
-				ep.recv(pkt, src)
+		ok := ep.p.tryPost(func() {
+			box, _ := ep.recv.Load().(recvBox)
+			if box.fn != nil && !ep.closed.Load() {
+				box.fn(pkt, src)
 			}
 		})
+		if !ok {
+			ep.dropped.Add(1)
+		}
 	}
 }
 
 // Send frames and transmits pkt toward dst (fanning out for groups).
 func (ep *Endpoint) Send(pkt []byte, dst netapi.Addr) error {
-	if ep.closed {
+	if ep.closed.Load() {
 		return errors.New("udpnet: endpoint closed")
 	}
 	if dst.Host.IsMulticast() {
@@ -214,30 +399,41 @@ func (ep *Endpoint) sendTo(pkt []byte, dst netapi.Addr) error {
 	copy(framed[6:], pkt)
 	_, err := ep.sock.WriteToUDP(framed, raddr)
 	if err == nil {
-		ep.Sent++
+		ep.sent.Add(1)
 	}
 	return err
 }
 
-// SetReceiver installs the receive upcall (runs on the provider loop).
-func (ep *Endpoint) SetReceiver(r netapi.Receiver) { ep.recv = r }
+// recvBox wraps the receiver so atomic.Value can store a nil upcall.
+type recvBox struct{ fn netapi.Receiver }
+
+// SetReceiver installs the receive upcall. Safe from any goroutine (the
+// slot is atomic); the upcall itself always runs on the event loop.
+func (ep *Endpoint) SetReceiver(r netapi.Receiver) {
+	ep.recv.Store(recvBox{fn: r})
+}
 
 // LocalAddr returns the endpoint's netapi address.
 func (ep *Endpoint) LocalAddr() netapi.Addr {
 	return netapi.Addr{Host: ep.host, Port: ep.port}
 }
 
+// UDPAddr returns the endpoint's OS-level socket address (what a remote
+// provider would RegisterHost).
+func (ep *Endpoint) UDPAddr() *net.UDPAddr { return ep.sock.LocalAddr().(*net.UDPAddr) }
+
 // PathMTU reports the loopback-safe datagram budget.
 func (ep *Endpoint) PathMTU(netapi.Addr) int { return 1400 }
 
-// Close shuts the socket and unregisters the host.
+// Close shuts the socket and unregisters the host. Idempotent and safe from
+// any goroutine; the reader goroutine exits once the socket read fails.
 func (ep *Endpoint) Close() error {
-	if ep.closed {
+	if ep.closed.Swap(true) {
 		return nil
 	}
-	ep.closed = true
 	ep.p.mu.Lock()
 	delete(ep.p.hosts, ep.host)
+	delete(ep.p.eps, ep.host)
 	ep.p.mu.Unlock()
 	return ep.sock.Close()
 }
