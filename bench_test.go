@@ -425,6 +425,113 @@ func BenchmarkE10_Scale(b *testing.B) {
 	}
 }
 
+// parallelProcs returns the GOMAXPROCS sweep {1, 2, 4, NumCPU}, deduplicated
+// and capped at the machine's CPU count: on a 1-CPU machine the sweep
+// degenerates to {1} (the scaling rows need real cores to mean anything).
+// An explicit GOMAXPROCS env below NumCPU caps the sweep too, so CI can pin
+// the whole sweep to its allotted cores (GOMAXPROCS=2 -> {1, 2}).
+func parallelProcs() []int {
+	ncpu := runtime.NumCPU()
+	if g := runtime.GOMAXPROCS(0); g < ncpu {
+		ncpu = g
+	}
+	var out []int
+	for _, p := range []int{1, 2, 4, ncpu} {
+		if p > ncpu {
+			continue
+		}
+		dup := false
+		for _, q := range out {
+			if q == p {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BenchmarkE10_ScaleParallel sweeps shard-worker parallelism over the N=5000
+// soak: the same 8 sharded kernels, run under GOMAXPROCS in {1,2,4,NumCPU}.
+// Each shard keeps a private UNITES repository and meter; results merge in
+// fixed shard order with exact histogram merges, so every row must produce
+// the identical delivered/event counts and latency distribution — the bench
+// fails if worker scheduling leaks into simulation results. The row metric
+// of interest is pkts/s against the gomaxprocs column; see EXPERIMENTS.md
+// for the expected scaling (this needs a multi-core machine to show >1x).
+func BenchmarkE10_ScaleParallel(b *testing.B) {
+	const n = 5000
+	type fingerprint struct {
+		delivered, events, samples uint64
+		p50, p99                   float64
+	}
+	var base *fingerprint
+	for _, procs := range parallelProcs() {
+		b.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			b.ReportAllocs()
+			var delivered, events uint64
+			var fp fingerprint
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			for i := 0; i < b.N; i++ {
+				r := experiment.RunE10Scale(n)
+				if r.Delivered == 0 {
+					b.Fatal("soak delivered nothing")
+				}
+				delivered += r.Delivered
+				events += r.Events
+				fp = fingerprint{r.Delivered, r.Events, r.Latency.Count,
+					r.Latency.HistQuantile(0.50), r.Latency.HistQuantile(0.99)}
+			}
+			if base == nil {
+				base = &fp
+			} else if fp != *base {
+				b.Fatalf("worker count changed simulation results: %+v != %+v", fp, *base)
+			}
+			runtime.ReadMemStats(&ms1)
+			elapsed := b.Elapsed()
+			b.ReportMetric(float64(procs), "gomaxprocs")
+			b.ReportMetric(float64(delivered)/elapsed.Seconds(), "pkts/s")
+			b.ReportMetric(float64(events)/float64(delivered), "events/pkt")
+			b.ReportMetric(float64(elapsed.Nanoseconds())/float64(delivered), "ns/pkt")
+			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(delivered), "allocs/pkt")
+		})
+	}
+}
+
+// TestE10ParallelSpeedup pins the multi-core scaling criterion: the N=5000
+// soak at GOMAXPROCS=4 must deliver at least 3x the packet rate of the same
+// soak at GOMAXPROCS=1. Wall-clock speedup needs real cores, so the test
+// skips on machines with fewer than 4 CPUs (documented in EXPERIMENTS.md);
+// the determinism half of the contract (same results at any worker count) is
+// asserted unconditionally by BenchmarkE10_ScaleParallel and TestRunSharded.
+func TestE10ParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup soak skipped in -short")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for the 4-worker scaling gate, have %d", runtime.NumCPU())
+	}
+	rate := func(procs int) float64 {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		t0 := time.Now()
+		r := experiment.RunE10Scale(5000)
+		return float64(r.Delivered) / time.Since(t0).Seconds()
+	}
+	rate(runtime.NumCPU()) // warm the pools so both timed runs start equal
+	r1 := rate(1)
+	r4 := rate(4)
+	t.Logf("pkts/s at GOMAXPROCS=1: %.0f, at 4: %.0f (%.2fx)", r1, r4, r4/r1)
+	if r4 < 3*r1 {
+		t.Errorf("GOMAXPROCS=4 speedup %.2fx, want >= 3x", r4/r1)
+	}
+}
+
 func BenchmarkA1_DelayedAcks(b *testing.B)   { benchRunTables(b, experiment.RunA1) }
 func BenchmarkA2_FECGroupSweep(b *testing.B) { benchRunTables(b, experiment.RunA2) }
 func BenchmarkA3_NakThrottle(b *testing.B)   { benchRunTables(b, experiment.RunA3) }

@@ -1,0 +1,68 @@
+// Package backstop provides bounded free stacks that sit in front of
+// sync.Pool on allocation hot paths.
+//
+// sync.Pool is emptied on every garbage-collection cycle, so a long
+// many-session run re-allocates its entire pooled working set after each GC
+// — at scale those refills dominate the allocation profile. A Stack is a
+// bounded free stack the GC never clears: releases land here first, and only
+// the overflow cycles through sync.Pool. It is sharded with per-shard mutexes
+// and a round-robin rotor so parallel shard workers do not serialize on one
+// lock; which shard serves an object never affects simulation results
+// (callers always fully re-initialize what they get back).
+package backstop
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Shards is the fixed shard count (power of two for cheap masking).
+const Shards = 8
+
+type shard[T any] struct {
+	mu   sync.Mutex
+	free []T
+	_    [24]byte // separate cache lines between shards
+}
+
+// Stack is a sharded, bounded, GC-immune free stack. The zero value is
+// usable once PerShard is set; a zero PerShard stack accepts nothing.
+type Stack[T any] struct {
+	// PerShard bounds each shard's stack depth (set once, before use).
+	PerShard int
+	rotor    atomic.Uint32
+	shards   [Shards]shard[T]
+}
+
+// Put offers x to one shard; it reports false when that shard is full (the
+// caller falls back to sync.Pool or drops the object to the GC).
+func (b *Stack[T]) Put(x T) bool {
+	s := &b.shards[b.rotor.Add(1)&(Shards-1)]
+	s.mu.Lock()
+	if len(s.free) >= b.PerShard {
+		s.mu.Unlock()
+		return false
+	}
+	s.free = append(s.free, x)
+	s.mu.Unlock()
+	return true
+}
+
+// Get pops from up to two shards before giving up.
+func (b *Stack[T]) Get() (T, bool) {
+	var zero T
+	i := b.rotor.Add(1)
+	for t := uint32(0); t < 2; t++ {
+		s := &b.shards[(i+t)&(Shards-1)]
+		s.mu.Lock()
+		if n := len(s.free); n > 0 {
+			x := s.free[n-1]
+			s.free[n-1] = zero
+			s.free = s.free[:n-1]
+			s.mu.Unlock()
+			return x, true
+		}
+		s.mu.Unlock()
+	}
+	return zero, false
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"adaptive/internal/netapi"
+	"adaptive/internal/sim"
 )
 
 // Stats counts timer activity for whitebox metrics.
@@ -24,12 +25,27 @@ type Stats struct {
 // Manager creates events against a clock.
 type Manager struct {
 	clock netapi.Clock
+	k     *sim.Kernel // non-nil when clock is kernel-backed: arming skips Timer boxing
 	stats Stats
+	blk   []Event // block allocator: Events are created in batches of eventBlock
 }
 
-// NewManager returns a Manager driving timers from clock.
+// eventBlock is the Event-struct allocation granule. Events live as long as
+// their owning mechanism and are never recycled individually, so carving
+// them from a shared backing array is safe and cuts the per-Event heap
+// allocation to one per block.
+const eventBlock = 16
+
+// NewManager returns a Manager driving timers from clock. A clock backed by a
+// simulation kernel (netsim.Clock) is detected here once, so every arm/re-arm
+// can schedule directly on the kernel: no per-arm closure and no boxing of the
+// value-type sim.Timer into the netapi.Timer interface.
 func NewManager(clock netapi.Clock) *Manager {
-	return &Manager{clock: clock}
+	m := &Manager{clock: clock}
+	if kc, ok := clock.(interface{ Kernel() *sim.Kernel }); ok {
+		m.k = kc.Kernel()
+	}
+	return m
 }
 
 // Clock returns the underlying clock.
@@ -42,9 +58,11 @@ func (m *Manager) Stats() Stats { return m.stats }
 // event loop (the same discipline as all protocol code).
 type Event struct {
 	mgr      *Manager
-	timer    netapi.Timer
+	timer    netapi.Timer // generic-clock path
+	simTimer sim.Timer    // kernel fast path (value type, no boxing)
 	period   time.Duration // 0 for one-shot
 	fn       func()
+	fireFn   func() // e.fire bound once; reused for every (re)arm
 	stopped  bool
 	pending  bool
 	fireSeen uint64
@@ -68,7 +86,12 @@ func (m *Manager) schedule(d, period time.Duration, fn func()) *Event {
 	if fn == nil {
 		panic("event: nil fn")
 	}
-	e := &Event{mgr: m, period: period, fn: fn}
+	if len(m.blk) == 0 {
+		m.blk = make([]Event, eventBlock)
+	}
+	e := &m.blk[0]
+	m.blk = m.blk[1:]
+	e.mgr, e.period, e.fn = m, period, fn
 	m.arm(e, d)
 	return e
 }
@@ -76,7 +99,29 @@ func (m *Manager) schedule(d, period time.Duration, fn func()) *Event {
 func (m *Manager) arm(e *Event, d time.Duration) {
 	m.stats.Scheduled++
 	e.pending = true
-	e.timer = m.clock.AfterFunc(d, func() { e.fire() })
+	if m.k != nil {
+		// Closure-free: the kernel calls fireEvent(e). Boxing *Event into
+		// any is pointer-sized and allocation-free.
+		e.simTimer = m.k.ScheduleArg(d, fireEvent, e)
+	} else {
+		if e.fireFn == nil {
+			e.fireFn = e.fire // bound once; reused for every re-arm
+		}
+		e.timer = m.clock.AfterFunc(d, e.fireFn)
+	}
+}
+
+// fireEvent is the kernel-side trampoline for the sim fast path.
+func fireEvent(v any) { v.(*Event).fire() }
+
+// stopTimer stops whichever underlying timer is live. Stopping a zero or
+// spent sim.Timer is a safe no-op (generation check).
+func (e *Event) stopTimer() {
+	if e.mgr.k != nil {
+		e.simTimer.Stop()
+	} else if e.timer != nil {
+		e.timer.Stop()
+	}
 }
 
 func (e *Event) fire() {
@@ -101,9 +146,7 @@ func (e *Event) Cancel() bool {
 	e.stopped = true
 	was := e.pending
 	e.pending = false
-	if e.timer != nil {
-		e.timer.Stop()
-	}
+	e.stopTimer()
 	if was {
 		e.mgr.stats.Canceled++
 	}
@@ -113,9 +156,7 @@ func (e *Event) Cancel() bool {
 // Reset re-arms a one-shot event to fire after d from now, canceling any
 // pending firing. Reset on a periodic event re-bases the next firing.
 func (e *Event) Reset(d time.Duration) {
-	if e.timer != nil {
-		e.timer.Stop()
-	}
+	e.stopTimer()
 	e.stopped = false
 	e.mgr.arm(e, d)
 }

@@ -231,10 +231,10 @@ func runE10Shard(shard int, k *sim.Kernel, sessions int, repo *unites.Repository
 		if cls.name == "oltp-reqresp" {
 			// Echo server: one response PDU per request.
 			sh.server.Listen(port, nil, func(c *adaptive.Conn) {
+				// Send copies synchronously into a pooled message, so the
+				// delivered slice can be echoed straight back without a copy.
 				c.OnReceive(func(data []byte, eom bool) {
-					reply := make([]byte, len(data))
-					copy(reply, data)
-					c.Send(reply)
+					c.Send(data)
 				})
 			})
 		} else {

@@ -100,6 +100,11 @@ type Entity struct {
 	// Stats.
 	SignalsSent, SignalsRecv uint64
 	Reconfigs                uint64
+
+	// sigPDU is the reusable signal-emission PDU. Entity methods run on the
+	// provider event loop, and transmitSignal fully re-initializes it per
+	// call, so one scratch struct replaces a heap PDU per signal.
+	sigPDU wire.PDU
 }
 
 // NewEntity attaches a MANTTS entity to a stack (installing itself as the
@@ -363,10 +368,9 @@ func (e *Entity) sendSignalReliable(to netapi.Addr, payload []byte) {
 }
 
 func (e *Entity) transmitSignal(to netapi.Addr, payload []byte) {
-	p := &wire.PDU{
-		Header:  wire.Header{Type: wire.TSignal},
-		Payload: message.NewFromBytes(payload),
-	}
+	p := &e.sigPDU
+	p.Header = wire.Header{Type: wire.TSignal}
+	p.Payload = message.PooledFromBytes(payload)
 	wire.EncodeTo(p, wire.CkCRC32, func(pkt []byte) error {
 		e.SignalsSent++
 		return e.stack.Transmit(pkt, to)
@@ -470,6 +474,7 @@ func (e *Entity) onSignal(p *wire.PDU, from netapi.Addr) {
 // fire-and-forget (no signal ack): the next period repeats them anyway.
 func (e *Entity) StartQualityReports(s *session.Session, sender netapi.Addr) {
 	var lastRecv, lastGaps uint64
+	var w wire.TLVWriter // hoisted: one report buffer per session, not per tick
 	ev := e.stack.Timers().SchedulePeriodic(qualReportPeriod, qualReportPeriod, func() {
 		st := s.State()
 		dRecv := s.RecvPDUs - lastRecv
@@ -479,7 +484,7 @@ func (e *Entity) StartQualityReports(s *session.Session, sender netapi.Addr) {
 			return
 		}
 		frac := float64(dGaps) / float64(dRecv+dGaps)
-		var w wire.TLVWriter
+		w.Reset()
 		w.PutU8(sigTagType, sigQualReport)
 		w.PutU32(sigTagConnID, s.ConnID())
 		w.PutU64(sigTagLoss, uint64(frac*1e9))

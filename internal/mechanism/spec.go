@@ -257,6 +257,7 @@ const (
 // EncodeSpec serializes a Spec as TLV.
 func EncodeSpec(s *Spec) []byte {
 	var w wire.TLVWriter
+	w.Grow(224) // fixed field set; one slab covers the whole encoding
 	w.PutU8(tagConnMgmt, uint8(s.ConnMgmt))
 	w.PutU8(tagRecovery, uint8(s.Recovery))
 	w.PutU8(tagWindowKind, uint8(s.Window))

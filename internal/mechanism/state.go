@@ -47,7 +47,28 @@ type TransferState struct {
 	Retransmissions uint64
 	FECRecovered    uint64
 	GapsAbandoned   uint64
+
+	// CtrlScratch is a reusable header-only control PDU for ack emission.
+	// Its contents are valid only for the duration of one EmitControl call
+	// (EncodeTo copies the header into locals before emitting), so every
+	// user must fully re-initialize it. It lives here, not on the stack at
+	// the call site, because EmitControl is an interface call: a stack PDU
+	// would escape and allocate per ack.
+	CtrlScratch wire.PDU
+
+	// Free lists for retransmission/reassembly entries. Sessions are
+	// single-threaded per kernel, so plain slices suffice. Bounded so a
+	// burst cannot pin memory forever.
+	sentFree     []*SentPDU
+	recvFree     []*RecvPDU
+	drainScratch []*RecvPDU
 }
+
+// freeListCap bounds the per-state entry free lists.
+const freeListCap = 512
+
+// entryBlock is the free-list growth granule for SentPDU/RecvPDU entries.
+const entryBlock = 16
 
 // NewTransferState returns ready-to-use state.
 func NewTransferState(rcvBufCap int, rtoInit time.Duration) *TransferState {
@@ -62,6 +83,61 @@ func NewTransferState(rcvBufCap int, rtoInit time.Duration) *TransferState {
 		RcvBuf:    make(map[uint32]*RecvPDU),
 		RcvBufCap: rcvBufCap,
 		RTO:       rtoInit,
+	}
+}
+
+// NewSent returns a retransmission-buffer entry from the state's free list,
+// initialized to hold p.
+func (s *TransferState) NewSent(p *wire.PDU, at time.Duration) *SentPDU {
+	if n := len(s.sentFree); n > 0 {
+		e := s.sentFree[n-1]
+		s.sentFree = s.sentFree[:n-1]
+		*e = SentPDU{PDU: p, SentAt: at}
+		return e
+	}
+	// Warm the free list a block at a time: one allocation per entryBlock
+	// entries while the window grows to its steady-state depth.
+	blk := make([]SentPDU, entryBlock)
+	for i := 1; i < len(blk); i++ {
+		s.sentFree = append(s.sentFree, &blk[i])
+	}
+	blk[0] = SentPDU{PDU: p, SentAt: at}
+	return &blk[0]
+}
+
+// FreeSent recycles an entry removed from Unacked, returning its PDU (payload
+// included) to the wire pool. The caller must not touch e or e.PDU afterwards.
+func (s *TransferState) FreeSent(e *SentPDU) {
+	wire.PutPDU(e.PDU)
+	e.PDU = nil
+	if len(s.sentFree) < freeListCap {
+		s.sentFree = append(s.sentFree, e)
+	}
+}
+
+// NewRecv returns a reassembly entry from the state's free list.
+func (s *TransferState) NewRecv(p *wire.PDU, at time.Duration, recovered bool) *RecvPDU {
+	if n := len(s.recvFree); n > 0 {
+		e := s.recvFree[n-1]
+		s.recvFree = s.recvFree[:n-1]
+		*e = RecvPDU{PDU: p, ArrivedAt: at, Recovered: recovered}
+		return e
+	}
+	blk := make([]RecvPDU, entryBlock)
+	for i := 1; i < len(blk); i++ {
+		s.recvFree = append(s.recvFree, &blk[i])
+	}
+	blk[0] = RecvPDU{PDU: p, ArrivedAt: at, Recovered: recovered}
+	return &blk[0]
+}
+
+// FreeRecv recycles a reassembly entry after delivery, returning its PDU to
+// the wire pool (the payload must already have been handed off or released).
+func (s *TransferState) FreeRecv(e *RecvPDU) {
+	wire.PutPDU(e.PDU)
+	e.PDU = nil
+	if len(s.recvFree) < freeListCap {
+		s.recvFree = append(s.recvFree, e)
 	}
 }
 
@@ -128,8 +204,8 @@ func (s *TransferState) AckThrough(ack uint32) (acked int, sentAt time.Duration,
 					sentAt, ok = e.SentAt, true
 				}
 			}
-			e.PDU.ReleasePayload()
 			delete(s.Unacked, seq)
+			s.FreeSent(e)
 		}
 	}
 	s.SndUna = ack
@@ -139,16 +215,20 @@ func (s *TransferState) AckThrough(ack uint32) (acked int, sentAt time.Duration,
 
 // DrainInOrder removes and returns the contiguous run of buffered PDUs
 // starting at RcvNxt, advancing RcvNxt past them. Recovery strategies call
-// it after inserting arrivals into RcvBuf.
+// it after inserting arrivals into RcvBuf. The returned slice aliases a
+// per-state scratch buffer: it is valid only until the next DrainInOrder
+// call, which is fine for its callers (they consume the run synchronously).
 func (s *TransferState) DrainInOrder() []*RecvPDU {
-	var out []*RecvPDU
+	out := s.drainScratch[:0]
 	for {
 		e, present := s.RcvBuf[s.RcvNxt]
 		if !present {
-			return out
+			break
 		}
 		delete(s.RcvBuf, s.RcvNxt)
 		s.RcvNxt++
 		out = append(out, e)
 	}
+	s.drainScratch = out
+	return out
 }

@@ -12,6 +12,7 @@ package message
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -39,10 +40,29 @@ type buffer struct {
 
 // Message is a view onto a shared buffer. The zero value is not usable; use
 // New, NewFromBytes, or Alloc.
+//
+// Message structs are themselves pooled: every Release returns the view's
+// struct to the message pool (the final release additionally recycles the
+// backing buffer), so steady-state traffic allocates neither buffers nor
+// views.
 type Message struct {
 	buf *buffer
 	off int // start of the visible region within buf.data
 	n   int // visible length
+}
+
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// wrap binds a pooled (or fresh) Message struct to a buffer view. The
+// GC-immune backstop is tried before msgPool for the same reason as buffers:
+// every GC cycle flushes the sync.Pool and the refill allocations add up.
+func wrap(b *buffer, off, n int) *Message {
+	m, ok := msgBackstop.Get()
+	if !ok {
+		m = msgPool.Get().(*Message)
+	}
+	m.buf, m.off, m.n = b, off, n
+	return m
 }
 
 // Alloc returns a message with n bytes of zeroed payload, room for headroom
@@ -54,7 +74,7 @@ func Alloc(n, headroom int) *Message {
 	}
 	b := &buffer{data: make([]byte, headroom+n+DefaultTailroom), class: -1}
 	b.refs.Store(1)
-	return &Message{buf: b, off: headroom, n: n}
+	return wrap(b, headroom, n)
 }
 
 // New returns an empty message with DefaultHeadroom of header space and
@@ -65,7 +85,7 @@ func New(capHint int) *Message {
 	}
 	b := &buffer{data: make([]byte, DefaultHeadroom, DefaultHeadroom+capHint), class: -1}
 	b.refs.Store(1)
-	return &Message{buf: b, off: DefaultHeadroom, n: 0}
+	return wrap(b, DefaultHeadroom, 0)
 }
 
 // NewFromBytes copies p into a fresh message with default headroom.
@@ -89,11 +109,45 @@ func (b *buffer) incRef() {
 	}
 }
 
-// Retain increments the reference count, signaling an additional owner of the
-// backing buffer.
+// Retain increments the reference count and returns a new view of the same
+// buffer for the additional owner. It returns a distinct struct (like Clone)
+// because every view's Release recycles its struct: two owners sharing one
+// struct would double-recycle it.
 func (m *Message) Retain() *Message {
+	if m.buf == nil {
+		panic("message: retain after final release")
+	}
 	m.buf.incRef()
-	return m
+	return wrap(m.buf, m.off, m.n)
+}
+
+// BufPin is an opaque handle holding one buffer reference without a view
+// struct (see Message.Pin).
+type BufPin struct{ b *buffer }
+
+// Pin takes an extra reference on the backing buffer without allocating a
+// view. Encoders use it to keep the bytes alive across an emit callback that
+// may re-enter the protocol and release the caller's view: the pin survives
+// even though the view struct may be recycled underneath.
+func (m *Message) Pin() BufPin {
+	m.buf.incRef()
+	return BufPin{m.buf}
+}
+
+// Unpin drops the pinned reference (recycling the buffer when it was the
+// last one).
+func (p BufPin) Unpin() { releaseBuffer(p.b) }
+
+// Window returns the backing bytes from head bytes before the view start to
+// tail bytes past its end, without moving the view. The caller must ensure
+// Headroom() >= head and Tailroom() >= tail, and must hold a Pin while the
+// slice is in use.
+func (m *Message) Window(head, tail int) []byte {
+	m.check()
+	if head > m.off || m.off+m.n+tail > len(m.buf.data) {
+		panic(fmt.Sprintf("message: Window(%d,%d) with headroom %d tailroom %d", head, tail, m.Headroom(), m.Tailroom()))
+	}
+	return m.buf.data[m.off-head : m.off+m.n+tail]
 }
 
 // Release drops one reference. After the final release the message must not
@@ -102,8 +156,28 @@ func (m *Message) Retain() *Message {
 // offending call (the 0 -> -1 transition is detected before the decrement is
 // published, so a double release can never be observed as a transient valid
 // state by another owner).
+//
+// Every released view recycles its struct, not just the one performing the
+// final buffer release: segmented sends split one buffer into many views, so
+// non-final views dominate at scale. The struct is detached (buf nilled)
+// before recycling, which turns any use-after-release into a deterministic
+// panic via check.
 func (m *Message) Release() {
 	b := m.buf
+	if b == nil {
+		panic("message: release after final release")
+	}
+	releaseBuffer(b)
+	m.buf = nil
+	m.off, m.n = 0, 0
+	if !msgBackstop.Put(m) {
+		msgPool.Put(m)
+	}
+}
+
+// releaseBuffer drops one reference, recycling the buffer on the final
+// release; it reports whether this was the final release.
+func releaseBuffer(b *buffer) bool {
 	for {
 		cur := b.refs.Load()
 		if cur <= 0 {
@@ -112,8 +186,9 @@ func (m *Message) Release() {
 		if b.refs.CompareAndSwap(cur, cur-1) {
 			if cur == 1 {
 				recycle(b)
+				return true
 			}
-			return
+			return false
 		}
 	}
 }
@@ -138,9 +213,14 @@ func (m *Message) Headroom() int { return m.off }
 // backing buffer.
 func (m *Message) Tailroom() int { return len(m.buf.data) - (m.off + m.n) }
 
-// check panics under poison mode when the message's buffer has already been
-// fully released (use-after-final-release detection on the read path).
+// check panics when the message's buffer has already been fully released
+// (use-after-final-release detection on the read path). The struct-pooling
+// nil-out on final release makes the cheap nil check catch most misuse even
+// outside poison mode.
 func (m *Message) check() {
+	if m.buf == nil {
+		panic("message: use after final release")
+	}
 	if poisonMode.Load() && m.buf.refs.Load() <= 0 {
 		panic("message: use after final release")
 	}
@@ -218,7 +298,7 @@ func (m *Message) Append(p []byte) {
 // storage, bumps the reference count.
 func (m *Message) Clone() *Message {
 	m.buf.incRef()
-	return &Message{buf: m.buf, off: m.off, n: m.n}
+	return wrap(m.buf, m.off, m.n)
 }
 
 // Split divides the message at offset at: the receiver keeps [0,at) and the
@@ -230,7 +310,7 @@ func (m *Message) Split(at int) *Message {
 		panic(fmt.Sprintf("message: Split(%d) with len %d", at, m.n))
 	}
 	m.buf.incRef()
-	rest := &Message{buf: m.buf, off: m.off + at, n: m.n - at}
+	rest := wrap(m.buf, m.off+at, m.n-at)
 	m.n = at
 	return rest
 }
@@ -244,7 +324,10 @@ func (m *Message) CopyOnWrite(headroom int) *Message {
 	}
 	nb := getBuffer(headroom + m.n + DefaultTailroom)
 	copy(nb.data[headroom:], m.Bytes())
-	m.Release()
+	// Drop the old buffer via releaseBuffer, not Release: this struct stays
+	// live (it now views nb), so it must not be recycled even when this was
+	// the old buffer's final reference.
+	releaseBuffer(m.buf)
 	m.buf = nb
 	m.off = headroom
 	return m

@@ -21,6 +21,12 @@ type Sequenced struct {
 	held    map[uint32]mechanism.Delivery
 	max     int // cap on held entries; overflow drops newest (backpressure)
 	Dropped uint64
+
+	// out is the reusable delivery slice returned by Submit/Skip/Flush.
+	// Callers consume the run synchronously before the next submission (the
+	// session delivers inline), so one scratch buffer per orderer suffices
+	// and steady-state delivery allocates nothing.
+	out []mechanism.Delivery
 }
 
 var _ mechanism.Orderer = (*Sequenced)(nil)
@@ -52,16 +58,18 @@ func (s *Sequenced) Submit(seq uint32, m *message.Message, eom bool) []mechanism
 		return nil
 	}
 	s.held[seq] = mechanism.Delivery{Seq: seq, Msg: m, EOM: eom}
-	var out []mechanism.Delivery
+	out := s.out[:0]
 	for {
 		d, ok := s.held[s.next]
 		if !ok {
-			return out
+			break
 		}
 		delete(s.held, s.next)
 		s.next++
 		out = append(out, d)
 	}
+	s.out = out
+	return out
 }
 
 // Skip abandons sequences below seq (loss-tolerant gap abandonment): held
@@ -72,7 +80,7 @@ func (s *Sequenced) Skip(seq uint32) []mechanism.Delivery {
 	}
 	// Deliver everything in [next, seq) that did arrive, in order, then
 	// continue the contiguous run from seq.
-	var out []mechanism.Delivery
+	out := s.out[:0]
 	for q := s.next; q < seq; q++ {
 		if d, ok := s.held[q]; ok {
 			delete(s.held, q)
@@ -83,12 +91,14 @@ func (s *Sequenced) Skip(seq uint32) []mechanism.Delivery {
 	for {
 		d, ok := s.held[s.next]
 		if !ok {
-			return out
+			break
 		}
 		delete(s.held, s.next)
 		s.next++
 		out = append(out, d)
 	}
+	s.out = out
+	return out
 }
 
 // Flush releases all held messages in sequence order (teardown).
@@ -123,6 +133,10 @@ type Unordered struct {
 	ring       []uint32
 	ringPos    int
 	Duplicates uint64
+
+	// out is the reusable single-delivery slice returned by Submit; callers
+	// consume it synchronously before the next submission.
+	out [1]mechanism.Delivery
 }
 
 var _ mechanism.Orderer = (*Unordered)(nil)
@@ -159,7 +173,8 @@ func (u *Unordered) Submit(seq uint32, m *message.Message, eom bool) []mechanism
 		u.seen[seq] = true
 		u.ringPos = (u.ringPos + 1) % len(u.ring)
 	}
-	return []mechanism.Delivery{{Seq: seq, Msg: m, EOM: eom}}
+	u.out[0] = mechanism.Delivery{Seq: seq, Msg: m, EOM: eom}
+	return u.out[:]
 }
 
 // Skip is a no-op for unordered delivery: nothing is ever held back.

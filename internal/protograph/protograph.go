@@ -288,9 +288,10 @@ func (st *Stack) onPacket(pkt []byte, from netapi.Addr) {
 			return
 		}
 	}
-	pdu, err := wire.Decode(p)
-	if err != nil {
+	pdu := wire.GetPDU()
+	if err := wire.DecodeInto(p, pdu); err != nil {
 		st.stats.DecodeErrors++
+		wire.PutPDU(pdu)
 		return
 	}
 	st.dispatch(pdu, from)
@@ -299,6 +300,8 @@ func (st *Stack) onPacket(pkt []byte, from netapi.Addr) {
 func (st *Stack) dispatch(p *wire.PDU, from netapi.Addr) {
 	switch p.Type {
 	case wire.TSignal, wire.TProbe:
+		// The handler takes ownership and may retain the PDU; losing it to
+		// the GC instead of the pool is always safe.
 		if st.SignalHandler != nil {
 			st.SignalHandler(p, from)
 		} else {
@@ -314,13 +317,13 @@ func (st *Stack) dispatch(p *wire.PDU, from netapi.Addr) {
 	l := st.listeners[p.DstPort]
 	if l == nil {
 		st.stats.UnmatchedPDUs++
-		p.ReleasePayload()
+		wire.PutPDU(p)
 		return
 	}
 	spec, ok := st.proposalFrom(p)
 	if !ok {
 		st.stats.UnmatchedPDUs++
-		p.ReleasePayload()
+		wire.PutPDU(p)
 		return
 	}
 	if l.Adjust != nil {
@@ -332,7 +335,7 @@ func (st *Stack) dispatch(p *wire.PDU, from netapi.Addr) {
 	s, err := st.CreatePassiveSession(p.ConnID, spec, from, p.DstPort, p.SrcPort)
 	if err != nil {
 		st.stats.UnmatchedPDUs++
-		p.ReleasePayload()
+		wire.PutPDU(p)
 		return
 	}
 	if l.OnAccept != nil {

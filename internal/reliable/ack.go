@@ -21,7 +21,7 @@ import (
 // ack traffic, and with it kernel events per delivered packet, flat as
 // per-drain burst sizes grow.
 type delayedAcker struct {
-	timer     *event.Event
+	timer     *event.Event // created once, re-armed with Reset thereafter
 	pending   bool
 	sinceAck  int
 	lastAt    time.Duration // virtual instant of the last coalesced PDU
@@ -49,7 +49,14 @@ func (d *delayedAcker) ack(e mechanism.Env) {
 		return
 	}
 	d.pending = true
-	d.timer = e.Timers().Schedule(delay, func() { d.flush(e) })
+	if d.timer == nil {
+		// The env is the same value on every call for this session, so the
+		// closure (and its Event) is built once and re-armed thereafter.
+		env := e
+		d.timer = e.Timers().Schedule(delay, func() { d.flush(env) })
+	} else {
+		d.timer.Reset(delay)
+	}
 }
 
 // ackNow acknowledges immediately (gap/duplicate signals must not wait).
@@ -59,7 +66,6 @@ func (d *delayedAcker) ackNow(e mechanism.Env) { d.flush(e) }
 func (d *delayedAcker) flush(e mechanism.Env) {
 	if d.timer != nil {
 		d.timer.Cancel()
-		d.timer = nil
 	}
 	if d.pending && d.sinceAck > 1 {
 		saved := uint64(d.sinceAck - 1)
@@ -78,6 +84,5 @@ func (d *delayedAcker) stop(e mechanism.Env) {
 		d.flush(e)
 	} else if d.timer != nil {
 		d.timer.Cancel()
-		d.timer = nil
 	}
 }

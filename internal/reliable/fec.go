@@ -36,15 +36,19 @@ type FEC struct {
 	sndBase  uint32
 	sndMax   int // largest (2+payload) block in the current group
 
-	// Receiver side: per-group accumulators.
-	groups map[uint32]*fecGroup
+	// Receiver side: per-group accumulators, recycled through a bounded
+	// free list as groups complete (one group dies every k packets on the
+	// hot path).
+	groups     map[uint32]*fecGroup
+	freeGroups []*fecGroup
 
 	// Gap abandonment (loss-tolerant mode).
 	gapTimer *event.Event
 
 	// Hybrid fallback throttles.
-	lastRetx map[uint32]time.Duration
-	lastNak  map[uint32]time.Duration
+	lastRetx   map[uint32]time.Duration
+	lastNak    map[uint32]time.Duration
+	nakScratch []uint32 // reused missing-sequence list (valid within one nakGaps call)
 }
 
 type fecGroup struct {
@@ -53,6 +57,18 @@ type fecGroup struct {
 	count  int
 	parity []byte
 	m      int // group size announced by the parity PDU (0 until it arrives)
+}
+
+// reset prepares a recycled group for a new base, keeping its backing arrays.
+func (g *fecGroup) reset(bs int) {
+	if cap(g.acc) < bs {
+		g.acc = make([]byte, bs)
+	} else {
+		g.acc = g.acc[:bs]
+		clear(g.acc)
+	}
+	g.got, g.count, g.m = 0, 0, 0
+	g.parity = g.parity[:0]
 }
 
 var _ mechanism.Recovery = (*FEC)(nil)
@@ -107,10 +123,17 @@ func xorInto(acc []byte, payload []byte, eom bool) {
 // the parity PDU when the group completes.
 func (f *FEC) OnSendData(e mechanism.Env, p *wire.PDU) {
 	k := e.Spec().FECGroup
-	if f.sndAcc == nil {
-		f.sndAcc = make([]byte, blockSize(e))
+	if f.sndCount == 0 {
+		// Group start: reuse the accumulator from the previous group
+		// (zeroing in place) instead of allocating a fresh one per group.
+		bs := blockSize(e)
+		if cap(f.sndAcc) < bs {
+			f.sndAcc = make([]byte, bs)
+		} else {
+			f.sndAcc = f.sndAcc[:bs]
+			clear(f.sndAcc)
+		}
 		f.sndBase = p.Seq
-		f.sndCount = 0
 		f.sndMax = 0
 	}
 	xorInto(f.sndAcc, p.PayloadBytes(), p.Flags&wire.FlagEOM != 0)
@@ -140,14 +163,14 @@ func (f *FEC) emitParity(e mechanism.Env) {
 	if f.sndMax > 0 && f.sndMax < len(block) {
 		block = block[:f.sndMax]
 	}
-	p := &wire.PDU{
-		Header:  wire.Header{Type: wire.TParity, Seq: f.sndBase, Aux: uint16(f.sndCount)},
-		Payload: message.NewFromBytes(block),
-	}
+	pm := message.AllocPooled(len(block), message.DefaultHeadroom)
+	copy(pm.Bytes(), block)
+	p := &e.State().CtrlScratch
+	p.Header = wire.Header{Type: wire.TParity, Seq: f.sndBase, Aux: uint16(f.sndCount)}
+	p.Payload = pm
 	e.Metrics().Count("rel.parity_sent", 1)
 	e.EmitControl(p)
 	p.ReleasePayload()
-	f.sndAcc = nil
 	f.sndCount = 0
 }
 
@@ -189,8 +212,8 @@ func (f *FEC) OnRTO(e mechanism.Env) {
 	// a loss-tolerant sender never blocks on history.
 	f.emitParity(e)
 	for seq, entry := range st.Unacked {
-		entry.PDU.ReleasePayload()
 		delete(st.Unacked, seq)
+		st.FreeSent(entry)
 	}
 	st.SndUna = st.SndNxt
 	e.Pump()
@@ -201,13 +224,13 @@ func (f *FEC) OnRTO(e mechanism.Env) {
 func (f *FEC) OnData(e mechanism.Env, p *wire.PDU) {
 	st := e.State()
 	if p.Seq < st.RcvNxt {
-		p.ReleasePayload()
+		wire.PutPDU(p)
 		e.Metrics().Count("rel.duplicates", 1)
 		sendCumAck(e)
 		return
 	}
 	if _, dup := st.RcvBuf[p.Seq]; dup {
-		p.ReleasePayload()
+		wire.PutPDU(p)
 		e.Metrics().Count("rel.duplicates", 1)
 		sendCumAck(e)
 		return
@@ -220,7 +243,7 @@ func (f *FEC) OnData(e mechanism.Env, p *wire.PDU) {
 		g.got |= 1 << idx
 		g.count++
 	}
-	st.RcvBuf[p.Seq] = &mechanism.RecvPDU{PDU: p, ArrivedAt: e.Clock().Now()}
+	st.RcvBuf[p.Seq] = st.NewRecv(p, e.Clock().Now(), false)
 	f.tryReconstruct(e, p.Seq/k*k)
 	f.afterArrival(e)
 }
@@ -235,7 +258,7 @@ func (f *FEC) OnParity(e mechanism.Env, p *wire.PDU) {
 	}
 	g := f.group(e, base)
 	g.m = int(p.Aux)
-	g.parity = append([]byte(nil), p.PayloadBytes()...)
+	g.parity = append(g.parity[:0], p.PayloadBytes()...)
 	f.tryReconstruct(e, base)
 	f.afterArrival(e)
 }
@@ -243,7 +266,13 @@ func (f *FEC) OnParity(e mechanism.Env, p *wire.PDU) {
 func (f *FEC) group(e mechanism.Env, base uint32) *fecGroup {
 	g, ok := f.groups[base]
 	if !ok {
-		g = &fecGroup{acc: make([]byte, blockSize(e))}
+		if n := len(f.freeGroups); n > 0 {
+			g = f.freeGroups[n-1]
+			f.freeGroups = f.freeGroups[:n-1]
+			g.reset(blockSize(e))
+		} else {
+			g = &fecGroup{acc: make([]byte, blockSize(e))}
+		}
 		f.groups[base] = g
 	}
 	return g
@@ -253,7 +282,7 @@ func (f *FEC) group(e mechanism.Env, base uint32) *fecGroup {
 // plus all other members are present.
 func (f *FEC) tryReconstruct(e mechanism.Env, base uint32) {
 	g, ok := f.groups[base]
-	if !ok || g.parity == nil || g.m == 0 || g.count != g.m-1 {
+	if !ok || len(g.parity) == 0 || g.m == 0 || g.count != g.m-1 {
 		return
 	}
 	st := e.State()
@@ -290,14 +319,16 @@ func (f *FEC) tryReconstruct(e mechanism.Env, base uint32) {
 	if _, dup := st.RcvBuf[seq]; dup {
 		return
 	}
-	pdu := &wire.PDU{
-		Header:  wire.Header{Type: wire.TData, Seq: seq},
-		Payload: message.NewFromBytes(block[2 : 2+n]),
-	}
+	pdu := wire.GetPDU()
+	pdu.Type = wire.TData
+	pdu.Seq = seq
+	pl := message.AllocPooled(n, message.DefaultHeadroom)
+	copy(pl.Bytes(), block[2:2+n])
+	pdu.Payload = pl
 	if eom {
 		pdu.Flags |= wire.FlagEOM
 	}
-	st.RcvBuf[seq] = &mechanism.RecvPDU{PDU: pdu, ArrivedAt: e.Clock().Now(), Recovered: true}
+	st.RcvBuf[seq] = st.NewRecv(pdu, e.Clock().Now(), true)
 	st.FECRecovered++
 	e.Tracer().Emit(e.Clock().Now(), trace.KFECRepair, e.ConnID(), uint64(seq), 0, 0)
 	e.Metrics().Count("rel.fec_recovered", 1)
@@ -317,9 +348,12 @@ func (f *FEC) afterArrival(e mechanism.Env) {
 		f.nakGaps(e)
 		return
 	}
-	if f.gapTimer == nil || !f.gapTimer.Pending() {
+	if f.gapTimer == nil {
 		dl := e.Spec().GapDeadline
-		f.gapTimer = e.Timers().Schedule(dl, func() { f.abandonGaps(e) })
+		env := e
+		f.gapTimer = e.Timers().Schedule(dl, func() { f.abandonGaps(env) })
+	} else if !f.gapTimer.Pending() {
+		f.gapTimer.Reset(e.Spec().GapDeadline)
 	}
 }
 
@@ -335,7 +369,7 @@ func (f *FEC) nakGaps(e mechanism.Env) {
 	}
 	now := e.Clock().Now()
 	gap := minRetxGap(st)
-	var missing []uint32
+	missing := f.nakScratch[:0]
 	for q := st.RcvNxt; q < max && len(missing) < maxNakList; q++ {
 		if _, have := st.RcvBuf[q]; have {
 			continue
@@ -346,9 +380,12 @@ func (f *FEC) nakGaps(e mechanism.Env) {
 		f.lastNak[q] = now
 		missing = append(missing, q)
 	}
+	f.nakScratch = missing
 	if len(missing) > 0 {
 		e.Metrics().Count("rel.naks_sent", 1)
-		e.EmitControl(EncodeNak(missing))
+		p := EncodeNak(missing)
+		e.EmitControl(p)
+		wire.PutPDU(p) // EmitControl copies synchronously; recycle PDU + payload
 	}
 }
 
@@ -388,7 +425,7 @@ func (f *FEC) abandonGaps(e mechanism.Env) {
 		f.gcGroups(e)
 	}
 	if len(st.RcvBuf) > 0 {
-		f.gapTimer = e.Timers().Schedule(dl, func() { f.abandonGaps(e) })
+		f.gapTimer.Reset(dl)
 	}
 }
 
@@ -396,9 +433,12 @@ func (f *FEC) abandonGaps(e mechanism.Env) {
 func (f *FEC) gcGroups(e mechanism.Env) {
 	st := e.State()
 	k := uint32(e.Spec().FECGroup)
-	for base := range f.groups {
+	for base, g := range f.groups {
 		if base+k <= st.RcvNxt {
 			delete(f.groups, base)
+			if len(f.freeGroups) < 64 {
+				f.freeGroups = append(f.freeGroups, g)
+			}
 		}
 	}
 }

@@ -50,20 +50,31 @@ func pruneStale(m map[uint32]time.Duration, floor uint32) {
 }
 
 // sendCumAck emits a cumulative acknowledgment for everything below RcvNxt.
+// The ack is built in the TransferState's reusable control-PDU slot, so
+// steady-state acking allocates nothing.
 func sendCumAck(e mechanism.Env) {
-	ack := e.State().RcvNxt
+	st := e.State()
+	ack := st.RcvNxt
 	if tr := e.Tracer(); tr != nil {
 		tr.EmitKeyed(uint64(ack), e.Clock().Now(), trace.KAckSend, e.ConnID(), uint64(ack), 0, 0)
 	}
-	e.EmitControl(&wire.PDU{Header: wire.Header{Type: wire.TAck, Ack: ack}})
+	p := &st.CtrlScratch
+	p.Header = wire.Header{Type: wire.TAck, Ack: ack}
+	p.Payload = nil
+	e.EmitControl(p)
 }
 
-// deliverRun releases a contiguous run drained from RcvBuf.
+// deliverRun releases a contiguous run drained from RcvBuf, recycling each
+// entry (and its PDU) once the payload has been handed up.
 func deliverRun(e mechanism.Env, run []*mechanism.RecvPDU) {
+	st := e.State()
 	for _, r := range run {
 		eom := r.PDU.Flags&wire.FlagEOM != 0
-		e.ReleaseData(r.PDU.Seq, r.PDU.Payload, eom)
-		r.PDU.Payload = nil // ownership moved up
+		seq := r.PDU.Seq
+		pl := r.PDU.Payload
+		r.PDU.Payload = nil // ownership moves up
+		st.FreeRecv(r)
+		e.ReleaseData(seq, pl, eom)
 	}
 }
 
@@ -106,10 +117,15 @@ func (*None) Reliable() bool { return false }
 // only send governor, as with real datagram protocols).
 func (*None) OnSendData(e mechanism.Env, p *wire.PDU) {
 	st := e.State()
-	delete(st.Unacked, p.Seq)
-	p.ReleasePayload()
-	if p.Seq >= st.SndUna {
-		st.SndUna = p.Seq + 1
+	seq := p.Seq
+	if entry, ok := st.Unacked[seq]; ok {
+		delete(st.Unacked, seq)
+		st.FreeSent(entry) // recycles p and its payload
+	} else {
+		p.ReleasePayload()
+	}
+	if seq >= st.SndUna {
+		st.SndUna = seq + 1
 	}
 }
 
@@ -120,12 +136,15 @@ func (*None) OnRTO(mechanism.Env)            {}
 // OnData delivers immediately; ordering/duplicates are the Orderer's job.
 func (*None) OnData(e mechanism.Env, p *wire.PDU) {
 	st := e.State()
-	if p.Seq >= st.RcvNxt {
-		st.RcvNxt = p.Seq + 1
+	seq := p.Seq
+	if seq >= st.RcvNxt {
+		st.RcvNxt = seq + 1
 	}
 	eom := p.Flags&wire.FlagEOM != 0
-	e.ReleaseData(p.Seq, p.Payload, eom)
+	pl := p.Payload
 	p.Payload = nil
+	wire.PutPDU(p)
+	e.ReleaseData(seq, pl, eom)
 }
 
 func (*None) OnParity(mechanism.Env, *wire.PDU) {}
@@ -193,8 +212,11 @@ func (g *GoBackN) OnData(e mechanism.Env, p *wire.PDU) {
 	case p.Seq == st.RcvNxt:
 		st.RcvNxt++
 		eom := p.Flags&wire.FlagEOM != 0
-		e.ReleaseData(p.Seq, p.Payload, eom)
+		seq := p.Seq
+		pl := p.Payload
 		p.Payload = nil
+		wire.PutPDU(p)
+		e.ReleaseData(seq, pl, eom)
 		// Data buffered by a pre-segue selective-repeat phase is still
 		// deliverable: drain any contiguous run it left behind.
 		deliverRun(e, st.DrainInOrder())
@@ -202,7 +224,7 @@ func (g *GoBackN) OnData(e mechanism.Env, p *wire.PDU) {
 	default:
 		// Out of order or duplicate: drop, re-ack immediately (duplicate
 		// acks drive the sender's fast retransmit).
-		p.ReleasePayload()
+		wire.PutPDU(p)
 		e.Metrics().Count("rel.ooo_discarded", 1)
 		g.acker.ackNow(e)
 	}
@@ -224,9 +246,10 @@ func (g *GoBackN) ImportState(st any) {
 // PDUs so the sender retransmits only what was lost — more receiver memory,
 // far less redundant traffic on lossy or long-delay paths.
 type SelectiveRepeat struct {
-	lastRetx map[uint32]time.Duration
-	lastNak  map[uint32]time.Duration
-	acker    delayedAcker
+	lastRetx   map[uint32]time.Duration
+	lastNak    map[uint32]time.Duration
+	acker      delayedAcker
+	nakScratch []uint32 // reused missing-sequence list (valid within one nakGaps call)
 
 	// DisableThrottle turns off the per-sequence NAK/retransmission
 	// pacing guards (ablation A3 measures what they are worth; never
@@ -296,18 +319,18 @@ func (s *SelectiveRepeat) OnData(e mechanism.Env, p *wire.PDU) {
 	inOrder := false
 	switch {
 	case p.Seq < st.RcvNxt:
-		p.ReleasePayload()
+		wire.PutPDU(p)
 		e.Metrics().Count("rel.duplicates", 1)
 	case len(st.RcvBuf) >= st.RcvBufCap && p.Seq != st.RcvNxt:
-		p.ReleasePayload()
+		wire.PutPDU(p)
 		e.Metrics().Count("rel.rcvbuf_overflow", 1)
 	default:
 		if _, dup := st.RcvBuf[p.Seq]; dup {
-			p.ReleasePayload()
+			wire.PutPDU(p)
 			e.Metrics().Count("rel.duplicates", 1)
 		} else {
 			inOrder = p.Seq == st.RcvNxt
-			st.RcvBuf[p.Seq] = &mechanism.RecvPDU{PDU: p, ArrivedAt: e.Clock().Now()}
+			st.RcvBuf[p.Seq] = st.NewRecv(p, e.Clock().Now(), false)
 			deliverRun(e, st.DrainInOrder())
 		}
 	}
@@ -336,7 +359,7 @@ func (s *SelectiveRepeat) nakGaps(e mechanism.Env) {
 	}
 	now := e.Clock().Now()
 	gap := minRetxGap(st)
-	var missing []uint32
+	missing := s.nakScratch[:0]
 	for q := st.RcvNxt; q < max && len(missing) < maxNakList; q++ {
 		if _, have := st.RcvBuf[q]; have {
 			continue
@@ -347,9 +370,12 @@ func (s *SelectiveRepeat) nakGaps(e mechanism.Env) {
 		s.lastNak[q] = now
 		missing = append(missing, q)
 	}
+	s.nakScratch = missing
 	if len(missing) > 0 {
 		e.Metrics().Count("rel.naks_sent", 1)
-		e.EmitControl(EncodeNak(missing))
+		p := EncodeNak(missing)
+		e.EmitControl(p)
+		wire.PutPDU(p) // EmitControl copies synchronously; recycle PDU + payload
 	}
 }
 
@@ -382,7 +408,8 @@ func EncodeNak(missing []uint32) *wire.PDU {
 	for i, q := range missing {
 		binary.BigEndian.PutUint32(buf[4*i:], q)
 	}
-	p := &wire.PDU{Header: wire.Header{Type: wire.TNak, Aux: uint16(len(missing))}}
+	p := wire.GetPDU()
+	p.Header = wire.Header{Type: wire.TNak, Aux: uint16(len(missing))}
 	p.Payload = m
 	return p
 }

@@ -94,10 +94,29 @@ type Session struct {
 	noteCb func(mechanism.Notification)
 
 	sendQ     []queuedSeg
-	rtoTimer  *event.Event
+	sendQH    int // consumed prefix of sendQ (head index)
 	pumpTimer *event.Event
 	kaTimer   *event.Event  // keepalive probe / dead-peer check
 	lastHeard time.Duration // virtual time of the last PDU from the peer
+
+	// armRTO runs on every send and every ack, so the retransmission timer
+	// is a single Event re-armed with Reset; the canceled-and-rescheduled
+	// kernel events it leaves in the wheel are recycled from block-allocated
+	// free lists, so the churn costs no steady-state allocation.
+	rtoTimer *event.Event
+	rtoFn    func() // s.onRTO bound once
+
+	// Closure-free transmit path: emitFn is s.emitPacket bound once; the tx*
+	// scalars carry the per-packet trace fields from transmitPDU into
+	// emitPacket without capturing the PDU (which would force control PDUs to
+	// escape to the heap). They are read before the packet is handed to the
+	// network, so synchronous re-entry cannot clobber an emit in progress.
+	emitFn func(pkt []byte) error
+	txSeq  uint64
+	txAck  uint64
+	txType uint64
+
+	pumpFn func() // s.pump bound once for the rate-gap timer
 
 	peerAdvert     int
 	closing        bool
@@ -143,6 +162,12 @@ func New(p Params) *Session {
 	if s.metrics == nil {
 		s.metrics = mechanism.NopSink{}
 	}
+	s.emitFn = s.emitPacket
+	s.pumpFn = s.pump
+	s.rtoFn = s.onRTO
+	// One up-front queue slab instead of append's doubling walk: a sender
+	// session reaches its steady backlog depth without reallocating.
+	s.sendQ = make([]queuedSeg, 0, 16)
 	return s
 }
 
@@ -212,7 +237,7 @@ func (s *Session) Close() {
 	}
 	s.closing = true
 	s.graceful = s.spec.Graceful
-	if s.graceful && s.slots.Recovery.Reliable() && (len(s.sendQ) > 0 || s.state.InFlight() > 0) {
+	if s.graceful && s.slots.Recovery.Reliable() && (s.queuedLen() > 0 || s.state.InFlight() > 0) {
 		return // close completes when the drain finishes (see maybeFinishClose)
 	}
 	s.finishClose()
@@ -262,17 +287,59 @@ func (s *Session) Abort(why string) {
 }
 
 func (s *Session) maybeFinishClose() {
-	if s.closing && len(s.sendQ) == 0 && s.state.InFlight() == 0 && !s.slots.Conn.Closed() {
+	if s.closing && s.queuedLen() == 0 && s.state.InFlight() == 0 && !s.slots.Conn.Closed() {
 		s.finishClose()
 	}
+}
+
+// --- send queue (head-indexed FIFO; the backing array is reused instead of
+// resliced away, so steady-state queue churn allocates nothing) ---
+
+func (s *Session) queuedLen() int { return len(s.sendQ) - s.sendQH }
+
+func (s *Session) pushSeg(q queuedSeg) { s.sendQ = append(s.sendQ, q) }
+
+// pushSegFront re-queues a segment at the head (implicit-config re-split).
+func (s *Session) pushSegFront(q queuedSeg) {
+	if s.sendQH > 0 {
+		s.sendQH--
+		s.sendQ[s.sendQH] = q
+		return
+	}
+	s.sendQ = append(s.sendQ, queuedSeg{})
+	copy(s.sendQ[1:], s.sendQ)
+	s.sendQ[0] = q
+}
+
+func (s *Session) popSeg() queuedSeg {
+	q := s.sendQ[s.sendQH]
+	s.sendQ[s.sendQH] = queuedSeg{} // drop the message reference
+	s.sendQH++
+	if s.sendQH == len(s.sendQ) {
+		s.sendQ = s.sendQ[:0]
+		s.sendQH = 0
+	} else if s.sendQH >= 256 && s.sendQH*2 >= len(s.sendQ) {
+		// Compact a long-lived backlog so the array cannot grow without
+		// bound while the queue never fully drains.
+		n := copy(s.sendQ, s.sendQ[s.sendQH:])
+		for i := n; i < len(s.sendQ); i++ {
+			s.sendQ[i] = queuedSeg{}
+		}
+		s.sendQ = s.sendQ[:n]
+		s.sendQH = 0
+	}
+	return q
 }
 
 var errClosed = errors.New("session: closed")
 
 // Send segments data into MSS-sized segments and queues them for
-// transmission under the window, rate, and establishment gates.
+// transmission under the window, rate, and establishment gates. The data is
+// copied into a pooled message, so the caller keeps ownership of data.
 func (s *Session) Send(data []byte) error {
-	return s.SendMessage(message.NewFromBytes(data))
+	m := message.AllocPooled(len(data), message.DefaultHeadroom)
+	copy(m.Bytes(), data)
+	return s.SendMessage(m)
 }
 
 // SendMessage queues a message (ownership transfers to the session). The
@@ -286,16 +353,16 @@ func (s *Session) SendMessage(m *message.Message) error {
 	mss := s.spec.MSS
 	for m.Len() > mss {
 		rest := m.Split(mss)
-		s.sendQ = append(s.sendQ, queuedSeg{msg: m, eom: false})
+		s.pushSeg(queuedSeg{msg: m, eom: false})
 		m = rest
 	}
-	s.sendQ = append(s.sendQ, queuedSeg{msg: m, eom: true})
+	s.pushSeg(queuedSeg{msg: m, eom: true})
 	s.pump()
 	return nil
 }
 
 // QueuedSegments returns the number of segments awaiting transmission.
-func (s *Session) QueuedSegments() int { return len(s.sendQ) }
+func (s *Session) QueuedSegments() int { return s.queuedLen() }
 
 // --- transmit pipeline ---
 
@@ -308,20 +375,21 @@ func (s *Session) pump() {
 	if !s.slots.Conn.Established() {
 		return
 	}
-	for len(s.sendQ) > 0 {
+	for s.queuedLen() > 0 {
 		if !s.slots.Window.CanSend(s.state.InFlight(), s.peerAdvert) {
 			return
 		}
-		seg := s.sendQ[0]
+		seg := s.sendQ[s.sendQH]
 		d := s.slots.Rate.Delay(s.clock.Now(), seg.msg.Len()+wire.Overhead)
 		if d > 0 {
-			if s.pumpTimer == nil || !s.pumpTimer.Pending() {
-				s.pumpTimer = s.timers.Schedule(d, s.pump)
+			if s.pumpTimer == nil {
+				s.pumpTimer = s.timers.Schedule(d, s.pumpFn)
+			} else if !s.pumpTimer.Pending() {
+				s.pumpTimer.Reset(d)
 			}
 			return
 		}
-		s.sendQ = s.sendQ[1:]
-		s.emitSegment(seg)
+		s.emitSegment(s.popSeg())
 	}
 	if s.state.InFlight() == 0 {
 		s.notify(mechanism.Notification{Kind: mechanism.NoteSendQueueEmpty})
@@ -340,16 +408,16 @@ func (s *Session) emitSegment(seg queuedSeg) {
 	blob := s.slots.Conn.Piggyback(s.env())
 	if len(blob) > 0 && seg.msg.Len()+len(blob) > s.spec.MSS {
 		rest := seg.msg.Split(s.spec.MSS - len(blob))
-		s.sendQ = append([]queuedSeg{{msg: rest, eom: seg.eom}}, s.sendQ...)
+		s.pushSegFront(queuedSeg{msg: rest, eom: seg.eom})
 		seg.eom = false
 	}
 
 	seq := st.SndNxt
 	st.SndNxt++
-	p := &wire.PDU{
-		Header:  wire.Header{Type: wire.TData, Seq: seq},
-		Payload: seg.msg,
-	}
+	p := wire.GetPDU()
+	p.Type = wire.TData
+	p.Seq = seq
+	p.Payload = seg.msg
 	if seg.eom {
 		p.Flags |= wire.FlagEOM
 	}
@@ -363,7 +431,7 @@ func (s *Session) emitSegment(seg queuedSeg) {
 		p.Payload = withCfg
 	}
 
-	st.Unacked[seq] = &mechanism.SentPDU{PDU: p, SentAt: s.clock.Now()}
+	st.Unacked[seq] = st.NewSent(p, s.clock.Now())
 	size := wire.Overhead
 	if p.Payload != nil {
 		size += p.Payload.Len()
@@ -375,8 +443,8 @@ func (s *Session) emitSegment(seg queuedSeg) {
 		// Multicast senders keep no per-receiver state: no ack-driven
 		// buffer (ack implosion is suppressed receiver-side too).
 		if e, ok := st.Unacked[seq]; ok {
-			e.PDU.ReleasePayload()
 			delete(st.Unacked, seq)
+			st.FreeSent(e)
 		}
 		if st.SndUna <= seq {
 			st.SndUna = seq + 1
@@ -399,20 +467,28 @@ func (s *Session) transmitPDU(p *wire.PDU) {
 		p.Flags |= wire.FlagSegueMark
 		s.markSegue = false
 	}
-	wire.EncodeTo(p, s.spec.Checksum, func(pkt []byte) error {
-		s.SentPDUs++
-		s.SentBytes += uint64(len(pkt))
-		if s.tracer != nil {
-			s.tracer.EmitKeyed(uint64(p.Seq)|uint64(p.Ack), s.clock.Now(), trace.KPDUSend,
-				s.connID, uint64(p.Seq), uint64(p.Type), uint64(len(pkt)))
-		}
-		s.metrics.Count("pdu.sent", 1)
-		s.metrics.Count("bytes.sent", uint64(len(pkt)))
-		if err := s.out.Transmit(pkt, s.peerNet); err != nil {
-			s.metrics.Count("pdu.send_errors", 1)
-		}
-		return nil
-	})
+	s.txSeq = uint64(p.Seq)
+	s.txAck = uint64(p.Ack)
+	s.txType = uint64(p.Type)
+	wire.EncodeTo(p, s.spec.Checksum, s.emitFn)
+}
+
+// emitPacket is the EncodeTo sink: it counts, traces, and hands the packet to
+// the network. Bound once per session (see emitFn) so transmission builds no
+// closure per PDU.
+func (s *Session) emitPacket(pkt []byte) error {
+	s.SentPDUs++
+	s.SentBytes += uint64(len(pkt))
+	if s.tracer != nil {
+		s.tracer.EmitKeyed(s.txSeq|s.txAck, s.clock.Now(), trace.KPDUSend,
+			s.connID, s.txSeq, s.txType, uint64(len(pkt)))
+	}
+	s.metrics.Count("pdu.sent", 1)
+	s.metrics.Count("bytes.sent", uint64(len(pkt)))
+	if err := s.out.Transmit(pkt, s.peerNet); err != nil {
+		s.metrics.Count("pdu.send_errors", 1)
+	}
+	return nil
 }
 
 // rtoConsumer marks recovery mechanisms that make progress on RTO expiry
@@ -439,10 +515,11 @@ func (s *Session) armRTO() {
 		}
 		return
 	}
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
+	if s.rtoTimer == nil {
+		s.rtoTimer = s.timers.Schedule(s.state.RTO, s.rtoFn)
+	} else {
+		s.rtoTimer.Reset(s.state.RTO)
 	}
-	s.rtoTimer = s.timers.Schedule(s.state.RTO, s.onRTO)
 }
 
 func (s *Session) onRTO() {
@@ -477,12 +554,12 @@ func (s *Session) HandlePDU(p *wire.PDU) {
 		if p.Flags&wire.FlagEcho == 0 && !s.slots.Conn.Closed() {
 			s.transmitPDU(&wire.PDU{Header: wire.Header{Type: wire.TKeepalive, Flags: wire.FlagEcho}})
 		}
-		p.ReleasePayload()
+		wire.PutPDU(p)
 		return
 	}
 
 	if s.slots.Conn.OnPDU(s.env(), p) {
-		p.ReleasePayload()
+		wire.PutPDU(p)
 		s.pump()
 		return
 	}
@@ -501,19 +578,22 @@ func (s *Session) HandlePDU(p *wire.PDU) {
 				p.Payload.Pop(int(p.Aux))
 			}
 		}
+		// Ownership of p moves to the recovery mechanism, which recycles
+		// it at its terminal (drop, or delivery via FreeRecv).
 		s.slots.Recovery.OnData(s.env(), p)
 	case wire.TAck:
 		s.processAck(p)
 		s.slots.Recovery.OnAck(s.env(), p)
 		s.pump()
+		wire.PutPDU(p)
 	case wire.TNak:
 		s.slots.Recovery.OnNak(s.env(), p)
-		p.ReleasePayload()
+		wire.PutPDU(p)
 	case wire.TParity:
 		s.slots.Recovery.OnParity(s.env(), p)
-		p.ReleasePayload()
+		wire.PutPDU(p)
 	default:
-		p.ReleasePayload()
+		wire.PutPDU(p)
 		s.metrics.Count("pdu.unexpected", 1)
 	}
 }
@@ -537,7 +617,7 @@ func (s *Session) processAck(p *wire.PDU) {
 		s.slots.Window.OnAck(acked)
 		s.armRTO()
 	}
-	if len(s.sendQ) == 0 && st.InFlight() == 0 {
+	if s.queuedLen() == 0 && st.InFlight() == 0 {
 		s.notify(mechanism.Notification{Kind: mechanism.NoteSendQueueEmpty})
 		s.maybeFinishClose()
 	}
@@ -618,5 +698,5 @@ func (s *Session) keepaliveTick() {
 		s.metrics.Count("session.keepalive_sent", 1)
 		s.transmitPDU(&wire.PDU{Header: wire.Header{Type: wire.TKeepalive}})
 	}
-	s.kaTimer = s.timers.Schedule(iv, s.keepaliveTick)
+	s.kaTimer.Reset(iv)
 }

@@ -64,6 +64,22 @@ func NewDistribution() *Distribution {
 	return &Distribution{reservoirLimit: defaultReservoir, lcg: 0x9e3779b97f4a7c15}
 }
 
+// Reserve preallocates the full reservoir capacity and the histogram so
+// every subsequent Add records into preallocated slots — zero allocations
+// on the metering hot path. Distributions stay lazily sized by default
+// (most recorders hold a handful of samples); hot-path meters opt in.
+func (d *Distribution) Reserve() *Distribution {
+	if cap(d.reservoir) < d.reservoirLimit {
+		r := make([]float64, len(d.reservoir), d.reservoirLimit)
+		copy(r, d.reservoir)
+		d.reservoir = r
+	}
+	if d.hist == nil {
+		d.hist = &Histogram{}
+	}
+	return d
+}
+
 // Add folds in one sample.
 func (d *Distribution) Add(v float64) {
 	if d.Count == 0 || v < d.Min {
@@ -80,6 +96,19 @@ func (d *Distribution) Add(v float64) {
 	}
 	d.hist.Add(v)
 	if len(d.reservoir) < d.reservoirLimit {
+		if len(d.reservoir) == cap(d.reservoir) {
+			// Two-step growth instead of append's doubling: cold recorders
+			// (a handful of samples) stay at one small slab, hot ones jump
+			// straight to the full reservoir — two allocations total rather
+			// than O(log limit). Reserve() skips even those.
+			newCap := 64
+			if cap(d.reservoir) >= newCap || newCap > d.reservoirLimit {
+				newCap = d.reservoirLimit
+			}
+			r := make([]float64, len(d.reservoir), newCap)
+			copy(r, d.reservoir)
+			d.reservoir = r
+		}
 		d.reservoir = append(d.reservoir, v)
 		return
 	}
@@ -184,7 +213,9 @@ type Recorder struct {
 	dists    map[string]*Distribution
 }
 
-// NewRecorder returns an empty recorder for the scope.
+// NewRecorder returns an empty recorder for the scope. Maps start minimal —
+// pre-sizing them measurably bloats many-session runs (tens of thousands of
+// recorders) for a one-time growth saving that profiles smaller.
 func NewRecorder(scope string) *Recorder {
 	return &Recorder{
 		Scope:    scope,
@@ -281,7 +312,16 @@ func (rp *Repository) SinkFor(host string) func(connID uint32) *Recorder {
 		key := connID ^ hashScope(host)
 		r, ok := rp.conns[key]
 		if !ok {
-			r = NewRecorder(fmt.Sprintf("%s/conn-%08x", host, connID))
+			// Hand-rolled "%s/conn-%08x": this runs once per session and
+			// Sprintf's boxing shows up at many-session scale.
+			buf := make([]byte, 0, len(host)+14)
+			buf = append(buf, host...)
+			buf = append(buf, "/conn-"...)
+			const hexdigits = "0123456789abcdef"
+			for sh := 28; sh >= 0; sh -= 4 {
+				buf = append(buf, hexdigits[(connID>>uint(sh))&0xf])
+			}
+			r = NewRecorder(string(buf))
 			rp.conns[key] = r
 			rp.hosts[key] = host
 		}

@@ -25,6 +25,20 @@ type TLVWriter struct {
 // Bytes returns the encoded fields.
 func (w *TLVWriter) Bytes() []byte { return w.buf }
 
+// Reset empties the writer, keeping the accumulated capacity so periodic
+// emitters (quality reports, probes) re-encode without reallocating.
+func (w *TLVWriter) Reset() { w.buf = w.buf[:0] }
+
+// Grow ensures capacity for n more encoded bytes, so fixed-shape encoders
+// (EncodeSpec) pay one allocation instead of append's doubling walk.
+func (w *TLVWriter) Grow(n int) {
+	if cap(w.buf)-len(w.buf) < n {
+		b := make([]byte, len(w.buf), len(w.buf)+n)
+		copy(b, w.buf)
+		w.buf = b
+	}
+}
+
 // Put appends a raw field.
 func (w *TLVWriter) Put(tag uint16, val []byte) {
 	if len(val) > 0xffff {

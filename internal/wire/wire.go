@@ -12,7 +12,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
+	"adaptive/internal/backstop"
 	"adaptive/internal/message"
 )
 
@@ -172,6 +174,37 @@ func (p *PDU) ReleasePayload() {
 	}
 }
 
+var pduPool = sync.Pool{New: func() any { return new(PDU) }}
+
+// pduBackstop is a bounded GC-immune free stack in front of pduPool: sync.Pool
+// is flushed every GC cycle, and at soak scale the post-GC refills of the PDU
+// working set show up in the allocation profile. ~48 B per PDU struct, so the
+// full backstop pins under 1 MiB.
+var pduBackstop = backstop.Stack[*PDU]{PerShard: 2048}
+
+// GetPDU returns a zeroed PDU from the pool. Pair with PutPDU at the point
+// the PDU's lifecycle provably ends (receive-path terminal, acked
+// retransmission-buffer entry); a PDU whose ownership is ambiguous may simply
+// be dropped to the garbage collector instead — losing one to GC is always
+// safe, double-recycling never is.
+func GetPDU() *PDU {
+	if p, ok := pduBackstop.Get(); ok {
+		return p
+	}
+	return pduPool.Get().(*PDU)
+}
+
+// PutPDU releases any payload still attached, zeroes the PDU, and recycles
+// it. The caller must not touch p afterwards.
+func PutPDU(p *PDU) {
+	p.ReleasePayload()
+	p.Header = Header{}
+	if pduBackstop.Put(p) {
+		return
+	}
+	pduPool.Put(p)
+}
+
 var (
 	ErrTooShort    = errors.New("wire: packet shorter than header+trailer")
 	ErrBadVersion  = errors.New("wire: unknown protocol version")
@@ -217,21 +250,22 @@ func EncodeTo(p *PDU, kind ChecksumKind, emit func(pkt []byte) error) error {
 	h.SetChecksum(kind)
 	m := p.Payload
 	if m != nil && m.Refs() == 1 && m.Headroom() >= HeaderLen && m.Tailroom() >= TrailerLen {
-		h.PayloadLen = uint16(m.Len())
+		n := m.Len()
+		h.PayloadLen = uint16(n)
 		// A synchronous transport (loopback) can re-enter the protocol from
 		// inside emit and drop the caller's reference — e.g. a retransmit's
 		// packet is acked synchronously and the retransmission buffer
-		// releases the payload. Pin the buffer for the duration of the call
-		// so the final release (and pool recycling) is deferred until the
-		// emitted slice is no longer aliased.
-		m.Retain()
-		putHeader(m.Push(HeaderLen), &h)
-		sum := checksum(kind, m.Bytes())
-		binary.BigEndian.PutUint32(m.PushTail(TrailerLen), sum)
-		err := emit(m.Bytes())
-		m.TrimTail(TrailerLen)
-		m.Pop(HeaderLen)
-		m.Release()
+		// releases the payload. Pin the buffer (not the view: the view
+		// struct itself may be recycled by that release) so the bytes stay
+		// valid until the emitted slice is no longer aliased, and build the
+		// packet through Window so the view is never mutated.
+		pin := m.Pin()
+		pkt := m.Window(HeaderLen, TrailerLen)
+		putHeader(pkt, &h)
+		sum := checksum(kind, pkt[:HeaderLen+n])
+		binary.BigEndian.PutUint32(pkt[HeaderLen+n:], sum)
+		err := emit(pkt)
+		pin.Unpin()
 		return err
 	}
 

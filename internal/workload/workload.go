@@ -33,11 +33,31 @@ func Stamp(seq uint64, now time.Duration, size int) []byte {
 	if size < headerLen {
 		size = headerLen
 	}
-	b := make([]byte, size)
+	return StampInto(make([]byte, size), seq, now)
+}
+
+// StampInto writes the stamp header into b (len(b) >= headerLen) and returns
+// b. Generators stamp into a per-generator staging buffer and hand it to
+// Send, which copies synchronously — so one staging buffer per generator
+// makes the send side allocation-free. Bytes past the header keep whatever
+// the buffer held; the meter never reads them, and the write sequence is
+// deterministic, so same-seed runs stay byte-identical.
+func StampInto(b []byte, seq uint64, now time.Duration) []byte {
 	binary.BigEndian.PutUint32(b[0:], stampMagic)
 	binary.BigEndian.PutUint64(b[4:], uint64(now))
 	binary.BigEndian.PutUint64(b[12:], seq)
 	return b
+}
+
+// staging returns buf resized to size, reallocating only on growth.
+func staging(buf []byte, size int) []byte {
+	if size < headerLen {
+		size = headerLen
+	}
+	if cap(buf) < size {
+		return make([]byte, size)
+	}
+	return buf[:size]
 }
 
 // Meter is the receiving-side QoS monitor (blackbox metrics, §4.3). It
@@ -67,9 +87,13 @@ type Meter struct {
 	openSeq  uint64
 }
 
-// NewMeter returns a meter reading time from clock.
+// NewMeter returns a meter reading time from clock. Its distributions are
+// fully reserved so per-message recording never allocates.
 func NewMeter(clock interface{ Now() time.Duration }) *Meter {
-	return &Meter{clock: clock, Latency: unites.NewDistribution(), Jitter: unites.NewDistribution()}
+	m := &Meter{clock: clock, Latency: unites.NewDistribution(), Jitter: unites.NewDistribution()}
+	m.Latency.Reserve()
+	m.Jitter.Reserve()
+	return m
 }
 
 // OnDeliver consumes one delivered segment (call from the session receiver;
@@ -167,17 +191,19 @@ type CBR struct {
 
 	Generated uint64
 	ev        *event.Event
+	buf       []byte
 }
 
 // Start begins emission until Stop (or for total messages if total > 0).
 func (c *CBR) Start(total uint64) {
 	clock := c.Timers.Clock()
+	c.buf = staging(c.buf, c.MsgSize)
 	c.ev = c.Timers.SchedulePeriodic(0, c.Interval, func() {
 		if total > 0 && c.Generated >= total {
 			c.ev.Cancel()
 			return
 		}
-		c.Out.Send(Stamp(c.Generated, clock.Now(), c.MsgSize))
+		c.Out.Send(StampInto(c.buf, c.Generated, clock.Now()))
 		c.Generated++
 	})
 }
@@ -202,6 +228,7 @@ type VBR struct {
 	Generated uint64
 	BytesOut  uint64
 	ev        *event.Event
+	buf       []byte
 }
 
 // Start begins emission of total frames (0 = until Stop). Frame sizes are
@@ -216,6 +243,7 @@ func (v *VBR) Start(total uint64) {
 	}
 	clock := v.Timers.Clock()
 	interval := time.Duration(float64(time.Second) / v.FrameRate)
+	v.buf = staging(v.buf, int(float64(v.MeanSize)*v.Burst))
 	v.ev = v.Timers.SchedulePeriodic(0, interval, func() {
 		if total > 0 && v.Generated >= total {
 			v.ev.Cancel()
@@ -231,7 +259,9 @@ func (v *VBR) Start(total uint64) {
 		if v.Generated%uint64(v.GroupLen) == 0 {
 			size = int(intra)
 		}
-		v.Out.Send(Stamp(v.Generated, clock.Now(), size))
+		// A codec raising MeanSize live can outgrow the staging buffer.
+		v.buf = staging(v.buf, size)
+		v.Out.Send(StampInto(v.buf, v.Generated, clock.Now()))
 		v.Generated++
 		v.BytesOut += uint64(size)
 	})
@@ -252,6 +282,7 @@ type Bulk struct {
 	ChunkSize int // per-message granularity (0 = one message)
 
 	Generated uint64
+	buf       []byte
 }
 
 // Start submits the transfer. The clock parameter stamps chunks for latency
@@ -261,12 +292,13 @@ func (b *Bulk) Start(clock interface{ Now() time.Duration }) {
 	if chunk <= 0 {
 		chunk = b.TotalSize
 	}
+	b.buf = staging(b.buf, chunk)
 	for off := 0; off < b.TotalSize; off += chunk {
 		n := chunk
 		if off+n > b.TotalSize {
 			n = b.TotalSize - off
 		}
-		b.Out.Send(Stamp(b.Generated, clock.Now(), n))
+		b.Out.Send(StampInto(b.buf[:max(n, headerLen)], b.Generated, clock.Now()))
 		b.Generated++
 	}
 }
@@ -281,25 +313,32 @@ type Keystroke struct {
 
 	Generated uint64
 	ev        *event.Event
+	buf       []byte
 }
 
 // Start emits total keystrokes.
 func (k *Keystroke) Start(total uint64) {
 	clock := k.Timers.Clock()
 	state := k.Seed | 1
+	k.buf = staging(k.buf, headerLen+1)
 	var next func()
 	next = func() {
 		if k.Generated >= total {
 			return
 		}
-		k.Out.Send(Stamp(k.Generated, clock.Now(), headerLen+1))
+		k.Out.Send(StampInto(k.buf, k.Generated, clock.Now()))
 		k.Generated++
 		// xorshift + exponential-ish gap in [0.2, 2.8) of the mean.
 		state ^= state << 13
 		state ^= state >> 7
 		state ^= state << 17
 		frac := 0.2 + 2.6*float64(state%1000)/1000
-		k.ev = k.Timers.Schedule(time.Duration(float64(k.MeanGap)*frac), next)
+		gap := time.Duration(float64(k.MeanGap) * frac)
+		if k.ev == nil {
+			k.ev = k.Timers.Schedule(gap, next)
+		} else {
+			k.ev.Reset(gap)
+		}
 	}
 	next()
 }
@@ -326,6 +365,9 @@ type ReqResp struct {
 	issuedAt  time.Duration
 	total     uint64
 	Done      func() // optional completion callback
+	thinkEv   *event.Event
+	issueFn   func() // r.issue bound once; method values allocate per use
+	buf       []byte
 }
 
 // Start issues total transactions. OnResponse must be wired to the client
@@ -335,6 +377,9 @@ func (r *ReqResp) Start(total uint64) {
 	if r.RespTimes == nil {
 		r.RespTimes = unites.NewDistribution()
 	}
+	r.RespTimes.Reserve()
+	r.issueFn = r.issue
+	r.buf = staging(r.buf, r.ReqSize)
 	r.issue()
 }
 
@@ -344,7 +389,7 @@ func (r *ReqResp) issue() {
 	}
 	clock := r.Timers.Clock()
 	r.issuedAt = clock.Now()
-	r.Out.Send(Stamp(r.Issued, clock.Now(), r.ReqSize))
+	r.Out.Send(StampInto(r.buf, r.Issued, clock.Now()))
 	r.Issued++
 }
 
@@ -360,5 +405,9 @@ func (r *ReqResp) OnResponse(d session.Delivery) {
 		}
 		return
 	}
-	r.Timers.Schedule(r.Think, r.issue)
+	if r.thinkEv == nil {
+		r.thinkEv = r.Timers.Schedule(r.Think, r.issueFn)
+	} else {
+		r.thinkEv.Reset(r.Think)
+	}
 }

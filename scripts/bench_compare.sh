@@ -2,17 +2,28 @@
 # Compares freshly generated BENCH_*.json files against the committed
 # baselines under scripts/baseline/ and FAILS (non-zero exit) on regression.
 #
-# Two metrics are enforced per benchmark name, best (minimum) across runs:
+# Three metrics are enforced per benchmark name, best across runs (the JSON
+# files already hold one best-of-COUNT record per name):
 #
-#   time   — ns_per_op (data-path suite) / ns_per_pkt (scale soak).
-#            Threshold TIME_THRESHOLD percent, default 60: machines differ,
-#            so the default only catches gross regressions; CI overrides it
-#            to something looser, a developer chasing a regression sets it
-#            tight.
-#   allocs — allocs_per_op / allocs_per_pkt. Threshold ALLOC_THRESHOLD
-#            percent, default 10. Allocation counts are machine-independent,
-#            so this is the hard gate: any new allocation on a
-#            zero-allocation path fails regardless of threshold.
+#   time   — ns_per_op (data-path suite) / ns_per_pkt (scale soak), lower is
+#            better. Threshold TIME_THRESHOLD percent, default 60: machines
+#            differ, so the default only catches gross regressions; CI
+#            overrides it to something looser, a developer chasing a
+#            regression sets it tight.
+#   rate   — pkts_per_sec (scale soak only), HIGHER is better: a row fails
+#            when the current rate drops more than RATE_THRESHOLD percent
+#            below baseline (default 40). This is the throughput gate the
+#            ns/pkt gate mirrors; keeping both catches bookkeeping errors in
+#            either derivation.
+#   allocs — allocs_per_op / allocs_per_pkt, lower is better. Threshold
+#            ALLOC_THRESHOLD percent, default 10. Allocation counts are
+#            machine-independent, so this is the hard gate: any new
+#            allocation on a zero-allocation path fails regardless of
+#            threshold.
+#
+# Scale rows carry a gomaxprocs field; rows whose gomaxprocs differs from
+# the baseline's are reported but never failed (a 1-core baseline says
+# nothing about a 16-core run of the parallel sweep).
 #
 #   ./scripts/bench_compare.sh
 #   TIME_THRESHOLD=200 ./scripts/bench_compare.sh   # CI: noisy shared runner
@@ -22,6 +33,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 TIME_THRESHOLD="${TIME_THRESHOLD:-${FAIL_THRESHOLD:-60}}"
+RATE_THRESHOLD="${RATE_THRESHOLD:-40}"
 ALLOC_THRESHOLD="${ALLOC_THRESHOLD:-10}"
 STATUS=0
 
@@ -30,53 +42,69 @@ compare() {
     baseline=$2
     time_metric=$3
     alloc_metric=$4
+    rate_metric=$5
     [ -f "$current" ] || { echo "skip: $current not generated (run make bench / make bench-scale)"; return; }
     [ -f "$baseline" ] || { echo "skip: $baseline missing"; return; }
-    echo "== $current vs $baseline ($time_metric <= +${TIME_THRESHOLD}%, $alloc_metric <= +${ALLOC_THRESHOLD}%, best-of-runs) =="
-    awk -v tmetric="\"$time_metric\":" -v ametric="\"$alloc_metric\":" \
-        -v tthresh="$TIME_THRESHOLD" -v athresh="$ALLOC_THRESHOLD" '
-    function best(file, tmins, amins,   line, name, v) {
+    echo "== $current vs $baseline ($time_metric <= +${TIME_THRESHOLD}%, ${rate_metric:-no-rate} >= -${RATE_THRESHOLD}%, $alloc_metric <= +${ALLOC_THRESHOLD}%) =="
+    awk -v tmetric="\"$time_metric\":" -v ametric="\"$alloc_metric\":" -v rmetric="\"${rate_metric:-__none__}\":" \
+        -v tthresh="$TIME_THRESHOLD" -v athresh="$ALLOC_THRESHOLD" -v rthresh="$RATE_THRESHOLD" '
+    function grab(line, metric,   v) {
+        if (match(line, metric " [0-9.eE+-]+"))
+            return substr(line, RSTART + length(metric) + 1, RLENGTH - length(metric) - 1) + 0
+        return -1
+    }
+    function best(file, tmins, amins, rmaxs, procs,   line, name, v) {
         while ((getline line < file) > 0) {
             if (line !~ /"name"/) continue
             if (match(line, /"name": "[^"]+"/)) {
                 name = substr(line, RSTART + 9, RLENGTH - 10)
             } else continue
-            if (match(line, tmetric " [0-9.eE+-]+")) {
-                v = substr(line, RSTART + length(tmetric) + 1, RLENGTH - length(tmetric) - 1) + 0
-                if (!(name in tmins) || v < tmins[name]) tmins[name] = v
-            }
-            if (match(line, ametric " [0-9.eE+-]+")) {
-                v = substr(line, RSTART + length(ametric) + 1, RLENGTH - length(ametric) - 1) + 0
-                if (!(name in amins) || v < amins[name]) amins[name] = v
-            }
+            v = grab(line, tmetric); if (v >= 0 && (!(name in tmins) || v < tmins[name])) tmins[name] = v
+            v = grab(line, ametric); if (v >= 0 && (!(name in amins) || v < amins[name])) amins[name] = v
+            v = grab(line, rmetric); if (v >= 0 && (!(name in rmaxs) || v > rmaxs[name])) rmaxs[name] = v
+            v = grab(line, "\"gomaxprocs\":"); if (v >= 0) procs[name] = v
         }
         close(file)
     }
     BEGIN {
-        best(ARGV[1], baset, basea)
-        best(ARGV[2], curt, cura)
+        best(ARGV[1], baset, basea, baser, basep)
+        best(ARGV[2], curt, cura, curr, curp)
         bad = 0
         for (name in curt) {
             if (!(name in baset)) { printf "%-60s %12.1f  (new)\n", name, curt[name]; continue }
+            if ((name in curp) && (name in basep) && curp[name] != basep[name]) {
+                printf "%-60s gomaxprocs %d -> %d: not comparable, skipped\n", name, basep[name], curp[name]
+                continue
+            }
             tdelta = baset[name] > 0 ? (curt[name] - baset[name]) / baset[name] * 100 : 0
             flag = ""
             if (tdelta > tthresh + 0) { flag = flag "  TIME-REGRESSION"; bad = 1 }
+            rdelta = 0
+            if (name in curr && name in baser && baser[name] > 0) {
+                rdelta = (curr[name] - baser[name]) / baser[name] * 100
+                if (-rdelta > rthresh + 0) { flag = flag "  RATE-REGRESSION"; bad = 1 }
+            }
             adelta = 0
             if (name in cura && name in basea) {
                 if (basea[name] > 0) adelta = (cura[name] - basea[name]) / basea[name] * 100
                 else if (cura[name] > 0) adelta = 1e9  # new allocs on a zero-alloc path
                 if (adelta > athresh + 0) { flag = flag "  ALLOC-REGRESSION"; bad = 1 }
             }
-            printf "%-60s %12.1f -> %12.1f  %+7.1f%%  allocs %g -> %g%s\n", \
-                name, baset[name], curt[name], tdelta, basea[name], cura[name], flag
+            procnote = (name in curp) ? sprintf("  procs=%d", curp[name]) : ""
+            if (name in curr)
+                printf "%-60s %12.1f -> %12.1f  %+7.1f%%  rate %+7.1f%%  allocs %g -> %g%s%s\n", \
+                    name, baset[name], curt[name], tdelta, rdelta, basea[name], cura[name], procnote, flag
+            else
+                printf "%-60s %12.1f -> %12.1f  %+7.1f%%  allocs %g -> %g%s%s\n", \
+                    name, baset[name], curt[name], tdelta, basea[name], cura[name], procnote, flag
         }
         for (name in baset) if (!(name in curt)) printf "%-60s dropped from current run\n", name
         exit bad
     }' "$baseline" "$current" || STATUS=1
 }
 
-compare BENCH_datapath.json scripts/baseline/BENCH_datapath.json ns_per_op allocs_per_op
-compare BENCH_scale.json scripts/baseline/BENCH_scale.json ns_per_pkt allocs_per_pkt
+compare BENCH_datapath.json scripts/baseline/BENCH_datapath.json ns_per_op allocs_per_op ""
+compare BENCH_scale.json scripts/baseline/BENCH_scale.json ns_per_pkt allocs_per_pkt pkts_per_sec
 
 [ "$STATUS" -eq 0 ] || echo "bench-compare: REGRESSION detected (see flags above)" >&2
 exit $STATUS

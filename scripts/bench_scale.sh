@@ -1,53 +1,75 @@
 #!/bin/sh
-# Runs the E10 many-session soak benchmark (BenchmarkE10_Scale) and distills
-# the output into BENCH_scale.json: a meta header (go version, GOMAXPROCS,
-# CPU model) plus one record per (size, run) with the soak metrics —
-# pkts/s (wall), events/pkt, ns/pkt, allocs/pkt. Records are one JSON object
-# per line so scripts/bench_compare.sh can diff runs with awk alone.
+# Runs the E10 many-session soak benchmarks (BenchmarkE10_Scale and the
+# GOMAXPROCS sweep BenchmarkE10_ScaleParallel) and distills the output into
+# BENCH_scale.json: a meta header (go version, GOMAXPROCS, CPU model, exact
+# commit) plus ONE record per benchmark name — the best of COUNT runs, where
+# best means lowest ns/pkt (wall time is the only noisy axis; events/pkt and
+# allocs/pkt are effectively deterministic). Records are one JSON object per
+# line so scripts/bench_compare.sh can diff runs with awk alone.
+#
+# Parallel rows carry their gomaxprocs so a baseline recorded on an M-core
+# machine is never silently compared against an N-core run of the same name.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-COUNT="${COUNT:-2}"
+COUNT="${COUNT:-3}"
 
 go test -run '^$' -bench 'BenchmarkE10_Scale' -count="$COUNT" . | tee BENCH_scale.txt
 
 GOVER=$(go version | awk '{print $3}')
 MAXPROCS=${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}
 CPU=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+git diff --quiet HEAD 2>/dev/null || COMMIT="${COMMIT}-dirty"
 
-awk -v gover="$GOVER" -v maxprocs="$MAXPROCS" -v cpu="$CPU" '
+awk -v gover="$GOVER" -v maxprocs="$MAXPROCS" -v cpu="$CPU" -v commit="$COMMIT" '
 BEGIN {
-    printf "{\n  \"meta\": {\"go\": \"%s\", \"gomaxprocs\": %s, \"cpu\": \"%s\"},\n", gover, maxprocs, cpu
+    printf "{\n  \"meta\": {\"go\": \"%s\", \"gomaxprocs\": %s, \"cpu\": \"%s\", \"commit\": \"%s\"},\n", gover, maxprocs, cpu, commit
     print "  \"results\": ["
-    first = 1
 }
 /^BenchmarkE10_Scale/ {
     name = $1
-    pkts = ""; events = ""; nspkt = ""; allocs = ""
+    pkts = ""; events = ""; nspkt = ""; allocs = ""; rowprocs = maxprocs
     for (i = 2; i <= NF; i++) {
-        if ($i == "pkts/s")     pkts   = $(i-1)
-        if ($i == "events/pkt") events = $(i-1)
-        if ($i == "ns/pkt")     nspkt  = $(i-1)
-        if ($i == "allocs/pkt") allocs = $(i-1)
+        if ($i == "pkts/s")     pkts     = $(i-1)
+        if ($i == "events/pkt") events   = $(i-1)
+        if ($i == "ns/pkt")     nspkt    = $(i-1)
+        if ($i == "allocs/pkt") allocs   = $(i-1)
+        if ($i == "gomaxprocs") rowprocs = $(i-1) + 0
     }
     if (pkts == "") next
-    if (!first) printf ",\n"
-    first = 0
-    printf "    {\"name\": \"%s\", \"pkts_per_sec\": %s, \"events_per_pkt\": %s, \"ns_per_pkt\": %s, \"allocs_per_pkt\": %s}", name, pkts, events, nspkt, allocs
-}
-END { print "\n  ]\n}" }
-' BENCH_scale.txt > BENCH_scale.json
-
-echo "wrote BENCH_scale.json ($(grep -c '"name"' BENCH_scale.json) samples)"
-
-# The scale acceptance bar: events per delivered packet strictly below 1.0
-# at every soak size.
-awk '/"events_per_pkt"/ {
-    if (match($0, /"events_per_pkt": [0-9.]+/)) {
-        v = substr($0, RSTART + 18, RLENGTH - 18) + 0
-        if (v >= 1.0) { bad = 1; print "FAIL: events/pkt >= 1.0 in: " $0 }
+    if (events == "") events = "null"
+    if (nspkt == "") nspkt = "null"
+    if (allocs == "") allocs = "null"
+    # Keep the best (lowest ns/pkt) of the COUNT runs per name.
+    if (!(name in best) || nspkt + 0 < best[name]) {
+        best[name] = nspkt + 0
+        if (!(name in order)) { order[name] = ++n; names[n] = name }
+        rec[name] = sprintf("    {\"name\": \"%s\", \"gomaxprocs\": %d, \"pkts_per_sec\": %s, \"events_per_pkt\": %s, \"ns_per_pkt\": %s, \"allocs_per_pkt\": %s}", \
+            name, rowprocs, pkts, events, nspkt, allocs)
     }
 }
+END {
+    for (i = 1; i <= n; i++) printf "%s%s\n", rec[names[i]], (i < n ? "," : "")
+    print "  ]\n}"
+}
+' BENCH_scale.txt > BENCH_scale.json
+
+echo "wrote BENCH_scale.json ($(grep -c '"name"' BENCH_scale.json) records, best of $COUNT runs)"
+
+# The scale acceptance bars: kernel events per delivered packet strictly
+# below 1.0 at every soak size, and heap allocations per delivered packet
+# strictly below 1.0 at N=5000 (the datapath-pooling criterion; smaller
+# sizes amortize per-session setup over too few packets to gate on).
+awk '/"name"/ {
+    ev = -1; al = -1
+    if (match($0, /"events_per_pkt": [0-9.]+/))
+        ev = substr($0, RSTART + 18, RLENGTH - 18) + 0
+    if (match($0, /"allocs_per_pkt": [0-9.]+/))
+        al = substr($0, RSTART + 18, RLENGTH - 18) + 0
+    if (ev >= 1.0) { bad = 1; print "FAIL: events/pkt >= 1.0 in: " $0 }
+    if ($0 ~ /N=5000/ && al >= 1.0) { bad = 1; print "FAIL: allocs/pkt >= 1.0 in: " $0 }
+}
 END { exit bad }
-' BENCH_scale.json && echo "scale: events/pkt < 1.0 at every soak size"
+' BENCH_scale.json && echo "scale: events/pkt < 1.0 everywhere, allocs/pkt < 1.0 at N=5000"
