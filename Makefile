@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify live bench bench-scale bench-compare faults trace clean
+.PHONY: build test verify live bench bench-scale bench-compare faults trace soak soak-smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,7 @@ verify:
 	fi
 	$(GO) test ./...
 	$(GO) test -race ./...
+	$(MAKE) soak-smoke
 
 # live runs the E-series parity scenarios over real UDP loopback sockets
 # (segue mid-stream, seeded impairment) under the race detector, plus the
@@ -65,5 +66,20 @@ trace:
 	$(GO) run ./cmd/adaptivetrace -chrome TRACE_e3.json -spans TRACE_e3.trace
 	$(GO) run ./cmd/adaptivetrace -summary TRACE_e3.trace
 
+# soak is the live-observability leak gate: a long observed E10 soak served
+# as a real process (adaptivebench -soak), scraped over HTTP and tailed by a
+# separate adaptivetrace process, gating on RSS growth, result-fingerprint
+# drift (p999 included), dropped trace chunks, and tail-vs-archive trace
+# identity. SESSIONS/ITERS scale it (defaults 1000 x 10).
+soak:
+	./scripts/soak_e10.sh
+
+# soak-smoke is the verify-sized variant: the same end-to-end loop (serve,
+# scrape, tail, diff) at a size that finishes in seconds. It is the
+# endpoint's smoke test, not a leak gate.
+soak-smoke:
+	SESSIONS=100 ITERS=2 PREFIX=SMOKE_ ./scripts/soak_e10.sh
+
 clean:
-	rm -f BENCH_* FAULTS_* TRACE_* results_all.txt
+	rm -f BENCH_* FAULTS_* TRACE_* SOAK_* SMOKE_* results_all.txt
+	rm -rf bin

@@ -45,6 +45,7 @@ import (
 	"adaptive/internal/mantts"
 	"adaptive/internal/mechanism"
 	"adaptive/internal/netapi"
+	"adaptive/internal/obsv"
 	"adaptive/internal/protograph"
 	"adaptive/internal/session"
 	"adaptive/internal/tko"
@@ -172,10 +173,17 @@ type Options struct {
 	Seed int64
 	// Metrics, when set, receives UNITES instrumentation for every
 	// session on this node. Nil disables collection.
+	//
+	// Deprecated: set Observe.Repository (WithObservability) instead.
 	Metrics *unites.Repository
 	// Tracer, when set, receives flight-recorder records for every session
 	// on this node (see internal/trace). Nil disables the hooks.
+	//
+	// Deprecated: set Observe.Tracer — or Observe.TraceBuffer for a
+	// node-owned, streamable recorder — via WithObservability instead.
 	Tracer *trace.Recorder
+	// Observe configures the observability plane (WithObservability).
+	Observe *Observe
 	// Name tags this node's metrics scope.
 	Name string
 	// Synth overrides the TKO synthesizer (template experiments).
@@ -203,11 +211,21 @@ func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
 
 // WithMetrics routes UNITES instrumentation for every session on this node
 // into the repository.
+//
+// Deprecated: use WithObservability(Observe{Repository: r}) — the Observe
+// group also exposes the collected state back through Node.Observability()
+// (snapshots, Prometheus/JSON endpoint, live trace tails). This option
+// remains one release and folds into the same plane.
 func WithMetrics(r *unites.Repository) Option { return func(o *Options) { o.Metrics = r } }
 
 // WithTracer routes flight-recorder records for every session on this node
 // into the recorder. Attach the same recorder to the simulation kernel
 // (sim.Kernel.SetTracer) to capture kernel and link events alongside.
+//
+// Deprecated: use WithObservability(Observe{Tracer: r}) for an external
+// recorder, or Observe{TraceBuffer: n} for a node-owned recorder that can
+// stream live through Node.Observability().TraceTail. This option remains
+// one release and folds into the same plane.
 func WithTracer(r *trace.Recorder) Option { return func(o *Options) { o.Tracer = r } }
 
 // WithName tags this node's metrics scope.
@@ -228,6 +246,7 @@ func WithRules(rules ...Rule) Option {
 type Node struct {
 	stack  *protograph.Stack
 	entity *mantts.Entity
+	obs    *Observability
 	name   string
 	rules  []Rule
 }
@@ -254,9 +273,50 @@ func newNode(opts Options) (*Node, error) {
 	if name == "" {
 		name = fmt.Sprintf("%v", opts.Host)
 	}
+	// Both API generations land on one plane: the deprecated Metrics/Tracer
+	// options fold into the Observe group, so legacy callers get a working
+	// Node.Observability() too. A synthesized group keeps legacy semantics
+	// exactly (no repository means no collection); an explicit Observe with
+	// a nil Repository gets a private per-node one.
+	obs := opts.Observe
+	synthesized := false
+	if obs == nil && (opts.Metrics != nil || opts.Tracer != nil) {
+		obs = &Observe{}
+		synthesized = true
+	}
+	var (
+		repo   *unites.Repository
+		tracer *trace.Recorder
+		owned  bool
+	)
+	if obs != nil {
+		repo = obs.Repository
+		if repo == nil {
+			repo = opts.Metrics
+		}
+		if repo == nil && !synthesized {
+			repo = unites.NewRepository()
+		}
+		tracer = obs.Tracer
+		if tracer == nil {
+			tracer = opts.Tracer
+		}
+		if tracer == nil && obs.TraceBuffer > 0 {
+			// Node-owned recorder: the only kind the node installs live
+			// streaming on — externally-owned recorders keep their owner's
+			// collection discipline.
+			tracer = trace.NewRecorder(obs.TraceBuffer)
+			if obs.TraceSample > 1 {
+				if err := tracer.SetSample(obs.TraceSample); err != nil {
+					return nil, err
+				}
+			}
+			owned = true
+		}
+	}
 	var mf protograph.MetricFactory
-	if opts.Metrics != nil {
-		sink := opts.Metrics.SinkFor(name)
+	if repo != nil {
+		sink := repo.SinkFor(name)
 		mf = func(connID uint32) mechanism.MetricSink { return sink(connID) }
 	}
 	stack, err := protograph.NewStack(protograph.Config{
@@ -266,14 +326,49 @@ func newNode(opts Options) (*Node, error) {
 		Seed:     opts.Seed,
 		Synth:    opts.Synth,
 		Metrics:  mf,
-		Tracer:   opts.Tracer,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
 	n := &Node{stack: stack, entity: mantts.NewEntity(stack), name: name, rules: opts.Rules}
+	n.obs = &Observability{}
+	if obs != nil {
+		var recs []*trace.Recorder
+		if owned {
+			recs = []*trace.Recorder{tracer}
+		}
+		plane, err := obsv.New(obsv.Options{
+			Repository: repo,
+			Recorders:  recs,
+			FlushEvery: obs.TraceFlush,
+			Queue:      obs.TraceQueue,
+			Archive:    obs.TraceArchive,
+			Counters:   obs.Counters,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.obs = &Observability{plane: plane, repo: repo, rec: tracer, owned: owned}
+		if obs.Listen != "" {
+			if _, err := plane.Serve(obs.Listen); err != nil {
+				plane.Close()
+				return nil, err
+			}
+		}
+	}
 	return n, nil
 }
+
+// Observability returns the node's observability handle. It is never nil;
+// Enabled() reports whether a plane was configured (WithObservability, or
+// the deprecated WithMetrics/WithTracer options).
+func (n *Node) Observability() *Observability { return n.obs }
+
+// Close releases node resources: the observability plane's trace stream is
+// flushed and its HTTP endpoint stops. Call after the node's event source
+// has quiesced (simulation drained or provider closed).
+func (n *Node) Close() error { return n.obs.Close() }
 
 // Stack exposes the protocol graph (advanced use and experiments).
 func (n *Node) Stack() *protograph.Stack { return n.stack }
@@ -292,14 +387,41 @@ func (n *Node) SeedPath(peer HostID, info mantts.StaticPathInfo) {
 }
 
 // Probe starts periodic RTT probing toward a peer.
+//
+// Deprecated: the probe ticker runs until another campaign replaces it —
+// callers that forget to replace or stop it leak the timer for the life of
+// the node. Use ProbeContext, which bounds the campaign with a context and
+// returns a stop func. This shim remains one release.
 func (n *Node) Probe(peer HostID, every time.Duration) {
 	n.entity.StartProbing(peer, every)
 }
 
+// ProbeContext starts periodic RTT probing toward a peer, replacing any
+// existing campaign for that peer. Probing stops when ctx is canceled
+// (observed at the next tick) or when the returned stop func runs; both
+// are idempotent.
+func (n *Node) ProbeContext(ctx context.Context, peer HostID, every time.Duration) (stop func()) {
+	return n.entity.StartProbingCtx(ctx, peer, every)
+}
+
 // OnNotification installs the node-wide application call-back for session
 // events (establishment, loss, policy actions, peer reconfigurations).
+//
+// Deprecated: this is a single slot — installing a second callback silently
+// replaces the first, so user code and tooling cannot observe the node at
+// the same time. Use Subscribe, which supports any number of listeners.
+// This shim remains one release; its callback fires before subscribers.
 func (n *Node) OnNotification(fn func(connID uint32, note Notification)) {
 	n.entity.Notify = fn
+}
+
+// Subscribe registers a listener for node-wide session events
+// (establishment, loss, policy actions, peer reconfigurations) alongside
+// any other listeners. Listeners fire in registration order on the node's
+// event loop — return quickly and do not call back into the node from the
+// listener. The returned cancel is idempotent.
+func (n *Node) Subscribe(fn func(connID uint32, note Notification)) (cancel func()) {
+	return n.entity.SubscribeNotes(fn)
 }
 
 // DialOptions names the optional per-dial parameters (replacing the opaque

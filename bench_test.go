@@ -8,7 +8,10 @@ package adaptive_test
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -423,6 +426,106 @@ func BenchmarkE10_Scale(b *testing.B) {
 			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(delivered), "allocs/pkt")
 		})
 	}
+}
+
+// BenchmarkE10_Observed is the observability overhead A/B gate: the N=1000
+// soak with the plane fully off versus fully on — shared repository, one
+// streaming recorder per shard (1/64 sampling), the HTTP endpoint scraped
+// every 200ms, and a /trace tail draining frames. The plane is started once
+// per sub-benchmark (the soak model: one long-lived plane, many iterations),
+// so the measured delta is the per-packet observation cost, not rig setup.
+// The acceptance bar (enforced by scripts/bench_scale.sh): mode=on holds
+// pkts/s within OBS_THRESHOLD (default 5%) of mode=off and keeps allocs/pkt
+// below 1.0.
+func BenchmarkE10_Observed(b *testing.B) {
+	const n = 1000
+	// soak measures b.N iterations of run, with setup/teardown excluded from
+	// both the clock and the allocation counts.
+	soak := func(b *testing.B, run func() uint64) {
+		b.ReportAllocs()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		b.ResetTimer()
+		var delivered uint64
+		for i := 0; i < b.N; i++ {
+			d := run()
+			if d == 0 {
+				b.Fatal("soak delivered nothing")
+			}
+			delivered += d
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&ms1)
+		elapsed := b.Elapsed()
+		b.ReportMetric(float64(delivered)/elapsed.Seconds(), "pkts/s")
+		b.ReportMetric(float64(elapsed.Nanoseconds())/float64(delivered), "ns/pkt")
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(delivered), "allocs/pkt")
+	}
+	b.Run("mode=off", func(b *testing.B) {
+		soak(b, func() uint64 { return experiment.RunE10Scale(n).Delivered })
+	})
+	// Plane attached (shared repository + streaming recorders + chaser),
+	// nobody connected: the standing cost of being observable.
+	b.Run("mode=plane", func(b *testing.B) {
+		o, err := experiment.StartE10Observed(experiment.E10ObservedConfig{Sample: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer o.Close()
+		soak(b, func() uint64 { return o.RunIteration(n).Delivered })
+	})
+	b.Run("mode=on", func(b *testing.B) {
+		o, err := experiment.StartE10Observed(experiment.E10ObservedConfig{
+			Sample: 64, Listen: "127.0.0.1:0",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr := o.Addr()
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		// Scraper: a realistic Prometheus-style poll cadence.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(200 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+				}
+				resp, err := http.Get("http://" + addr + "/metrics")
+				if err != nil {
+					select {
+					case <-done: // endpoint torn down after the run
+						return
+					default:
+					}
+					b.Errorf("scrape: %v", err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+		// Tail: drain the live trace stream for the whole run.
+		resp, err := http.Get("http://" + addr + "/trace")
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = io.Copy(io.Discard, resp.Body)
+		}()
+		soak(b, func() uint64 { return o.RunIteration(n).Delivered })
+		close(done)
+		o.Close()
+		resp.Body.Close()
+		wg.Wait()
+	})
 }
 
 // parallelProcs returns the GOMAXPROCS sweep {1, 2, 4, NumCPU}, deduplicated

@@ -8,6 +8,13 @@
 //	adaptivebench -experiment E1   # one experiment
 //	adaptivebench -list            # list experiment ids
 //	adaptivebench -workers 4       # parallel fan-out across experiments
+//
+// The -soak mode runs the observed E10 soak as a long-lived process with the
+// live observability endpoint attached, gating on RSS growth and result
+// drift (see soak.go and `make soak`):
+//
+//	adaptivebench -soak -sessions 1000 -soak-iters 10 -listen 127.0.0.1:0 \
+//	    -wait-tail 30s -trace-out SOAK_archive.trace
 package main
 
 import (
@@ -25,8 +32,31 @@ func main() {
 		which   = flag.String("experiment", "all", "experiment id (T1, T2, F2, F3, E1..E10, A1..A3) or 'all'")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel experiment workers for -experiment all")
+
+		soak      = flag.Bool("soak", false, "run the observed E10 soak with the live endpoint (see soak.go)")
+		sessions  = flag.Int("sessions", 1000, "with -soak: sessions per iteration")
+		soakIters = flag.Int("soak-iters", 10, "with -soak: soak iterations")
+		// The soak default ring is deliberately small: with the quarter-ring
+		// flush watermark it streams chunks continuously throughout the run
+		// (the operator-facing model) instead of in one burst at the end.
+		buffer    = flag.Int("buffer", 1<<12, "with -soak: per-shard trace ring in records")
+		sample    = flag.Uint64("sample", 64, "with -soak: keep every Nth high-rate trace event")
+		listen    = flag.String("listen", "127.0.0.1:0", "with -soak: observability endpoint address ('' disables HTTP)")
+		waitTail  = flag.Duration("wait-tail", 0, "with -soak: wait this long for a /trace tail to attach before traffic")
+		traceOut  = flag.String("trace-out", "", "with -soak: write the streamed trace archive here")
+		outPrefix = flag.String("out-prefix", "SOAK_", "with -soak: prefix for summary.json and metrics.json outputs")
+		allowMB   = flag.Float64("allow-mb", 48, "with -soak: flat RSS growth allowance in MiB (archive growth is added)")
 	)
 	flag.Parse()
+
+	if *soak {
+		os.Exit(runSoak(soakConfig{
+			sessions: *sessions, iters: *soakIters,
+			buffer: *buffer, sample: *sample,
+			listen: *listen, waitTail: *waitTail,
+			traceOut: *traceOut, prefix: *outPrefix, allowMB: *allowMB,
+		}))
+	}
 
 	runners := experiment.All()
 	if *list {

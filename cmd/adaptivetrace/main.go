@@ -9,6 +9,7 @@
 //	adaptivetrace -chrome e3.json e3.trace          # chrome://tracing JSON
 //	adaptivetrace -chrome e3.json -spans -kinds session.pdu.send,session.segue.commit e3.trace
 //	adaptivetrace -diff a.trace b.trace             # exit 1 on divergence
+//	adaptivetrace -tail http://host:port -o t       # record a live /trace stream
 //
 // Recording knobs: -buffer sets the per-shard ring capacity in records,
 // -sample 2^k keeps every 2^k-th high-rate event (structural events are
@@ -19,6 +20,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -42,6 +45,7 @@ func main() {
 		conn     = flag.Uint("conn", 0, "with -chrome: keep session events for this connection id only")
 		summary  = flag.Bool("summary", false, "print per-kind counts and shard retention for a trace")
 		diff     = flag.Bool("diff", false, "compare two traces; exit 1 and print the first divergence")
+		tail     = flag.String("tail", "", "attach to a live observability endpoint and record its /trace stream")
 	)
 	flag.Parse()
 
@@ -92,6 +96,17 @@ func main() {
 		}
 		fmt.Printf("wrote chrome trace %s (load via chrome://tracing or ui.perfetto.dev)\n", *chrome)
 
+	case *tail != "":
+		if *out == "" {
+			fatal("-tail requires -o <path>")
+		}
+		set := tailStream(*tail)
+		if err := set.WriteFile(*out); err != nil {
+			fatal("write %s: %v", *out, err)
+		}
+		fmt.Printf("tailed %s: %d shard(s), %d record(s) -> %s\n",
+			*tail, len(set.Shards), set.Len(), *out)
+
 	case *summary:
 		fmt.Print(load(oneArg("-summary")).Summarize())
 
@@ -118,6 +133,39 @@ func oneArg(mode string) string {
 		fatal("%s takes exactly one trace file, got %s", mode, strconv.Itoa(flag.NArg()))
 	}
 	return flag.Arg(0)
+}
+
+// tailStream subscribes to a live endpoint's /trace stream and reassembles
+// it until the serving node finishes its trace (EOF). Gaps — a chunk lost to
+// a slow subscriber buffer — are fatal: a tail recording with holes would
+// pass a size check but silently fail a record-level diff.
+func tailStream(endpoint string) *trace.Set {
+	url := strings.TrimSuffix(endpoint, "/") + "/trace"
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal("connect %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal("%s: HTTP %d", url, resp.StatusCode)
+	}
+	fr, err := trace.NewFrameReader(resp.Body)
+	if err != nil {
+		fatal("read stream header: %v", err)
+	}
+	b := trace.NewSetBuilder()
+	for {
+		c, err := fr.Next()
+		if err == io.EOF {
+			return b.Set()
+		}
+		if err != nil {
+			fatal("read frame: %v", err)
+		}
+		if err := b.Add(c); err != nil {
+			fatal("stream gap: %v", err)
+		}
+	}
 }
 
 func load(path string) *trace.Set {

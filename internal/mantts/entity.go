@@ -1,9 +1,12 @@
 package mantts
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"adaptive/internal/event"
@@ -84,7 +87,19 @@ type Entity struct {
 
 	// Notify is the application-facing notification hook (call-back
 	// reconfiguration path, §4.1.2 "Application-Specific").
+	//
+	// Deprecated: single-slot hook kept for the old OnNotification API.
+	// New listeners use SubscribeNotes, which lets several coexist (user
+	// code plus the observability plane).
 	Notify func(connID uint32, n mechanism.Notification)
+
+	// Notification subscribers (SubscribeNotes). The list is copy-on-write:
+	// notifyApp, which runs on the provider event loop per delivered note,
+	// takes one atomic load; Subscribe/cancel (rare, any goroutine) copy
+	// under subMu and swap.
+	subMu     sync.Mutex
+	subs      atomic.Pointer[[]noteSub]
+	nextSubID int
 
 	// OnMulticastAccept is invoked when a JoinInvite creates a local
 	// receiving session; applications install receivers here, and the
@@ -524,11 +539,35 @@ func (e *Entity) onJoinInvite(connID uint32, specB []byte, group uint32, port ui
 
 // --- probing (MANTTS-NMI) ---
 
+// probeHandle pins one probing campaign's timer so a stop func (or context
+// cancellation) cancels exactly its own campaign, never a successor that
+// reused the host slot.
+type probeHandle struct {
+	ev *event.Event
+}
+
 // StartProbing begins periodic RTT probes toward a host.
+//
+// Deprecated: the campaign runs until StopProbing(host) or a replacement —
+// callers that forget leak the timer forever. Use StartProbingCtx, which
+// bounds the campaign's lifetime with a context and a stop func.
 func (e *Entity) StartProbing(host netapi.HostID, interval time.Duration) {
+	e.StartProbingCtx(context.Background(), host, interval)
+}
+
+// StartProbingCtx begins periodic RTT probes toward a host, replacing any
+// existing campaign for it. Probing ends when ctx is canceled (checked at
+// the next tick) or when the returned stop func runs, whichever is first;
+// both are safe to invoke multiple times.
+func (e *Entity) StartProbingCtx(ctx context.Context, host netapi.HostID, interval time.Duration) (stop func()) {
 	e.StopProbing(host)
 	to := netapi.Addr{Host: host, Port: e.stack.LocalAddr().Port}
+	h := &probeHandle{}
 	tick := func() {
+		if ctx.Err() != nil {
+			e.releaseProbe(host, h)
+			return
+		}
 		now := e.stack.Clock().Now()
 		e.netstate.NoteProbeSent(host, now)
 		var buf [8]byte
@@ -542,7 +581,21 @@ func (e *Entity) StartProbing(host netapi.HostID, interval time.Duration) {
 		})
 		p.ReleasePayload()
 	}
-	e.probeTimers[host] = e.stack.Timers().SchedulePeriodic(0, interval, tick)
+	h.ev = e.stack.Timers().SchedulePeriodic(0, interval, tick)
+	e.probeTimers[host] = h.ev
+	return func() { e.releaseProbe(host, h) }
+}
+
+// releaseProbe cancels one campaign's timer and clears the host slot only
+// if that campaign still owns it.
+func (e *Entity) releaseProbe(host netapi.HostID, h *probeHandle) {
+	if h.ev == nil {
+		return
+	}
+	h.ev.Cancel()
+	if cur, ok := e.probeTimers[host]; ok && cur == h.ev {
+		delete(e.probeTimers, host)
+	}
 }
 
 // StopProbing cancels probing toward a host.
@@ -701,8 +754,50 @@ func (e *Entity) onNote(m *Managed, n mechanism.Notification) {
 	e.notifyApp(m.Session.ConnID(), n)
 }
 
+// noteSub is one notification subscriber.
+type noteSub struct {
+	id int
+	fn func(connID uint32, n mechanism.Notification)
+}
+
+// SubscribeNotes registers a notification listener alongside any others;
+// listeners fire in registration order, after the deprecated Notify hook.
+// The returned cancel is idempotent and safe from any goroutine.
+func (e *Entity) SubscribeNotes(fn func(connID uint32, n mechanism.Notification)) (cancel func()) {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	id := e.nextSubID
+	e.nextSubID++
+	var list []noteSub
+	if old := e.subs.Load(); old != nil {
+		list = append(list, *old...)
+	}
+	list = append(list, noteSub{id: id, fn: fn})
+	e.subs.Store(&list)
+	return func() {
+		e.subMu.Lock()
+		defer e.subMu.Unlock()
+		cur := e.subs.Load()
+		if cur == nil {
+			return
+		}
+		out := make([]noteSub, 0, len(*cur))
+		for _, s := range *cur {
+			if s.id != id {
+				out = append(out, s)
+			}
+		}
+		e.subs.Store(&out)
+	}
+}
+
 func (e *Entity) notifyApp(connID uint32, n mechanism.Notification) {
 	if e.Notify != nil {
 		e.Notify(connID, n)
+	}
+	if subs := e.subs.Load(); subs != nil {
+		for _, s := range *subs {
+			s.fn(connID, n)
+		}
 	}
 }

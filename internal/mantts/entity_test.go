@@ -2,6 +2,7 @@ package mantts
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -350,5 +351,94 @@ func TestNotifyAppRuleDelivery(t *testing.T) {
 	r.k.RunUntil(time.Second)
 	if len(seen) != 1 || !strings.Contains(seen[0], "slow") {
 		t.Fatalf("app notification: %v", seen)
+	}
+}
+
+func TestProbingCtxStopsOnCancelAndStopFunc(t *testing.T) {
+	r := newRig(t, 3, netsim.LinkConfig{Bandwidth: 10e6, PropDelay: 5 * time.Millisecond, MTU: 1500})
+
+	// Campaign 1: bounded by a context. Cancellation is observed at the
+	// next tick, after which no further probes go out.
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	r.ents[0].StartProbingCtx(ctx, r.hosts[1].ID(), 20*time.Millisecond)
+	r.k.RunUntil(500 * time.Millisecond)
+	cancelCtx()
+	r.k.RunUntil(600 * time.Millisecond) // one tick to notice cancellation
+	p1 := r.ents[0].NetState().Path(r.hosts[1].ID())
+	if p1.ProbesSent == 0 {
+		t.Fatal("ctx campaign never probed")
+	}
+	r.k.RunUntil(2 * time.Second)
+	if after := r.ents[0].NetState().Path(r.hosts[1].ID()); after.ProbesSent != p1.ProbesSent {
+		t.Fatalf("probing continued after ctx cancel: %d -> %d", p1.ProbesSent, after.ProbesSent)
+	}
+
+	// Campaign 2: bounded by the stop func; stop is idempotent.
+	stop := r.ents[0].StartProbingCtx(context.Background(), r.hosts[2].ID(), 20*time.Millisecond)
+	r.k.RunUntil(r.k.Now() + 500*time.Millisecond)
+	stop()
+	stop()
+	p2 := r.ents[0].NetState().Path(r.hosts[2].ID())
+	r.k.RunUntil(r.k.Now() + time.Second)
+	if after := r.ents[0].NetState().Path(r.hosts[2].ID()); after.ProbesSent != p2.ProbesSent {
+		t.Fatal("probing continued after stop()")
+	}
+}
+
+func TestProbingStopDoesNotKillSuccessor(t *testing.T) {
+	r := newRig(t, 2, netsim.LinkConfig{Bandwidth: 10e6, PropDelay: 5 * time.Millisecond, MTU: 1500})
+	stale := r.ents[0].StartProbingCtx(context.Background(), r.hosts[1].ID(), 20*time.Millisecond)
+	// A replacement campaign takes over the host slot...
+	r.ents[0].StartProbingCtx(context.Background(), r.hosts[1].ID(), 20*time.Millisecond)
+	// ...so the stale campaign's stop must not cancel it.
+	stale()
+	r.k.RunUntil(time.Second)
+	if p := r.ents[0].NetState().Path(r.hosts[1].ID()); p.ProbesSent == 0 {
+		t.Fatal("stale stop() canceled the successor campaign")
+	}
+}
+
+func TestSubscribeNotesMultipleListeners(t *testing.T) {
+	r := newRig(t, 2, netsim.LinkConfig{Bandwidth: 10e6, PropDelay: time.Millisecond, MTU: 1500})
+	r.stacks[1].Listen(80, &protograph.Listener{OnAccept: func(s *session.Session) {
+		s.SetReceiver(func(d session.Delivery) { d.Msg.Release() })
+	}})
+	var legacy, a, b int
+	r.ents[0].Notify = func(_ uint32, _ mechanism.Notification) { legacy++ }
+	cancelA := r.ents[0].SubscribeNotes(func(_ uint32, _ mechanism.Notification) { a++ })
+	r.ents[0].SubscribeNotes(func(_ uint32, _ mechanism.Notification) { b++ })
+
+	acd := &ACD{
+		Participants: []netapi.Addr{r.addr(1)},
+		RemotePort:   80,
+		Qual:         QualQoS{Ordered: true},
+		TSA: []Rule{{
+			Cond:    Cond{Metric: MetricThroughputBps, Op: OpLT, Threshold: 1e12},
+			Action:  Action{Kind: ActNotifyApp, Note: "ping"},
+			OneShot: true,
+		}},
+		TMC: TMC{SampleRate: 10 * time.Millisecond},
+	}
+	m, err := r.ents[0].OpenSession(acd, 555)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Session.Send([]byte("hello"))
+	r.k.RunUntil(time.Second)
+	if legacy == 0 || a == 0 || b == 0 || a != b || a != legacy {
+		t.Fatalf("listener counts diverge: legacy=%d a=%d b=%d", legacy, a, b)
+	}
+
+	// Canceling one listener (twice — idempotent) leaves the other running.
+	cancelA()
+	cancelA()
+	aBefore, bBefore := a, b
+	m.Session.Close()
+	r.k.RunUntil(r.k.Now() + 2*time.Second)
+	if a != aBefore {
+		t.Fatal("canceled listener kept firing")
+	}
+	if b <= bBefore {
+		t.Fatal("remaining listener missed the close notification")
 	}
 }

@@ -349,7 +349,9 @@ func (s *Session) SendMessage(m *message.Message) error {
 		m.Release()
 		return errClosed
 	}
-	s.tracer.Emit(s.clock.Now(), trace.KSendSubmit, s.connID, uint64(m.Len()), 0, 0)
+	// Keyed on the next tx seq: submits track the data rate, so sampled
+	// recordings thin them with the PDU events instead of keeping all.
+	s.tracer.EmitKeyed(s.txSeq, s.clock.Now(), trace.KSendSubmit, s.connID, uint64(m.Len()), 0, 0)
 	mss := s.spec.MSS
 	for m.Len() > mss {
 		rest := m.Split(mss)

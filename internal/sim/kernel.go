@@ -58,7 +58,9 @@ func (t Timer) Stop() bool {
 	t.ev.canceled = true
 	t.k.stopped++
 	if t.k.tracer != nil {
-		t.k.tracer.Emit(t.k.now, trace.KTimerStop, 0, t.ev.seq, 0, 0)
+		// Keyed: timer stops are per-packet-rate (delayed-ack cancels), so
+		// sampled recordings thin them like fires instead of keeping all.
+		t.k.tracer.EmitKeyed(t.ev.seq, t.k.now, trace.KTimerStop, 0, t.ev.seq, 0, 0)
 	}
 	return true
 }

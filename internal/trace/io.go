@@ -32,6 +32,29 @@ const (
 	recordSize  = 8 + 8 + 8 + 8 + 4 + 2
 )
 
+// encodeRecord writes r into dst (which must hold recordSize bytes). The
+// layout is shared by the trace-file and live-stream formats.
+func encodeRecord(dst []byte, r *Record) {
+	binary.LittleEndian.PutUint64(dst[0:8], uint64(r.At))
+	binary.LittleEndian.PutUint64(dst[8:16], r.A)
+	binary.LittleEndian.PutUint64(dst[16:24], r.B)
+	binary.LittleEndian.PutUint64(dst[24:32], r.C)
+	binary.LittleEndian.PutUint32(dst[32:36], r.ID)
+	binary.LittleEndian.PutUint16(dst[36:38], uint16(r.Kind))
+}
+
+// decodeRecord parses a recordSize-byte buffer written by encodeRecord.
+func decodeRecord(src []byte) Record {
+	return Record{
+		At:   int64AsDuration(binary.LittleEndian.Uint64(src[0:8])),
+		A:    binary.LittleEndian.Uint64(src[8:16]),
+		B:    binary.LittleEndian.Uint64(src[16:24]),
+		C:    binary.LittleEndian.Uint64(src[24:32]),
+		ID:   binary.LittleEndian.Uint32(src[32:36]),
+		Kind: Kind(binary.LittleEndian.Uint16(src[36:38])),
+	}
+}
+
 // WriteTo serializes the Set in the binary trace-file format.
 func (s *Set) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
@@ -58,13 +81,8 @@ func (s *Set) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 		n += int64(len(shHdr))
-		for _, r := range sh.Records {
-			binary.LittleEndian.PutUint64(rec[0:8], uint64(r.At))
-			binary.LittleEndian.PutUint64(rec[8:16], r.A)
-			binary.LittleEndian.PutUint64(rec[16:24], r.B)
-			binary.LittleEndian.PutUint64(rec[24:32], r.C)
-			binary.LittleEndian.PutUint32(rec[32:36], r.ID)
-			binary.LittleEndian.PutUint16(rec[36:38], uint16(r.Kind))
+		for i := range sh.Records {
+			encodeRecord(rec[:], &sh.Records[i])
 			if _, err := bw.Write(rec[:]); err != nil {
 				return n, err
 			}
@@ -106,14 +124,7 @@ func ReadSet(r io.Reader) (*Set, error) {
 			if _, err := io.ReadFull(br, rec[:]); err != nil {
 				return nil, fmt.Errorf("trace: reading shard %d record %d: %w", i, j, err)
 			}
-			sh.Records = append(sh.Records, Record{
-				At:   int64AsDuration(binary.LittleEndian.Uint64(rec[0:8])),
-				A:    binary.LittleEndian.Uint64(rec[8:16]),
-				B:    binary.LittleEndian.Uint64(rec[16:24]),
-				C:    binary.LittleEndian.Uint64(rec[24:32]),
-				ID:   binary.LittleEndian.Uint32(rec[32:36]),
-				Kind: Kind(binary.LittleEndian.Uint16(rec[36:38])),
-			})
+			sh.Records = append(sh.Records, decodeRecord(rec[:]))
 		}
 		s.Shards = append(s.Shards, sh)
 	}

@@ -175,6 +175,14 @@ type Recorder struct {
 	n          uint64 // total records emitted (including overwritten ones)
 	sampleMask uint64 // EmitKeyed records only keys with key&sampleMask == 0
 	shard      int
+
+	// Streaming sink (nil when not streaming). low is the first emit index
+	// not yet handed to the stream; once n-low reaches flushEvery the writer
+	// flushes pending records into a pooled Chunk (see stream.go). All three
+	// are writer-goroutine state, like buf and n.
+	stream     *Stream
+	low        uint64
+	flushEvery uint64
 }
 
 // DefaultBuffer is the default ring capacity in records.
@@ -222,6 +230,9 @@ func (r *Recorder) Emit(at time.Duration, kind Kind, id uint32, a, b, c uint64) 
 	}
 	r.buf[r.n&r.mask] = Record{At: at, A: a, B: b, C: c, ID: id, Kind: kind}
 	r.n++
+	if r.stream != nil && r.n-r.low >= r.flushEvery {
+		r.flushPending()
+	}
 }
 
 // EmitKeyed appends one record subject to keyed sampling: the record is
@@ -233,6 +244,9 @@ func (r *Recorder) EmitKeyed(key uint64, at time.Duration, kind Kind, id uint32,
 	}
 	r.buf[r.n&r.mask] = Record{At: at, A: a, B: b, C: c, ID: id, Kind: kind}
 	r.n++
+	if r.stream != nil && r.n-r.low >= r.flushEvery {
+		r.flushPending()
+	}
 }
 
 // Total returns how many records were emitted over the recorder's lifetime,
@@ -271,12 +285,14 @@ func (r *Recorder) Records() []Record {
 	return out
 }
 
-// Reset clears the ring without resizing it.
+// Reset clears the ring without resizing it. Records not yet flushed to an
+// installed stream are discarded.
 func (r *Recorder) Reset() {
 	if r == nil {
 		return
 	}
 	r.n = 0
+	r.low = 0
 }
 
 // Snapshot captures the recorder as one shard of a Set.

@@ -28,6 +28,51 @@ type DistSnapshot struct {
 	Hist   []HistBucket `json:"hist,omitempty"`
 }
 
+// Restore reconstructs a Distribution from the snapshot. Moments are
+// recovered exactly from Count/Mean/StdDev and the histogram is rebuilt
+// bucket-for-bucket (HistogramFromBuckets), so a restored distribution
+// reports the same HistQuantile values as the live one it was captured from
+// and merges exactly with other distributions. The quantile reservoir is not
+// exported; Quantile on a restored distribution answers from the histogram.
+func (ds DistSnapshot) Restore() *Distribution {
+	d := NewDistribution()
+	d.Count = ds.Count
+	d.Min = ds.Min
+	d.Max = ds.Max
+	d.Sum = ds.Mean * float64(ds.Count)
+	d.SumSq = (ds.StdDev*ds.StdDev + ds.Mean*ds.Mean) * float64(ds.Count)
+	if len(ds.Hist) > 0 {
+		d.hist = HistogramFromBuckets(ds.Hist)
+	}
+	return d
+}
+
+// MergeSnapshot folds the snapshot into d without materializing a restored
+// Distribution — the allocation-free path scrape-time aggregation uses
+// (Restore allocates a fresh histogram per call; a /metrics render folds
+// thousands of connection snapshots into a handful of aggregates). The
+// result is identical to d.Merge(ds.Restore()).
+func (ds DistSnapshot) MergeSnapshot(d *Distribution) {
+	if ds.Count == 0 {
+		return
+	}
+	if d.Count == 0 || ds.Min < d.Min {
+		d.Min = ds.Min
+	}
+	if d.Count == 0 || ds.Max > d.Max {
+		d.Max = ds.Max
+	}
+	d.Count += ds.Count
+	d.Sum += ds.Mean * float64(ds.Count)
+	d.SumSq += (ds.StdDev*ds.StdDev + ds.Mean*ds.Mean) * float64(ds.Count)
+	if len(ds.Hist) > 0 {
+		if d.hist == nil {
+			d.hist = &Histogram{}
+		}
+		d.hist.AddBuckets(ds.Hist)
+	}
+}
+
 // RecorderSnapshot is one scope's metrics.
 type RecorderSnapshot struct {
 	Scope    string                  `json:"scope"`
@@ -66,12 +111,19 @@ func snapshotOf(r *Recorder) RecorderSnapshot {
 			snap := DistSnapshot{
 				Count: d.Count, Mean: d.Mean(), StdDev: d.StdDev(),
 				Min: d.Min, Max: d.Max,
-				P50: d.HistQuantile(0.5), P90: d.HistQuantile(0.9),
-				P95: d.HistQuantile(0.95), P99: d.HistQuantile(0.99),
-				P999: d.HistQuantile(0.999),
 			}
 			if h := d.Hist(); h != nil {
+				// One bucket pass for all five quantiles: snapshots are
+				// taken at scrape rate over thousands of connections.
+				var qv [5]float64
+				h.Quantiles([]float64{0.5, 0.9, 0.95, 0.99, 0.999}, qv[:])
+				snap.P50, snap.P90, snap.P95, snap.P99, snap.P999 =
+					qv[0], qv[1], qv[2], qv[3], qv[4]
 				snap.Hist = h.Buckets()
+			} else {
+				snap.P50, snap.P90 = d.HistQuantile(0.5), d.HistQuantile(0.9)
+				snap.P95, snap.P99 = d.HistQuantile(0.95), d.HistQuantile(0.99)
+				snap.P999 = d.HistQuantile(0.999)
 			}
 			out.Dists[k] = snap
 		}

@@ -106,11 +106,78 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return 0
 }
 
+// Quantiles fills out[i] with the qs[i]-quantile in ONE pass over the
+// buckets; qs must be ascending. Snapshot capture uses this — a scrape
+// renders five quantiles for thousands of connection distributions, and the
+// single pass is what keeps that render off the soak's critical path.
+func (h *Histogram) Quantiles(qs []float64, out []float64) {
+	if h.total == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	j := 0
+	rankOf := func(q float64) uint64 {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		return uint64(q * float64(h.total-1))
+	}
+	for j < len(qs) && rankOf(qs[j]) < h.zeros {
+		out[j] = 0
+		j++
+	}
+	cum := h.zeros
+	for i, c := range h.buckets {
+		if j >= len(qs) {
+			return
+		}
+		cum += c
+		for j < len(qs) && rankOf(qs[j]) < cum {
+			lo, hi := histBounds(i)
+			out[j] = (lo + hi) / 2
+			j++
+		}
+	}
+	for ; j < len(qs); j++ {
+		out[j] = 0
+	}
+}
+
 // HistBucket is one non-empty bucket in an export snapshot.
 type HistBucket struct {
 	Lo    float64 `json:"lo"`
 	Hi    float64 `json:"hi"`
 	Count uint64  `json:"count"`
+}
+
+// HistogramFromBuckets rebuilds a histogram from an exported bucket list.
+// The round trip is exact: every exported bucket's midpoint maps back to the
+// bucket it came from (bucket bounds are [lo, hi) with the midpoint strictly
+// inside), and the [0,0) bucket restores the zero/negative count — so a
+// restored histogram reports the same quantiles and merges bucket-wise with
+// live ones.
+func HistogramFromBuckets(bs []HistBucket) *Histogram {
+	h := &Histogram{}
+	h.AddBuckets(bs)
+	return h
+}
+
+// AddBuckets folds exported buckets into h in place (the allocation-free
+// variant of HistogramFromBuckets, for scrape-time aggregation).
+func (h *Histogram) AddBuckets(bs []HistBucket) {
+	for _, b := range bs {
+		if b.Lo == 0 && b.Hi == 0 {
+			h.zeros += b.Count
+		} else {
+			h.buckets[histIndex(b.Lo+(b.Hi-b.Lo)/2)] += b.Count
+		}
+		h.total += b.Count
+	}
 }
 
 // Buckets returns the non-empty buckets in ascending value order, with a

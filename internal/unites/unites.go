@@ -141,9 +141,14 @@ func (d *Distribution) StdDev() float64 {
 	return math.Sqrt(v)
 }
 
-// Quantile returns the q-quantile (0<=q<=1) from the reservoir.
+// Quantile returns the q-quantile (0<=q<=1) from the reservoir. A
+// distribution with no reservoir but a histogram (snapshot-restored) answers
+// from the histogram instead of silently reporting 0.
 func (d *Distribution) Quantile(q float64) float64 {
 	if len(d.reservoir) == 0 {
+		if d.hist != nil {
+			return d.hist.Quantile(q)
+		}
 		return 0
 	}
 	s := append([]float64(nil), d.reservoir...)
@@ -163,9 +168,11 @@ func (d *Distribution) Quantile(q float64) float64 {
 func (d *Distribution) Hist() *Histogram { return d.hist }
 
 // HistQuantile returns the q-quantile from the log-bucketed histogram
-// (bounded relative error, exact under Merge). Distributions that predate
-// the histogram — e.g. restored from a snapshot — fall back to the
-// reservoir estimate.
+// (bounded relative error, exact under Merge). Snapshot-restored
+// distributions carry an exactly-reconstructed histogram (DistSnapshot.
+// Restore), so this path answers identically before and after a snapshot
+// round trip; only a distribution that never saw a sample falls back to the
+// (empty) reservoir estimate.
 func (d *Distribution) HistQuantile(q float64) float64 {
 	if d.hist != nil {
 		return d.hist.Quantile(q)

@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-3}"
 
-go test -run '^$' -bench 'BenchmarkE10_Scale' -count="$COUNT" . | tee BENCH_scale.txt
+go test -run '^$' -bench 'BenchmarkE10_(Scale|Observed)' -count="$COUNT" . | tee BENCH_scale.txt
 
 GOVER=$(go version | awk '{print $3}')
 MAXPROCS=${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}
@@ -28,7 +28,7 @@ BEGIN {
     printf "{\n  \"meta\": {\"go\": \"%s\", \"gomaxprocs\": %s, \"cpu\": \"%s\", \"commit\": \"%s\"},\n", gover, maxprocs, cpu, commit
     print "  \"results\": ["
 }
-/^BenchmarkE10_Scale/ {
+/^BenchmarkE10_/ {
     name = $1
     pkts = ""; events = ""; nspkt = ""; allocs = ""; rowprocs = maxprocs
     for (i = 2; i <= NF; i++) {
@@ -73,3 +73,30 @@ awk '/"name"/ {
 }
 END { exit bad }
 ' BENCH_scale.json && echo "scale: events/pkt < 1.0 everywhere, allocs/pkt < 1.0 at N=5000"
+
+# Observability overhead gate (best-of-COUNT rows, like everything above):
+# the fully observed soak — shared repository, streaming recorders, HTTP
+# endpoint under scrape, live /trace tail — must hold pkts/s within
+# OBS_THRESHOLD percent (default 5) of the unobserved soak and keep heap
+# allocations per delivered packet below 1.0.
+OBS_THRESHOLD="${OBS_THRESHOLD:-5}"
+awk -v thresh="$OBS_THRESHOLD" '
+/"name"/ {
+    pkts = -1; al = -1
+    if (match($0, /"pkts_per_sec": [0-9.eE+-]+/))
+        pkts = substr($0, RSTART + 16, RLENGTH - 16) + 0
+    if (match($0, /"allocs_per_pkt": [0-9.eE+-]+/))
+        al = substr($0, RSTART + 18, RLENGTH - 18) + 0
+    if ($0 ~ /Observed\/mode=off/) off = pkts
+    if ($0 ~ /Observed\/mode=on/) { on = pkts; onallocs = al }
+}
+END {
+    if (off + 0 <= 0 || on + 0 <= 0) { print "FAIL: observed A/B rows missing from BENCH_scale.json"; exit 1 }
+    delta = (off - on) / off * 100
+    printf "observed soak: %.0f -> %.0f pkts/s (%+.1f%%), allocs/pkt %.3f\n", off, on, -delta, onallocs
+    bad = 0
+    if (delta > thresh + 0) { printf "FAIL: observed soak loses %.1f%% pkts/s (budget %s%%)\n", delta, thresh; bad = 1 }
+    if (onallocs >= 1.0) { printf "FAIL: observed allocs/pkt %.3f >= 1.0\n", onallocs; bad = 1 }
+    exit bad
+}
+' BENCH_scale.json && echo "scale: observed overhead within ${OBS_THRESHOLD}%, observed allocs/pkt < 1.0"

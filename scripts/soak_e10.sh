@@ -1,0 +1,70 @@
+#!/bin/sh
+# The live-soak leak gate (`make soak`): runs the observed E10 soak as a real
+# process serving its observability endpoint, attaches a live /trace tail
+# from another process, and fails on any of
+#
+#   - result-fingerprint drift across iterations (includes p999 drift),
+#   - RSS growth past the archive-aware allowance,
+#   - dropped trace chunks or failed scrapes (gated inside the soak), or
+#   - the tailed recording differing from the in-process archive.
+#
+# Knobs: SESSIONS (default 1000), ITERS (default 10), PREFIX (default SOAK_,
+# also the output-file prefix — the CI smoke variant uses SMOKE_ with a tiny
+# soak so PR runs stay fast).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SESSIONS="${SESSIONS:-1000}"
+ITERS="${ITERS:-10}"
+PREFIX="${PREFIX:-SOAK_}"
+
+mkdir -p bin
+go build -o bin/adaptivebench ./cmd/adaptivebench
+go build -o bin/adaptivetrace ./cmd/adaptivetrace
+
+rm -f "${PREFIX}soak.log" "${PREFIX}archive.trace" "${PREFIX}tail.trace" \
+    "${PREFIX}summary.json" "${PREFIX}metrics.json"
+
+# The soak holds traffic (-wait-tail) until the tail client attaches, so the
+# stream is captured from record zero and the post-run diff can be exact.
+bin/adaptivebench -soak -sessions "$SESSIONS" -soak-iters "$ITERS" \
+    -wait-tail 60s -trace-out "${PREFIX}archive.trace" -out-prefix "$PREFIX" \
+    > "${PREFIX}soak.log" 2>&1 &
+SOAK_PID=$!
+
+ENDPOINT=""
+i=0
+while [ "$i" -lt 300 ]; do
+    ENDPOINT=$(sed -n 's/^SOAK_ENDPOINT=//p' "${PREFIX}soak.log" 2>/dev/null || true)
+    [ -n "$ENDPOINT" ] && break
+    if ! kill -0 "$SOAK_PID" 2>/dev/null; then
+        cat "${PREFIX}soak.log"
+        echo "FAIL: soak exited before serving its endpoint"
+        exit 1
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ -z "$ENDPOINT" ]; then
+    kill "$SOAK_PID" 2>/dev/null || true
+    cat "${PREFIX}soak.log"
+    echo "FAIL: no SOAK_ENDPOINT within 60s"
+    exit 1
+fi
+echo "soak endpoint: $ENDPOINT"
+
+# Tail the live stream; this blocks until the soak finishes its trace.
+bin/adaptivetrace -tail "$ENDPOINT" -o "${PREFIX}tail.trace"
+
+SOAK_RC=0
+wait "$SOAK_PID" || SOAK_RC=$?
+cat "${PREFIX}soak.log"
+if [ "$SOAK_RC" -ne 0 ]; then
+    echo "FAIL: soak exited $SOAK_RC"
+    exit "$SOAK_RC"
+fi
+
+# The tailed recording must be byte-identical to what the node streamed.
+bin/adaptivetrace -diff "${PREFIX}archive.trace" "${PREFIX}tail.trace"
+echo "soak gate: PASS (${SESSIONS} sessions x ${ITERS} iterations)"
