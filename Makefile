@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify live bench bench-scale bench-compare faults trace soak soak-smoke clean
+.PHONY: build test verify live bench bench-scale bench-live bench-compare faults trace soak soak-smoke clean
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,13 @@ bench:
 # with go version / GOMAXPROCS / CPU metadata).
 bench-scale:
 	./scripts/bench_scale.sh
+
+# bench-live runs the E11 live line-rate blast over UDP loopback in both
+# provider configurations (per-packet vs batched recvmmsg/sendmmsg) and
+# writes BENCH_live.json. The script gates A/B within the run: batched
+# must reach >= 2x the per-packet packet rate and hold allocs/pkt < 1.0.
+bench-live:
+	./scripts/bench_live.sh
 
 # bench-compare diffs freshly generated BENCH_*.json against the committed
 # baselines under scripts/baseline/ and fails on time or allocation

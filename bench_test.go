@@ -638,3 +638,54 @@ func TestE10ParallelSpeedup(t *testing.T) {
 func BenchmarkA1_DelayedAcks(b *testing.B)   { benchRunTables(b, experiment.RunA1) }
 func BenchmarkA2_FECGroupSweep(b *testing.B) { benchRunTables(b, experiment.RunA2) }
 func BenchmarkA3_NakThrottle(b *testing.B)   { benchRunTables(b, experiment.RunA3) }
+
+// BenchmarkE11_Live is the live line-rate blast (internal/experiment/e11.go):
+// a mixed Table-1-size datagram stream over UDP loopback through the udpnet
+// provider, in the two standard configurations — mode=perpkt (BatchSize=1,
+// FlushWindow=0: one syscall and one loop post per datagram, the
+// pre-batching shape) and mode=batched (recvmmsg/sendmmsg with a flush
+// window). Each reports wall packet rate, ns and heap allocations per
+// delivered datagram. The acceptance bar (scripts/bench_live.sh):
+// mode=batched at >= 2x the mode=perpkt packet rate with allocs/pkt below
+// 1.0. `make bench-live` records both in BENCH_live.json.
+func BenchmarkE11_Live(b *testing.B) {
+	const burst = 8192
+	for _, m := range []struct {
+		name string
+		cfg  experiment.E11Config
+	}{
+		{"perpkt", experiment.E11PerPacket},
+		{"batched", experiment.E11Batched},
+	} {
+		b.Run("mode="+m.name, func(b *testing.B) {
+			rig, err := experiment.StartE11(m.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rig.Close()
+			// Warm the slab pools, the rx ring, and the flush timer so the
+			// measurement sees the steady state.
+			if _, _, err := rig.Blast(4096); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			var delivered uint64
+			for i := 0; i < b.N; i++ {
+				n, _, err := rig.Blast(burst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				delivered += uint64(n)
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			elapsed := b.Elapsed()
+			b.ReportMetric(float64(delivered)/elapsed.Seconds(), "pkts/s")
+			b.ReportMetric(float64(elapsed.Nanoseconds())/float64(delivered), "ns/pkt")
+			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(delivered), "allocs/pkt")
+		})
+	}
+}

@@ -3,15 +3,21 @@
 // Every other example (and every experiment) runs against the deterministic
 // simulator; this one swaps the provider for internal/udpnet — real loopback
 // UDP datagrams, real wall-clock timers — without changing a line of
-// protocol code. It transfers 1 MB reliably and prints the measured result.
+// protocol code. It transfers 1 MB reliably through the batched
+// recvmmsg/sendmmsg datapath, publishes the provider's batch counters on
+// the node's observability endpoint, and prints the measured result plus
+// the scraped udpnet metrics.
 //
 //	go run ./examples/liveudp
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"log"
+	"net/http"
+	"strings"
 	"time"
 
 	"adaptive"
@@ -20,12 +26,20 @@ import (
 
 func main() {
 	provider := udpnet.New(
-		udpnet.WithSocketBuffers(4<<20, 4<<20), // several MB for high-rate loopback
-		udpnet.WithQueueLen(8192),              // bounded loop queue; overflow = counted drops
+		udpnet.WithSocketBuffers(4<<20, 4<<20),       // several MB for high-rate loopback
+		udpnet.WithQueueLen(8192),                    // bounded loop queue; overflow = counted drops
+		udpnet.WithBatch(32),                         // recvmmsg/sendmmsg up to 32 datagrams per syscall
+		udpnet.WithFlushWindow(200*time.Microsecond), // sends coalesce for at most 200 µs
 	)
 	defer provider.Close()
 
-	sender, err := adaptive.NewNode(adaptive.WithProvider(provider), adaptive.WithHost(1), adaptive.WithName("udp-sender"))
+	sender, err := adaptive.NewNode(adaptive.WithProvider(provider), adaptive.WithHost(1), adaptive.WithName("udp-sender"),
+		// The provider's batch counters ride the node's observability
+		// endpoint: scrape /metrics and the udpnet.* gauges are there.
+		adaptive.WithObservability(adaptive.Observe{
+			Listen:   "127.0.0.1:0",
+			Counters: provider.MetricCounters(),
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +97,28 @@ func main() {
 		if !bytes.Equal(got, payload) {
 			log.Fatal("corruption over UDP")
 		}
+		printUDPMetrics(sender.Observability().Addr())
 	case <-time.After(30 * time.Second):
 		log.Fatal("transfer timed out")
+	}
+}
+
+// printUDPMetrics scrapes the node's Prometheus endpoint and echoes the
+// udpnet_* lines — the batch datapath as an external monitor sees it.
+func printUDPMetrics(addr string) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		log.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	fmt.Println("\nudpnet counters from /metrics:")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "adaptive_udpnet_") {
+			fmt.Printf("  %s\n", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("scrape read: %v", err)
 	}
 }

@@ -1,0 +1,239 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"adaptive/internal/mantts"
+	"adaptive/internal/netapi"
+	"adaptive/internal/udpnet"
+)
+
+// E11 — the live line-rate blast.
+//
+// The paper's thesis is that per-packet processing overhead, not link
+// speed, bounds lightweight transport on high-speed networks (§2.2A). E10
+// measured that overhead in the simulator; E11 measures it on the real
+// socket: a datagram blast over UDP loopback through the udpnet provider's
+// batched datapath, with packet sizes mixed across the Table 1 service
+// classes. The experiment runs the same traffic in two provider
+// configurations —
+//
+//   - per-packet: BatchSize=1, FlushWindow=0 — one syscall and one loop
+//     post per datagram, the pre-batching shape;
+//   - batched: BatchSize>=32 with a flush window — recvmmsg/sendmmsg and
+//     one loop post per batch;
+//
+// — and the acceptance gate (scripts/bench_live.sh) requires the batched
+// configuration to at least double the per-packet packet rate while
+// holding steady-state allocations under one per packet. A send window
+// caps outstanding datagrams so the loopback path exerts backpressure
+// instead of overflowing the socket buffer: the blast measures processing
+// overhead, not kernel queue loss.
+
+// E11Config parameterizes one blast rig.
+type E11Config struct {
+	// BatchSize / FlushWindow configure the provider (see udpnet.Config).
+	BatchSize   int
+	FlushWindow time.Duration
+	// Window caps outstanding (sent but not yet delivered) datagrams
+	// (default 2048).
+	Window int
+	// Seed drives the deterministic size mix (default 11).
+	Seed int64
+}
+
+// E11PerPacket and E11Batched are the two standard rig configurations the
+// benchmark and the A/B gate compare.
+var (
+	E11PerPacket = E11Config{BatchSize: 1, FlushWindow: 0}
+	E11Batched   = E11Config{BatchSize: 32, FlushWindow: 200 * time.Microsecond}
+)
+
+// E11Sizes derives the blast's datagram size mix from Table 1: each
+// application class contributes a size representative of its average
+// throughput level, so the wire sees the small-control/large-bulk mix the
+// paper's application survey implies rather than a single synthetic size.
+func E11Sizes() []int {
+	sizes := make([]int, 0, len(mantts.Table1))
+	for i := range mantts.Table1 {
+		var n int
+		switch mantts.Table1[i].AvgThruput {
+		case mantts.VeryLow:
+			n = 64 // TELNET keystrokes
+		case mantts.Low:
+			n = 160 // voice frames, transaction records
+		case mantts.Moderate:
+			n = 512 // conferencing, file-transfer segments
+		default:
+			n = 1400 // video / bulk at the path MTU budget
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+// E11Result is one blast's outcome.
+type E11Result struct {
+	Packets  int           // datagrams delivered
+	Bytes    uint64        // payload bytes delivered
+	Elapsed  time.Duration // wall time for the blast
+	Counters udpnet.BatchCounters
+}
+
+// PktsPerSec is the headline rate.
+func (r *E11Result) PktsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Packets) / r.Elapsed.Seconds()
+}
+
+// E11Rig is a standing blast fixture: one provider, a sender and a
+// receiver endpoint on loopback, reusable across blasts so benchmarks can
+// exclude setup from the measurement.
+type E11Rig struct {
+	Provider *udpnet.Provider
+	src      netapi.Endpoint
+	dst      netapi.Addr
+	rxPkts   atomic.Uint64
+	rxBytes  atomic.Uint64
+	sizes    []int
+	rng      *rand.Rand
+	payload  []byte
+	window   uint64
+	flush    func() error
+	// note is pinged by the receive upcall after every delivered batch;
+	// Blast blocks on it instead of spinning. On a small machine a
+	// Gosched busy-wait would timeshare against the very goroutines it is
+	// waiting on and the scheduler overhead would swamp the datapath.
+	note chan struct{}
+}
+
+// StartE11 builds the rig for cfg.
+func StartE11(cfg E11Config) (*E11Rig, error) {
+	window := cfg.Window
+	if window <= 0 {
+		window = 2048
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 11
+	}
+	prov := udpnet.New(
+		udpnet.WithBatch(cfg.BatchSize),
+		udpnet.WithFlushWindow(cfg.FlushWindow),
+		udpnet.WithQueueLen(1<<14),
+		udpnet.WithSocketBuffers(8<<20, 8<<20),
+	)
+	rig := &E11Rig{
+		Provider: prov,
+		dst:      netapi.Addr{Host: 2, Port: 20},
+		sizes:    E11Sizes(),
+		rng:      rand.New(rand.NewSource(seed)),
+		payload:  make([]byte, 1400),
+		window:   uint64(window),
+		note:     make(chan struct{}, 1),
+	}
+	rig.rng.Read(rig.payload)
+	src, err := prov.Open(1, 10)
+	if err != nil {
+		prov.Close()
+		return nil, err
+	}
+	rig.src = src
+	if fl, ok := src.(interface{ Flush() error }); ok {
+		rig.flush = fl.Flush
+	} else {
+		rig.flush = func() error { return nil }
+	}
+	sink, err := prov.Open(2, 20)
+	if err != nil {
+		prov.Close()
+		return nil, err
+	}
+	// The receive side consumes whole batches in one upcall — the consumer
+	// shape the batched datapath is built for.
+	sink.(netapi.BatchEndpoint).SetBatchReceiver(func(batch []netapi.Packet) {
+		var bytes uint64
+		for i := range batch {
+			bytes += uint64(len(batch[i].Data))
+		}
+		rig.rxBytes.Add(bytes)
+		rig.rxPkts.Add(uint64(len(batch)))
+		select {
+		case rig.note <- struct{}{}:
+		default:
+		}
+	})
+	return rig, nil
+}
+
+// Close tears the rig down.
+func (rig *E11Rig) Close() { rig.Provider.Close() }
+
+// Blast sends n mixed-size datagrams under the outstanding-packet window
+// and waits until the receiver has them all. It returns the delivered
+// count and bytes; a stall (which the window should make impossible on a
+// healthy loopback) is an error.
+func (rig *E11Rig) Blast(n int) (pkts int, bytes uint64, err error) {
+	startPkts := rig.rxPkts.Load()
+	startBytes := rig.rxBytes.Load()
+	var sent uint64
+	for i := 0; i < n; i++ {
+		if sent-(rig.rxPkts.Load()-startPkts) >= rig.window {
+			// About to block on the window: uncork the flush queue first
+			// so the sub-batch tail isn't left waiting on the window
+			// timer while we wait on its delivery (the classic
+			// Nagle/delayed-ack coupling, avoided the classic way).
+			if err := rig.flush(); err != nil {
+				return 0, 0, fmt.Errorf("e11: uncork: %w", err)
+			}
+			for sent-(rig.rxPkts.Load()-startPkts) >= rig.window {
+				<-rig.note
+			}
+		}
+		sz := rig.sizes[rig.rng.Intn(len(rig.sizes))]
+		if err := rig.src.Send(rig.payload[:sz], rig.dst); err != nil {
+			return 0, 0, fmt.Errorf("e11: send %d: %w", i, err)
+		}
+		sent++
+	}
+	// Push out any tail the flush window is still holding, then drain.
+	if err := rig.flush(); err != nil {
+		return 0, 0, fmt.Errorf("e11: tail flush: %w", err)
+	}
+	deadline := time.NewTimer(30 * time.Second)
+	defer deadline.Stop()
+	for rig.rxPkts.Load()-startPkts < sent {
+		select {
+		case <-rig.note:
+		case <-deadline.C:
+			return 0, 0, fmt.Errorf("e11: stalled at %d of %d datagrams",
+				rig.rxPkts.Load()-startPkts, sent)
+		}
+	}
+	return int(sent), rig.rxBytes.Load() - startBytes, nil
+}
+
+// RunE11 is the one-shot form: build the rig, blast n datagrams, report.
+func RunE11(cfg E11Config, n int) (*E11Result, error) {
+	rig, err := StartE11(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rig.Close()
+	start := time.Now()
+	pkts, bytes, err := rig.Blast(n)
+	if err != nil {
+		return nil, err
+	}
+	return &E11Result{
+		Packets:  pkts,
+		Bytes:    bytes,
+		Elapsed:  time.Since(start),
+		Counters: rig.Provider.BatchCounters(),
+	}, nil
+}

@@ -51,6 +51,13 @@ type LiveScenario struct {
 	// PhaseTimeout caps each phase of the live run in wall time
 	// (default 30s; the sim run is capped in virtual time instead).
 	PhaseTimeout time.Duration
+	// BatchSize and FlushWindow configure the live provider's batched
+	// datapath (udpnet.Config). The zero values keep receive batching at
+	// the provider default and sends per-packet — the A/B baseline; the
+	// parity tests run the same scenario both ways and require
+	// byte-identical delivery.
+	BatchSize   int
+	FlushWindow time.Duration
 }
 
 // TotalBytes is the whole scenario's payload size.
@@ -191,7 +198,8 @@ func (sc *LiveScenario) RunSim() (*LiveRun, error) {
 // event loop (via Wait); progress is observed through a signal channel the
 // receive upcall pings.
 func (sc *LiveScenario) RunLive() (*LiveRun, error) {
-	base := udpnet.New(udpnet.WithQueueLen(1<<14), udpnet.WithSocketBuffers(4<<20, 4<<20))
+	base := udpnet.New(udpnet.WithQueueLen(1<<14), udpnet.WithSocketBuffers(4<<20, 4<<20),
+		udpnet.WithBatch(sc.BatchSize), udpnet.WithFlushWindow(sc.FlushWindow))
 	defer base.Close()
 	var prov netapi.Provider = base
 	var imp *impair.Provider

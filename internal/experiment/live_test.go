@@ -99,3 +99,112 @@ func TestLiveE9LossyParity(t *testing.T) {
 		t.Fatal("no retransmissions anywhere: recovery never engaged")
 	}
 }
+
+// TestLiveBatchedParity runs the segue scenario with the batched datapath
+// fully engaged (recvmmsg batches, sendmmsg flush queue) and requires the
+// delivered stream to remain byte-identical with the simulator: batching
+// must be invisible to the protocol — no loss, no reordering, no
+// corruption introduced by coalescing.
+func TestLiveBatchedParity(t *testing.T) {
+	sc := &LiveScenario{
+		Name:        "e3-segue-batched",
+		Seed:        73,
+		BatchSize:   32,
+		FlushWindow: 200 * time.Microsecond,
+		Phases: []LivePhase{
+			{Label: "sr", Bytes: 128 << 10},
+			{Label: "gbn", Bytes: 128 << 10,
+				Mutate: func(s *adaptive.Spec) { s.Recovery = adaptive.RecoveryGoBackN }},
+		},
+	}
+	simRun, err := sc.RunSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRun, err := sc.RunLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkParity(t, sc, simRun, liveRun)
+}
+
+// TestLiveFlushWindowAB is the bitwise A/B equivalence gate for the send
+// batching: the identical scenario over the live provider with
+// FlushWindow=0 (the pre-batching per-packet path) and with batching on
+// must both deliver exactly the source stream — the flush queue cannot
+// change what arrives, only how many syscalls it takes.
+func TestLiveFlushWindowAB(t *testing.T) {
+	mk := func(batch int, window time.Duration) *LiveScenario {
+		return &LiveScenario{
+			Name:        "ab-flush",
+			Seed:        74,
+			BatchSize:   batch,
+			FlushWindow: window,
+			Phases:      []LivePhase{{Label: "bulk", Bytes: 192 << 10}},
+		}
+	}
+	baseline := mk(1, 0) // per-packet: pre-batching behavior
+	batched := mk(32, 200*time.Microsecond)
+
+	a, err := baseline.RunLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := batched.RunLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := baseline.Payload()
+	if !bytes.Equal(a.Delivered, src) {
+		t.Fatalf("per-packet run corrupted the stream: %d of %d bytes", len(a.Delivered), len(src))
+	}
+	if !bytes.Equal(b.Delivered, src) {
+		t.Fatalf("batched run corrupted the stream: %d of %d bytes", len(b.Delivered), len(src))
+	}
+	if !bytes.Equal(a.Delivered, b.Delivered) {
+		t.Fatal("per-packet and batched runs delivered different streams")
+	}
+}
+
+// TestE11Smoke drives the live line-rate rig briefly in both standard
+// configurations: every datagram must arrive (the send window provides the
+// backpressure) and the counters must reflect the configured mode.
+func TestE11Smoke(t *testing.T) {
+	const n = 5000
+	perpkt, err := RunE11(E11PerPacket, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perpkt.Packets != n {
+		t.Fatalf("per-packet blast delivered %d of %d", perpkt.Packets, n)
+	}
+	if perpkt.Counters.BatchesOut != 0 {
+		t.Fatalf("per-packet mode used the flush queue: %+v", perpkt.Counters)
+	}
+
+	batched, err := RunE11(E11Batched, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Packets != n {
+		t.Fatalf("batched blast delivered %d of %d", batched.Packets, n)
+	}
+	c := batched.Counters
+	if c.BatchesOut == 0 || c.BatchesIn == 0 {
+		t.Fatalf("batched mode never batched: %+v", c)
+	}
+	if c.FramesIn < n || c.FramesOut < n {
+		t.Fatalf("counter shortfall: %+v", c)
+	}
+	// The whole point: fewer wire datagrams and upcalls than frames —
+	// trains coalesce the stream, batches amortize the syscalls.
+	if c.DatagramsOut >= c.FramesOut {
+		t.Fatalf("no tx coalescing: %d datagrams for %d frames", c.DatagramsOut, c.FramesOut)
+	}
+	if c.TrainFrames == 0 || c.TrainsOut == 0 {
+		t.Fatalf("no frame trains: %+v", c)
+	}
+	if c.BatchesIn >= c.FramesIn {
+		t.Fatalf("no rx amortization: %d batches for %d frames", c.BatchesIn, c.FramesIn)
+	}
+}

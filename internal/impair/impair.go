@@ -129,6 +129,17 @@ type endpoint struct {
 	p *Provider
 }
 
+// SetBatchReceiver passes a batched receive upcall through to the inner
+// endpoint when it supports batching. The shim impairs the send side only,
+// so receive batches flow through untouched; over a non-batching inner
+// provider the call is a no-op and delivery stays on the per-packet
+// Receiver (which callers install alongside, per the netapi contract).
+func (e *endpoint) SetBatchReceiver(r netapi.BatchReceiver) {
+	if be, ok := e.Endpoint.(netapi.BatchEndpoint); ok {
+		be.SetBatchReceiver(r)
+	}
+}
+
 func (e *endpoint) Send(pkt []byte, dst netapi.Addr) error {
 	switch e.p.draw() {
 	case dropPkt:

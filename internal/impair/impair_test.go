@@ -1,12 +1,14 @@
 package impair
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"adaptive/internal/netapi"
 	"adaptive/internal/netsim"
 	"adaptive/internal/sim"
+	"adaptive/internal/udpnet"
 )
 
 // testNet builds a two-host simulated network and returns the kernel, the
@@ -93,5 +95,67 @@ func TestZeroConfigPassesThrough(t *testing.T) {
 	c := p.Counters()
 	if got != n || c.Dropped != 0 || c.Duplicated != 0 || c.Reordered != 0 {
 		t.Fatalf("pass-through shim interfered: got %d of %d, counters %+v", got, n, c)
+	}
+}
+
+// TestBatchReceiverPassThrough checks the shim forwards SetBatchReceiver to
+// a batching inner provider (udpnet): batched deliveries must flow through
+// the impairment endpoint untouched, since the shim impairs sends only.
+func TestBatchReceiverPassThrough(t *testing.T) {
+	inner := udpnet.New(udpnet.WithBatch(8), udpnet.WithFlushWindow(100*time.Microsecond))
+	defer inner.Close()
+	p := Wrap(inner, Config{Seed: 5})
+
+	src, err := p.Open(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := p.Open(2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, ok := dst.(netapi.BatchEndpoint)
+	if !ok {
+		t.Fatal("impaired endpoint over a batching provider must expose BatchEndpoint")
+	}
+	var got atomic.Uint64
+	be.SetBatchReceiver(func(batch []netapi.Packet) { got.Add(uint64(len(batch))) })
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := src.Send([]byte{byte(i)}, netapi.Addr{Host: 2, Port: 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("batched delivery through shim: got %d of %d", got.Load(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatchReceiverNoOpOnSim checks the pass-through degrades cleanly over
+// a non-batching inner provider: SetBatchReceiver is a no-op and the
+// per-packet receiver keeps delivering.
+func TestBatchReceiverNoOpOnSim(t *testing.T) {
+	const n = 100
+	k, p, ha, hb := testNet(t, Config{Seed: 4})
+	src, _ := p.Open(ha, 1)
+	dst, _ := p.Open(hb, 2)
+	var perPkt int
+	dst.SetReceiver(func([]byte, netapi.Addr) { perPkt++ })
+	if be, ok := dst.(netapi.BatchEndpoint); ok {
+		be.SetBatchReceiver(func(batch []netapi.Packet) {
+			t.Error("batch upcall over a non-batching provider")
+		})
+	}
+	for i := 0; i < n; i++ {
+		src.Send([]byte{1}, dst.LocalAddr())
+	}
+	k.RunUntil(time.Second)
+	if perPkt != n {
+		t.Fatalf("per-packet delivery broken: got %d of %d", perPkt, n)
 	}
 }

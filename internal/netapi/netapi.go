@@ -58,8 +58,34 @@ type Clock interface {
 }
 
 // Receiver consumes packets arriving at an endpoint. The packet buffer is
-// owned by the callee.
+// valid only for the duration of the call: providers recycle delivery
+// buffers through pools, so a callee that keeps bytes past its return must
+// copy them (the protocol stack does — wire.DecodeInto copies payloads into
+// pooled messages).
 type Receiver func(pkt []byte, from Addr)
+
+// Packet is one element of a batched delivery: the datagram bytes plus the
+// transport-level source address.
+type Packet struct {
+	Data []byte
+	From Addr
+}
+
+// BatchReceiver consumes a batch of packets in one upcall. Packet buffers
+// follow the Receiver rule: valid only for the duration of the call. The
+// slice itself is provider-owned scratch — don't retain it either.
+type BatchReceiver func(batch []Packet)
+
+// BatchEndpoint is the optional batching extension of Endpoint: providers
+// that coalesce arrivals (udpnet's recvmmsg reader) deliver a whole batch in
+// one upcall when a BatchReceiver is installed, amortizing the per-packet
+// dispatch. When both a Receiver and a BatchReceiver are installed the batch
+// upcall wins; packets are never delivered twice. Providers without batching
+// simply don't implement this interface and the per-packet Receiver is used.
+type BatchEndpoint interface {
+	Endpoint
+	SetBatchReceiver(r BatchReceiver)
+}
 
 // Endpoint is a bound packet endpoint (one per transport stack instance).
 type Endpoint interface {

@@ -115,6 +115,12 @@ func NewStack(cfg Config) (*Stack, error) {
 		listeners: make(map[uint16]*Listener),
 	}
 	ep.SetReceiver(st.onPacket)
+	if be, ok := ep.(netapi.BatchEndpoint); ok {
+		// Batching providers (udpnet's recvmmsg reader) hand the stack a
+		// whole arrival batch in one upcall; non-batching providers keep
+		// using the per-packet receiver installed above.
+		be.SetBatchReceiver(st.onBatch)
+	}
 	return st, nil
 }
 
@@ -295,6 +301,14 @@ func (st *Stack) onPacket(pkt []byte, from netapi.Addr) {
 		return
 	}
 	st.dispatch(pdu, from)
+}
+
+// onBatch is the batched receive upcall: the per-packet path applied to each
+// element, amortizing one provider dispatch across the whole arrival batch.
+func (st *Stack) onBatch(batch []netapi.Packet) {
+	for i := range batch {
+		st.onPacket(batch[i].Data, batch[i].From)
+	}
 }
 
 func (st *Stack) dispatch(p *wire.PDU, from netapi.Addr) {

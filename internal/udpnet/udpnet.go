@@ -9,33 +9,99 @@
 //
 //   - loop-confined: the receive upcall always runs on the loop goroutine,
 //     so protocol state behind it needs no locks.
-//   - atomic: lifecycle flags (Provider/Endpoint closed), the receiver slot,
-//     and the per-endpoint Sent/Received/Dropped counters, which reader and
-//     caller goroutines touch concurrently.
-//   - mutex-guarded: the host and group registries, which Open/Close/Send
-//     consult from arbitrary goroutines.
+//   - atomic: lifecycle flags (Provider/Endpoint closed), the receiver
+//     slots, the per-endpoint Sent/Received/Dropped counters, and the
+//     RCU-style host/group registry snapshot the send path reads without
+//     taking any lock.
+//   - mutex-guarded: the authoritative host and group registries (mutation
+//     only — Open/Close/RegisterHost/RegisterGroup republish an immutable
+//     snapshot), and each endpoint's send flush queue.
 //
-// The packet path from socket reader to loop is a bounded queue: a reader
-// that finds the loop full drops the datagram and counts it (congestion
-// loss, exactly the netapi.Endpoint.Send contract) instead of blocking the
-// socket drain. Shutdown is ordered: Provider.Close first closes every
-// endpoint, waits for all reader goroutines to exit, then stops the loop —
-// so no packet upcall can run after Close returns.
+// The datapath mirrors netsim's interrupt-coalescing design on the real
+// socket (DESIGN.md §5.18):
+//
+//   - Receive: the reader drains up to BatchSize datagrams per recvmmsg
+//     syscall into a reused ring of frame buffers, copies each payload into
+//     a pooled backstop-fronted slab, and posts ONE closure per batch into
+//     the bounded loop queue — the queue amortizes a closure per batch, not
+//     per packet, and the upcall side delivers the whole batch through the
+//     optional netapi.BatchReceiver in a single call.
+//   - Send: with FlushWindow > 0, frames are encoded into pooled scratch and
+//     enqueued on a per-endpoint flush queue drained by one sendmmsg per
+//     batch — when the queue reaches BatchSize (size flush) or when
+//     FlushWindow elapses (window flush). FlushWindow == 0 keeps the
+//     per-packet write path (one syscall per Send), the A/B baseline the
+//     equivalence tests compare against, exactly like netsim's
+//     DeliverPerPacket.
+//
+// Batch syscalls need OS support: on linux/amd64 the provider uses raw
+// recvmmsg/sendmmsg (see batch_linux.go); everywhere else the same code
+// shape runs over single-datagram reads and writes (batch_fallback.go), so
+// behavior is identical and only the syscall amortization is lost.
+//
+// A reader that finds the loop queue full drops the batch and counts it
+// (congestion loss, exactly the netapi.Endpoint.Send contract) instead of
+// blocking the socket drain; when the queue is already full the per-packet
+// copies are skipped too (counted in SkippedCopies). Shutdown is ordered:
+// Provider.Close first closes every endpoint (flushing its send queue),
+// waits for all reader goroutines to exit, then stops the loop — so no
+// packet upcall can run after Close returns.
 package udpnet
 
 import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"adaptive/internal/backstop"
+	"adaptive/internal/message"
 	"adaptive/internal/netapi"
 )
 
 // maxPacket bounds received datagram size.
 const maxPacket = 64 << 10
+
+// frameOverhead is the provider frame header: srcHost uint32 | srcPort
+// uint16, prepended to every datagram so one OS socket serves one netapi
+// host with full source addressing.
+const frameOverhead = 6
+
+// maxBatch caps BatchSize: each endpoint's reader owns BatchSize frame
+// buffers of maxPacket bytes, so the cap bounds per-endpoint memory (64
+// frames = 4 MiB).
+const maxBatch = 64
+
+// Frame-train coalescing: consecutive same-destination frames in the flush
+// queue ride one wire datagram, so the kernel's per-datagram cost (the
+// dominant cost on the loopback path — syscall batching alone only shaves
+// the entry overhead) is paid once per train instead of once per frame.
+// Train layout:
+//
+//	[0..3]  0xFF 0xFF 0xFF 0xFF   marker (trainMarker: an impossible
+//	                              source host — unicast sources never have
+//	                              the multicast bit set, so a single
+//	                              frame's header can't collide)
+//	[4..5]  count  uint16 BE
+//	[6..11] srcHost uint32 BE | srcPort uint16 BE (shared by all frames)
+//	then count × { uint16 BE length | payload }
+//
+// Single frames — and everything in FlushWindow=0 mode — keep the exact
+// pre-train wire format (6-byte header + payload), so per-packet mode is
+// bitwise identical to the pre-batching provider on the wire.
+const (
+	trainMarker   = 0xFF                  // each of the first four bytes
+	trainHdr      = 4 + 2 + frameOverhead // marker + count + src header
+	trainRecHdr   = 2                     // per-frame length prefix
+	maxTrainBytes = 60 << 10              // stay under the rx ring's maxPacket slots
+	maxTrainCount = 128                   // frames per train (fits uint16 with margin)
+)
+
+// DefaultBatchSize is the rx/tx batch depth when Config.BatchSize is 0.
+const DefaultBatchSize = 32
 
 // Config carries the provider's tunables; zero values pick the defaults
 // noted on each field.
@@ -49,6 +115,28 @@ type Config struct {
 	// ReadBuffer / WriteBuffer set the socket buffer sizes in bytes
 	// (0 keeps the OS default). High-speed transfers want several MB.
 	ReadBuffer, WriteBuffer int
+	// BatchSize is the maximum datagrams moved per batch syscall and per
+	// send flush (default DefaultBatchSize, capped at 64). 1 degenerates
+	// to one datagram per syscall — the per-packet baseline.
+	BatchSize int
+	// FlushWindow enables send-side batching: frames queue on the
+	// endpoint and are written by one sendmmsg when BatchSize accumulate
+	// (size flush) or when this window elapses since the queue went
+	// non-empty (window flush), whichever is first. 0 (the default)
+	// keeps today's per-packet behavior: every Send is one socket write,
+	// and a Send error is returned from that very call. With batching, a
+	// write error surfaces on the Send that triggered the size flush, or
+	// is counted (SendErrors) when a window flush hits it.
+	FlushWindow time.Duration
+	// TrainBytes bounds frame-train coalescing on the batched send path:
+	// consecutive same-destination frames in a flush are packed into one
+	// wire datagram up to this size, amortizing the kernel's
+	// per-datagram cost across the train. 0 picks the default
+	// (maxTrainBytes) when FlushWindow is active; negative disables
+	// coalescing (every frame its own datagram — set this, or a value
+	// near the path MTU, on real networks where oversized datagrams
+	// would IP-fragment; loopback carries 60 KiB trains natively).
+	TrainBytes int
 }
 
 // Option configures a Provider.
@@ -65,12 +153,57 @@ func WithSocketBuffers(read, write int) Option {
 	return func(c *Config) { c.ReadBuffer, c.WriteBuffer = read, write }
 }
 
+// WithBatch sets the batch depth for recvmmsg reads and sendmmsg flushes.
+func WithBatch(n int) Option { return func(c *Config) { c.BatchSize = n } }
+
+// WithFlushWindow enables send-side batching with the given flush window
+// (0 keeps the per-packet write path).
+func WithFlushWindow(d time.Duration) Option { return func(c *Config) { c.FlushWindow = d } }
+
+// WithTrainBytes bounds frame-train coalescing (see Config.TrainBytes).
+func WithTrainBytes(n int) Option { return func(c *Config) { c.TrainBytes = n } }
+
+// hostAddr is one registry entry: the OS-level address of a host's socket,
+// pre-resolved into every form the send paths need so no per-packet
+// conversion (or allocation) happens.
+type hostAddr struct {
+	udp *net.UDPAddr   // for the portable single-write path
+	ap  netip.AddrPort // for WriteToUDPAddrPort (allocation-free)
+	ip4 [4]byte        // for sendmmsg sockaddr construction
+	prt uint16
+	v4  bool
+}
+
+func newHostAddr(ua *net.UDPAddr) *hostAddr {
+	ha := &hostAddr{udp: ua, ap: ua.AddrPort()}
+	if ip4 := ua.IP.To4(); ip4 != nil {
+		copy(ha.ip4[:], ip4)
+		ha.prt = uint16(ua.Port)
+		ha.v4 = true
+	}
+	return ha
+}
+
+// registry is the immutable host/group snapshot the send path reads. The
+// maps are never mutated after publication: mutators rebuild and atomically
+// swap the whole snapshot (RCU), so sendTo resolves destinations without
+// taking the provider mutex per packet.
+type registry struct {
+	hosts  map[netapi.HostID]*hostAddr
+	groups map[netapi.HostID][]netapi.HostID
+}
+
+var emptyRegistry = &registry{}
+
 // Provider maps netapi.HostID values onto UDP addresses.
 type Provider struct {
 	mu     sync.Mutex
-	hosts  map[netapi.HostID]*net.UDPAddr // host -> where its endpoint listens
-	eps    map[netapi.HostID]*Endpoint    // locally opened endpoints
+	hosts  map[netapi.HostID]*hostAddr // authoritative; mutate under mu
+	eps    map[netapi.HostID]*Endpoint // locally opened endpoints
 	groups map[netapi.HostID][]netapi.HostID
+
+	// reg is the published read-mostly snapshot of hosts+groups.
+	reg atomic.Pointer[registry]
 
 	cfg     Config
 	loop    chan func()
@@ -81,13 +214,29 @@ type Provider struct {
 	clock   clock
 
 	// droppedPosts counts loop-queue overflow drops provider-wide (the
-	// per-endpoint Dropped counters attribute them to a receiver).
+	// per-endpoint Dropped counters attribute the datagrams to a
+	// receiver; this counts shed posts, i.e. whole batches).
 	droppedPosts atomic.Uint64
+
+	// Batch datapath counters (see BatchCounters).
+	datagramsIn   atomic.Uint64 // wire datagrams read from sockets, provider-wide
+	datagramsOut  atomic.Uint64 // wire datagrams written to sockets, provider-wide
+	framesIn      atomic.Uint64 // protocol frames received (trains expanded)
+	framesOut     atomic.Uint64 // protocol frames sent (trains counted per frame)
+	batchesIn     atomic.Uint64 // batch reads that returned >= 1 datagram
+	batchesOut    atomic.Uint64 // batch flush writes
+	flushesSize   atomic.Uint64 // flushes triggered by a full queue
+	flushesWindow atomic.Uint64 // flushes triggered by the flush window
+	skippedCopies atomic.Uint64 // rx copies skipped (no receiver / full queue)
+	fanoutErrs    atomic.Uint64 // per-member multicast send failures
+	sendErrs      atomic.Uint64 // socket write errors on flush paths
+	trainsOut     atomic.Uint64 // coalesced train datagrams written
+	trainFrames   atomic.Uint64 // frames that rode in trains
 }
 
 // New returns a provider with a running event loop.
 func New(opts ...Option) *Provider {
-	cfg := Config{BindIP: "127.0.0.1", QueueLen: 4096}
+	cfg := Config{BindIP: "127.0.0.1", QueueLen: 4096, BatchSize: DefaultBatchSize}
 	for _, fn := range opts {
 		fn(&cfg)
 	}
@@ -97,8 +246,25 @@ func New(opts ...Option) *Provider {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 4096
 	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.BatchSize > maxBatch {
+		cfg.BatchSize = maxBatch
+	}
+	if cfg.FlushWindow < 0 {
+		cfg.FlushWindow = 0
+	}
+	switch {
+	case cfg.TrainBytes < 0:
+		cfg.TrainBytes = 0 // coalescing disabled
+	case cfg.TrainBytes == 0:
+		cfg.TrainBytes = maxTrainBytes
+	case cfg.TrainBytes > maxTrainBytes:
+		cfg.TrainBytes = maxTrainBytes
+	}
 	p := &Provider{
-		hosts:  make(map[netapi.HostID]*net.UDPAddr),
+		hosts:  make(map[netapi.HostID]*hostAddr),
 		eps:    make(map[netapi.HostID]*Endpoint),
 		groups: make(map[netapi.HostID][]netapi.HostID),
 		cfg:    cfg,
@@ -106,9 +272,26 @@ func New(opts ...Option) *Provider {
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	p.reg.Store(emptyRegistry)
 	p.clock = clock{p: p, epoch: time.Now()}
 	go p.run()
 	return p
+}
+
+// publishLocked rebuilds the immutable registry snapshot from the
+// authoritative maps. Call with p.mu held after any mutation.
+func (p *Provider) publishLocked() {
+	r := &registry{
+		hosts:  make(map[netapi.HostID]*hostAddr, len(p.hosts)),
+		groups: make(map[netapi.HostID][]netapi.HostID, len(p.groups)),
+	}
+	for h, a := range p.hosts {
+		r.hosts[h] = a
+	}
+	for g, m := range p.groups {
+		r.groups[g] = m
+	}
+	p.reg.Store(r)
 }
 
 func (p *Provider) run() {
@@ -161,6 +344,11 @@ func (p *Provider) tryPost(fn func()) bool {
 	}
 }
 
+// loopFull reports whether the event-loop queue has no room right now. The
+// reader consults it before copying a batch: when the queue is full the
+// batch would be shed anyway, so the copies are skipped (and counted).
+func (p *Provider) loopFull() bool { return len(p.loop) == cap(p.loop) }
+
 // Wait runs fn on the loop and blocks until it completes (or the provider
 // shuts down first, in which case fn may not run).
 func (p *Provider) Wait(fn func()) {
@@ -174,12 +362,103 @@ func (p *Provider) Wait(fn func()) {
 	}
 }
 
-// DroppedPosts reports how many packet upcalls the bounded loop queue shed.
+// DroppedPosts reports how many packet-batch upcalls the bounded loop queue
+// shed.
 func (p *Provider) DroppedPosts() uint64 { return p.droppedPosts.Load() }
 
+// BatchCounters is a snapshot of the batched-datapath accounting.
+type BatchCounters struct {
+	// DatagramsIn / DatagramsOut are provider-wide wire-datagram totals;
+	// FramesIn / FramesOut are protocol frames (a train datagram carries
+	// many frames, so FramesOut / DatagramsOut is the send coalescing
+	// factor).
+	DatagramsIn, DatagramsOut uint64
+	FramesIn, FramesOut       uint64
+	// BatchesIn is how many receive batches arrived (DatagramsIn /
+	// BatchesIn is the average rx batch depth — the syscall amortization
+	// factor). BatchesOut counts send flushes the same way.
+	BatchesIn, BatchesOut uint64
+	// FlushesSize / FlushesWindow split BatchesOut by trigger: queue
+	// reached BatchSize vs. the FlushWindow timer fired.
+	FlushesSize, FlushesWindow uint64
+	// SkippedCopies counts received datagrams dropped before their
+	// payload copy: no receiver installed, or the loop queue already
+	// full.
+	SkippedCopies uint64
+	// FanoutErrors counts per-member multicast send failures (the send
+	// continues to remaining members; see Endpoint.Send).
+	FanoutErrors uint64
+	// SendErrors counts socket write errors on the batched flush path.
+	SendErrors uint64
+	// TrainsOut / TrainFrames count frame-train coalescing: TrainFrames
+	// frames left the provider inside TrainsOut wire datagrams
+	// (TrainFrames / TrainsOut is the average train depth).
+	TrainsOut, TrainFrames uint64
+}
+
+// BatchCounters snapshots the batched-datapath accounting.
+func (p *Provider) BatchCounters() BatchCounters {
+	return BatchCounters{
+		DatagramsIn:   p.datagramsIn.Load(),
+		DatagramsOut:  p.datagramsOut.Load(),
+		FramesIn:      p.framesIn.Load(),
+		FramesOut:     p.framesOut.Load(),
+		BatchesIn:     p.batchesIn.Load(),
+		BatchesOut:    p.batchesOut.Load(),
+		FlushesSize:   p.flushesSize.Load(),
+		FlushesWindow: p.flushesWindow.Load(),
+		SkippedCopies: p.skippedCopies.Load(),
+		FanoutErrors:  p.fanoutErrs.Load(),
+		SendErrors:    p.sendErrs.Load(),
+		TrainsOut:     p.trainsOut.Load(),
+		TrainFrames:   p.trainFrames.Load(),
+	}
+}
+
+// SkippedCopies reports received datagrams dropped before their payload
+// copy (no receiver installed, or loop queue already full).
+func (p *Provider) SkippedCopies() uint64 { return p.skippedCopies.Load() }
+
+// FanoutErrors reports per-member multicast send failures.
+func (p *Provider) FanoutErrors() uint64 { return p.fanoutErrs.Load() }
+
+// MetricCounters returns the provider's counters as read-at-scrape-time
+// closures keyed by dotted metric names, in the shape the observability
+// plane's Observe.Counters field consumes — pass the result (or a merge of
+// several providers') to adaptive.WithObservability to publish the batch
+// datapath on /metrics. avg_batch_in_milli is the average receive batch
+// depth ×1000 (counters are integral), i.e. 32000 means a full
+// BatchSize=32 on every recvmmsg.
+func (p *Provider) MetricCounters() map[string]func() uint64 {
+	return map[string]func() uint64{
+		"udpnet.datagrams_in":   p.datagramsIn.Load,
+		"udpnet.datagrams_out":  p.datagramsOut.Load,
+		"udpnet.frames_in":      p.framesIn.Load,
+		"udpnet.frames_out":     p.framesOut.Load,
+		"udpnet.batches_in":     p.batchesIn.Load,
+		"udpnet.batches_out":    p.batchesOut.Load,
+		"udpnet.flushes_size":   p.flushesSize.Load,
+		"udpnet.flushes_window": p.flushesWindow.Load,
+		"udpnet.skipped_copies": p.skippedCopies.Load,
+		"udpnet.fanout_errors":  p.fanoutErrs.Load,
+		"udpnet.send_errors":    p.sendErrs.Load,
+		"udpnet.dropped_posts":  p.droppedPosts.Load,
+		"udpnet.trains_out":     p.trainsOut.Load,
+		"udpnet.train_frames":   p.trainFrames.Load,
+		"udpnet.avg_batch_in_milli": func() uint64 {
+			b := p.batchesIn.Load()
+			if b == 0 {
+				return 0
+			}
+			return 1000 * p.datagramsIn.Load() / b
+		},
+	}
+}
+
 // Close shuts the provider down in order: close every endpoint (which
-// unblocks its reader), wait for the readers to drain, then stop the event
-// loop and wait for it to finish the queued work. Idempotent.
+// flushes its send queue and unblocks its reader), wait for the readers to
+// drain, then stop the event loop and wait for it to finish the queued
+// work. Idempotent.
 func (p *Provider) Close() {
 	if p.closed.Swap(true) {
 		<-p.done
@@ -205,6 +484,7 @@ func (p *Provider) RegisterGroup(group netapi.HostID, members ...netapi.HostID) 
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.groups[group] = append([]netapi.HostID(nil), members...)
+	p.publishLocked()
 }
 
 // RegisterHost maps a remote host ID onto a UDP address ("10.0.0.7:9000"),
@@ -220,7 +500,8 @@ func (p *Provider) RegisterHost(host netapi.HostID, addr string) error {
 	if _, local := p.eps[host]; local {
 		return fmt.Errorf("udpnet: host %v is opened locally", host)
 	}
-	p.hosts[host] = ua
+	p.hosts[host] = newHostAddr(ua)
+	p.publishLocked()
 	return nil
 }
 
@@ -249,6 +530,16 @@ func (t *timer) Stop() bool { return t.t.Stop() }
 // Clock implements netapi.Provider.
 func (p *Provider) Clock() netapi.Clock { return p.clock }
 
+// outMsg is one wire datagram: either a single framed packet or a
+// coalesced train of them. On the flush queue (ep.sq) every entry is a
+// single frame; packTrains turns runs of them into train entries on the
+// wire queue (ep.txq).
+type outMsg struct {
+	frame  []byte // pooled slab; returned after the flush write
+	dst    *hostAddr
+	frames int // protocol frames inside (1 for a single, n for a train)
+}
+
 // Endpoint is a UDP-backed netapi.Endpoint.
 type Endpoint struct {
 	p      *Provider
@@ -257,17 +548,36 @@ type Endpoint struct {
 	sock   *net.UDPConn
 	closed atomic.Bool
 
-	// recv holds the receive upcall as a receiver box; it is written by
-	// SetReceiver (any goroutine, including the loop itself) and loaded by
-	// the packet closures, which invoke it on the loop goroutine only.
-	recv atomic.Value // of recvBox
+	batch      int           // batch depth (rx ring and tx flush queue)
+	flushWin   time.Duration // 0 = per-packet sends
+	trainBytes int           // frame-train coalescing budget (0 = off)
+
+	// recv/recvBatch hold the receive upcalls; written by SetReceiver /
+	// SetBatchReceiver (any goroutine, including the loop itself) and
+	// loaded by the batch closures, which invoke them on the loop
+	// goroutine only. When both are installed the batch upcall wins.
+	recv      atomic.Value // of recvBox
+	recvBatch atomic.Value // of batchBox
+
+	// The send flush queue. sendMu is held across the flush write so
+	// concurrent size- and window-flushes cannot reorder batches. sq
+	// holds individual frames; txq is the per-flush scratch of wire
+	// datagrams after train coalescing.
+	sendMu     sync.Mutex
+	sq         []outMsg
+	txq        []outMsg
+	flushTimer *time.Timer
+	bio        batchIO // platform-specific batch-syscall state (batch_*.go)
 
 	sent     atomic.Uint64 // datagrams written to the socket
 	received atomic.Uint64 // datagrams read from the socket
 	dropped  atomic.Uint64 // datagrams shed by the bounded loop queue
 }
 
-var _ netapi.Endpoint = (*Endpoint)(nil)
+var (
+	_ netapi.Endpoint      = (*Endpoint)(nil)
+	_ netapi.BatchEndpoint = (*Endpoint)(nil)
+)
 
 // SentCount reports datagrams successfully written to the socket.
 func (ep *Endpoint) SentCount() uint64 { return ep.sent.Load() }
@@ -315,102 +625,441 @@ func (p *Provider) Open(host netapi.HostID, port uint16) (netapi.Endpoint, error
 	if port == 0 {
 		port = 49152
 	}
-	ep := &Endpoint{p: p, host: host, port: port, sock: sock}
-	p.hosts[host] = sock.LocalAddr().(*net.UDPAddr)
+	ep := &Endpoint{
+		p: p, host: host, port: port, sock: sock,
+		batch: p.cfg.BatchSize, flushWin: p.cfg.FlushWindow,
+		trainBytes: p.cfg.TrainBytes,
+		sq:         make([]outMsg, 0, p.cfg.BatchSize),
+		txq:        make([]outMsg, 0, p.cfg.BatchSize),
+	}
+	if err := ep.bio.init(ep); err != nil {
+		sock.Close()
+		return nil, err
+	}
+	p.hosts[host] = newHostAddr(sock.LocalAddr().(*net.UDPAddr))
 	p.eps[host] = ep
+	p.publishLocked()
 	p.readers.Add(1)
 	go ep.reader()
 	return ep, nil
 }
 
-// reader pumps datagrams into the event loop. It owns its socket until the
-// socket closes, then signals the provider's reader WaitGroup — Close waits
-// on that before stopping the loop, so shutdown never strands an upcall.
-func (ep *Endpoint) reader() {
-	defer ep.p.readers.Done()
-	buf := make([]byte, maxPacket)
-	for {
-		n, _, err := ep.sock.ReadFromUDP(buf)
-		if err != nil {
-			return // socket closed
-		}
-		if n < 6 {
-			continue
-		}
-		ep.received.Add(1)
-		// Frame: srcHost uint32 | srcPort uint16 | payload.
-		src := netapi.Addr{
-			Host: netapi.HostID(buf[0])<<24 | netapi.HostID(buf[1])<<16 | netapi.HostID(buf[2])<<8 | netapi.HostID(buf[3]),
-			Port: uint16(buf[4])<<8 | uint16(buf[5]),
-		}
-		pkt := make([]byte, n-6)
-		copy(pkt, buf[6:n])
-		ok := ep.p.tryPost(func() {
-			box, _ := ep.recv.Load().(recvBox)
-			if box.fn != nil && !ep.closed.Load() {
-				box.fn(pkt, src)
-			}
-		})
-		if !ok {
-			ep.dropped.Add(1)
-		}
+// rxBatch is one posted receive batch: pooled, with its loop closure bound
+// once at construction so the steady-state packet path allocates nothing.
+type rxBatch struct {
+	ep   *Endpoint
+	pkts []netapi.Packet // Data fields are pooled slabs
+	run  func()
+}
+
+var (
+	rxBatchBackstop = &backstop.Stack[*rxBatch]{PerShard: 16}
+	rxBatchPool     sync.Pool // New set in init (direct literal would cycle)
+)
+
+func init() {
+	rxBatchPool.New = func() any {
+		b := &rxBatch{}
+		b.run = b.deliver
+		return b
 	}
 }
 
-// Send frames and transmits pkt toward dst (fanning out for groups).
+func getRxBatch() *rxBatch {
+	if b, ok := rxBatchBackstop.Get(); ok {
+		return b
+	}
+	return rxBatchPool.Get().(*rxBatch)
+}
+
+func putRxBatch(b *rxBatch) {
+	b.ep = nil
+	if !rxBatchBackstop.Put(b) {
+		rxBatchPool.Put(b)
+	}
+}
+
+// release returns every pooled slab and the batch itself.
+func (b *rxBatch) release() {
+	for i := range b.pkts {
+		message.PutSlab(b.pkts[i].Data)
+		b.pkts[i] = netapi.Packet{}
+	}
+	b.pkts = b.pkts[:0]
+	putRxBatch(b)
+}
+
+// deliver runs on the loop goroutine: one closure per batch, the whole
+// batch through the batch upcall when one is installed, else the per-packet
+// receiver per element.
+func (b *rxBatch) deliver() {
+	ep := b.ep
+	if !ep.closed.Load() {
+		if bb, _ := ep.recvBatch.Load().(batchBox); bb.fn != nil {
+			bb.fn(b.pkts)
+		} else if rb, _ := ep.recv.Load().(recvBox); rb.fn != nil {
+			for i := range b.pkts {
+				rb.fn(b.pkts[i].Data, b.pkts[i].From)
+			}
+		}
+	}
+	b.release()
+}
+
+// reader pumps datagram batches into the event loop. It owns its socket
+// until the socket closes, then signals the provider's reader WaitGroup —
+// Close waits on that before stopping the loop, so shutdown never strands
+// an upcall.
+func (ep *Endpoint) reader() {
+	defer ep.p.readers.Done()
+	rx := ep.bio.newRxState(ep)
+	for {
+		n, err := ep.readBatch(rx)
+		if err != nil {
+			return // socket closed
+		}
+		if n == 0 {
+			continue
+		}
+		ep.dispatch(rx, n)
+	}
+}
+
+// parseSrc decodes a 6-byte frame header: srcHost uint32 | srcPort uint16.
+func parseSrc(hdr []byte) netapi.Addr {
+	return netapi.Addr{
+		Host: netapi.HostID(hdr[0])<<24 | netapi.HostID(hdr[1])<<16 | netapi.HostID(hdr[2])<<8 | netapi.HostID(hdr[3]),
+		Port: uint16(hdr[4])<<8 | uint16(hdr[5]),
+	}
+}
+
+// isTrain reports whether a wire datagram is a coalesced frame train.
+func isTrain(buf []byte, ln int) bool {
+	return ln >= trainHdr &&
+		buf[0] == trainMarker && buf[1] == trainMarker &&
+		buf[2] == trainMarker && buf[3] == trainMarker
+}
+
+// wireFrameCount is the number of protocol frames a wire datagram claims
+// to carry (pre-copy, header-only inspection).
+func wireFrameCount(buf []byte, ln int) int {
+	if isTrain(buf, ln) {
+		return int(buf[4])<<8 | int(buf[5])
+	}
+	if ln >= frameOverhead {
+		return 1
+	}
+	return 0
+}
+
+// expandTrain copies each record of a train datagram into its own pooled
+// slab and appends it to the batch. Truncated or malformed records abort
+// the rest of the train (the damage cannot be re-synchronized).
+func expandTrain(b *rxBatch, buf []byte, ln int) {
+	cnt := int(buf[4])<<8 | int(buf[5])
+	src := parseSrc(buf[6:trainHdr])
+	off := trainHdr
+	for k := 0; k < cnt; k++ {
+		if off+trainRecHdr > ln {
+			return
+		}
+		rl := int(buf[off])<<8 | int(buf[off+1])
+		off += trainRecHdr
+		if off+rl > ln {
+			return
+		}
+		pkt := message.GetSlab(rl)
+		copy(pkt, buf[off:off+rl])
+		off += rl
+		b.pkts = append(b.pkts, netapi.Packet{Data: pkt, From: src})
+	}
+}
+
+// dispatch copies one received batch into pooled slabs — expanding frame
+// trains back into individual packets — and posts a single closure for it,
+// shedding (with counts, and without copying) when nobody can consume it.
+func (ep *Endpoint) dispatch(rx *rxState, n int) {
+	frames := 0
+	for i := 0; i < n; i++ {
+		frames += wireFrameCount(rx.slot(i), rx.size(i))
+	}
+	if frames == 0 {
+		return
+	}
+	ep.received.Add(uint64(frames))
+	ep.p.framesIn.Add(uint64(frames))
+	ep.p.datagramsIn.Add(uint64(n))
+	ep.p.batchesIn.Add(1)
+
+	// Copy-avoidance checks (the authoritative drop still happens at
+	// tryPost): no receiver installed, or the loop queue already full —
+	// either way this batch cannot be consumed, so skip the copies.
+	rb, _ := ep.recv.Load().(recvBox)
+	bb, _ := ep.recvBatch.Load().(batchBox)
+	if (rb.fn == nil && bb.fn == nil) || ep.closed.Load() {
+		ep.p.skippedCopies.Add(uint64(frames))
+		return
+	}
+	if ep.p.loopFull() {
+		ep.p.skippedCopies.Add(uint64(frames))
+		ep.dropped.Add(uint64(frames))
+		return
+	}
+
+	b := getRxBatch()
+	b.ep = ep
+	for i := 0; i < n; i++ {
+		ln := rx.size(i)
+		buf := rx.slot(i)
+		if isTrain(buf, ln) {
+			expandTrain(b, buf, ln)
+			continue
+		}
+		if ln < frameOverhead {
+			continue
+		}
+		pkt := message.GetSlab(ln - frameOverhead)
+		copy(pkt, buf[frameOverhead:ln])
+		b.pkts = append(b.pkts, netapi.Packet{Data: pkt, From: parseSrc(buf)})
+	}
+	if len(b.pkts) == 0 {
+		putRxBatch(b)
+		return
+	}
+	if !ep.p.tryPost(b.run) {
+		ep.dropped.Add(uint64(len(b.pkts)))
+		b.release()
+	}
+}
+
+// Send frames and transmits pkt toward dst. For multicast destinations the
+// send fans out to every group member and keeps going past per-member
+// failures: the errors are aggregated (errors.Join) and counted, so one
+// dead peer cannot starve the rest of the group.
 func (ep *Endpoint) Send(pkt []byte, dst netapi.Addr) error {
 	if ep.closed.Load() {
 		return errors.New("udpnet: endpoint closed")
 	}
+	reg := ep.p.reg.Load()
 	if dst.Host.IsMulticast() {
-		ep.p.mu.Lock()
-		members := append([]netapi.HostID(nil), ep.p.groups[dst.Host]...)
-		ep.p.mu.Unlock()
+		members := reg.groups[dst.Host]
 		if members == nil {
 			return fmt.Errorf("udpnet: unknown group %v", dst.Host)
 		}
+		var errs []error
 		for _, m := range members {
 			if m == ep.host {
 				continue
 			}
-			if err := ep.sendTo(pkt, netapi.Addr{Host: m, Port: dst.Port}); err != nil {
-				return err
+			if err := ep.sendTo(reg, pkt, netapi.Addr{Host: m, Port: dst.Port}); err != nil {
+				ep.p.fanoutErrs.Add(1)
+				errs = append(errs, fmt.Errorf("udpnet: group %v member %v: %w", dst.Host, m, err))
 			}
 		}
-		return nil
+		return errors.Join(errs...)
 	}
-	return ep.sendTo(pkt, dst)
+	return ep.sendTo(reg, pkt, dst)
 }
 
-func (ep *Endpoint) sendTo(pkt []byte, dst netapi.Addr) error {
-	ep.p.mu.Lock()
-	raddr := ep.p.hosts[dst.Host]
-	ep.p.mu.Unlock()
-	if raddr == nil {
+func (ep *Endpoint) sendTo(reg *registry, pkt []byte, dst netapi.Addr) error {
+	ha := reg.hosts[dst.Host]
+	if ha == nil {
 		return fmt.Errorf("udpnet: unknown host %v", dst.Host)
 	}
-	framed := make([]byte, 6+len(pkt))
-	framed[0] = byte(ep.host >> 24)
-	framed[1] = byte(ep.host >> 16)
-	framed[2] = byte(ep.host >> 8)
-	framed[3] = byte(ep.host)
-	framed[4] = byte(ep.port >> 8)
-	framed[5] = byte(ep.port)
-	copy(framed[6:], pkt)
-	_, err := ep.sock.WriteToUDP(framed, raddr)
-	if err == nil {
-		ep.sent.Add(1)
+	// Frame encode into pooled scratch: srcHost | srcPort | payload.
+	frame := message.GetSlab(frameOverhead + len(pkt))
+	frame[0] = byte(ep.host >> 24)
+	frame[1] = byte(ep.host >> 16)
+	frame[2] = byte(ep.host >> 8)
+	frame[3] = byte(ep.host)
+	frame[4] = byte(ep.port >> 8)
+	frame[5] = byte(ep.port)
+	copy(frame[frameOverhead:], pkt)
+
+	if ep.flushWin == 0 || ep.batch <= 1 {
+		// Per-packet path: one write per Send, error straight back, wire
+		// format bitwise identical to the pre-batching provider.
+		_, err := ep.sock.WriteToUDPAddrPort(frame, ha.ap)
+		message.PutSlab(frame)
+		if err == nil {
+			ep.sent.Add(1)
+			ep.p.datagramsOut.Add(1)
+			ep.p.framesOut.Add(1)
+		}
+		return err
 	}
+	return ep.enqueue(frame, ha)
+}
+
+// enqueue adds a framed datagram to the flush queue, flushing when it
+// reaches the batch size and arming the window timer when it goes
+// non-empty.
+func (ep *Endpoint) enqueue(frame []byte, dst *hostAddr) error {
+	ep.sendMu.Lock()
+	defer ep.sendMu.Unlock()
+	if ep.closed.Load() {
+		message.PutSlab(frame)
+		return errors.New("udpnet: endpoint closed")
+	}
+	ep.sq = append(ep.sq, outMsg{frame: frame, dst: dst, frames: 1})
+	if len(ep.sq) >= ep.batch {
+		ep.p.flushesSize.Add(1)
+		return ep.flushLocked()
+	}
+	if len(ep.sq) == 1 {
+		if ep.flushTimer == nil {
+			ep.flushTimer = time.AfterFunc(ep.flushWin, ep.onFlushTimer)
+		} else {
+			ep.flushTimer.Reset(ep.flushWin)
+		}
+	}
+	return nil
+}
+
+// onFlushTimer drains whatever accumulated during the flush window.
+func (ep *Endpoint) onFlushTimer() {
+	ep.sendMu.Lock()
+	defer ep.sendMu.Unlock()
+	if len(ep.sq) == 0 || ep.closed.Load() {
+		return
+	}
+	ep.p.flushesWindow.Add(1)
+	if err := ep.flushLocked(); err != nil {
+		ep.p.sendErrs.Add(1)
+	}
+}
+
+// packTrains drains the frame queue into the wire queue, coalescing
+// consecutive same-destination frames into train datagrams within the
+// budget. Singles pass their slab through unchanged (and keep the
+// pre-train wire format). Called with sendMu held.
+func (ep *Endpoint) packTrains() {
+	sq := ep.sq
+	i := 0
+	for i < len(sq) {
+		j := i + 1
+		if ep.trainBytes > 0 {
+			total := trainHdr + trainRecHdr + (len(sq[i].frame) - frameOverhead)
+			for j < len(sq) && j-i < maxTrainCount && sq[j].dst == sq[i].dst {
+				rec := trainRecHdr + (len(sq[j].frame) - frameOverhead)
+				if total+rec > ep.trainBytes {
+					break
+				}
+				total += rec
+				j++
+			}
+		}
+		if j == i+1 {
+			ep.txq = append(ep.txq, sq[i])
+		} else {
+			ep.txq = append(ep.txq, ep.buildTrain(sq[i:j]))
+			ep.p.trainsOut.Add(1)
+			ep.p.trainFrames.Add(uint64(j - i))
+		}
+		i = j
+	}
+	for k := range sq {
+		sq[k] = outMsg{}
+	}
+	ep.sq = sq[:0]
+}
+
+// buildTrain packs a same-destination run into one train datagram and
+// recycles the constituent frame slabs. The shared 6-byte source header is
+// taken from the first frame (all frames from this endpoint carry the same
+// one).
+func (ep *Endpoint) buildTrain(run []outMsg) outMsg {
+	total := trainHdr
+	for k := range run {
+		total += trainRecHdr + len(run[k].frame) - frameOverhead
+	}
+	t := message.GetSlab(total)
+	t[0], t[1], t[2], t[3] = trainMarker, trainMarker, trainMarker, trainMarker
+	n := len(run)
+	t[4], t[5] = byte(n>>8), byte(n)
+	copy(t[6:trainHdr], run[0].frame[:frameOverhead])
+	off := trainHdr
+	for k := range run {
+		pl := run[k].frame[frameOverhead:]
+		t[off] = byte(len(pl) >> 8)
+		t[off+1] = byte(len(pl))
+		off += trainRecHdr
+		copy(t[off:], pl)
+		off += len(pl)
+		message.PutSlab(run[k].frame)
+	}
+	return outMsg{frame: t, dst: run[0].dst, frames: n}
+}
+
+// flushLocked coalesces the queued frames into wire datagrams, writes them
+// with one batch syscall, and recycles the slabs. Called with sendMu held —
+// the lock spans the write so batches leave the socket in enqueue order.
+func (ep *Endpoint) flushLocked() error {
+	if len(ep.sq) == 0 {
+		return nil
+	}
+	ep.p.batchesOut.Add(1)
+	ep.packTrains()
+	wrote, err := ep.writeBatch(ep.txq)
+	var frames uint64
+	for i := 0; i < wrote; i++ {
+		frames += uint64(ep.txq[i].frames)
+	}
+	ep.sent.Add(frames)
+	ep.p.framesOut.Add(frames)
+	ep.p.datagramsOut.Add(uint64(wrote))
+	for i := range ep.txq {
+		message.PutSlab(ep.txq[i].frame)
+		ep.txq[i] = outMsg{}
+	}
+	ep.txq = ep.txq[:0]
 	return err
+}
+
+// writeBatchPortable is the single-write drain shared by the fallback
+// backend and the (unreachable today) non-IPv4 escape hatch: datagrams go
+// out one WriteToUDPAddrPort at a time, in order.
+func (ep *Endpoint) writeBatchPortable(msgs []outMsg) (int, error) {
+	sent := 0
+	for i := range msgs {
+		if _, err := ep.sock.WriteToUDPAddrPort(msgs[i].frame, msgs[i].dst.ap); err != nil {
+			return sent, err
+		}
+		sent++
+	}
+	return sent, nil
+}
+
+// Flush forces any queued frames out now (size/window semantics are
+// bypassed). Useful in tests and before latency-sensitive quiesce points.
+func (ep *Endpoint) Flush() error {
+	ep.sendMu.Lock()
+	defer ep.sendMu.Unlock()
+	if ep.closed.Load() {
+		return nil
+	}
+	return ep.flushLocked()
 }
 
 // recvBox wraps the receiver so atomic.Value can store a nil upcall.
 type recvBox struct{ fn netapi.Receiver }
 
-// SetReceiver installs the receive upcall. Safe from any goroutine (the
-// slot is atomic); the upcall itself always runs on the event loop.
+// batchBox wraps the batch receiver the same way.
+type batchBox struct{ fn netapi.BatchReceiver }
+
+// SetReceiver installs the per-packet receive upcall. Safe from any
+// goroutine (the slot is atomic); the upcall itself always runs on the
+// event loop.
 func (ep *Endpoint) SetReceiver(r netapi.Receiver) {
 	ep.recv.Store(recvBox{fn: r})
+}
+
+// SetBatchReceiver installs the batched receive upcall (netapi.
+// BatchEndpoint). When installed it takes precedence over the per-packet
+// receiver: each posted batch is delivered in a single call, with packet
+// buffers valid only for its duration.
+func (ep *Endpoint) SetBatchReceiver(r netapi.BatchReceiver) {
+	ep.recvBatch.Store(batchBox{fn: r})
 }
 
 // LocalAddr returns the endpoint's netapi address.
@@ -425,15 +1074,25 @@ func (ep *Endpoint) UDPAddr() *net.UDPAddr { return ep.sock.LocalAddr().(*net.UD
 // PathMTU reports the loopback-safe datagram budget.
 func (ep *Endpoint) PathMTU(netapi.Addr) int { return 1400 }
 
-// Close shuts the socket and unregisters the host. Idempotent and safe from
-// any goroutine; the reader goroutine exits once the socket read fails.
+// Close flushes any queued sends, shuts the socket, and unregisters the
+// host. Idempotent and safe from any goroutine; the reader goroutine exits
+// once the socket read fails.
 func (ep *Endpoint) Close() error {
 	if ep.closed.Swap(true) {
 		return nil
 	}
+	// Drain the tail of the flush queue before the socket goes away. The
+	// closed flag is already set, so no new frames can enqueue behind us.
+	ep.sendMu.Lock()
+	if ep.flushTimer != nil {
+		ep.flushTimer.Stop()
+	}
+	ep.flushLocked()
+	ep.sendMu.Unlock()
 	ep.p.mu.Lock()
 	delete(ep.p.hosts, ep.host)
 	delete(ep.p.eps, ep.host)
+	ep.p.publishLocked()
 	ep.p.mu.Unlock()
 	return ep.sock.Close()
 }

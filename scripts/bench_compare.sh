@@ -105,6 +105,7 @@ compare() {
 
 compare BENCH_datapath.json scripts/baseline/BENCH_datapath.json ns_per_op allocs_per_op ""
 compare BENCH_scale.json scripts/baseline/BENCH_scale.json ns_per_pkt allocs_per_pkt pkts_per_sec
+compare BENCH_live.json scripts/baseline/BENCH_live.json ns_per_pkt allocs_per_pkt pkts_per_sec
 
 [ "$STATUS" -eq 0 ] || echo "bench-compare: REGRESSION detected (see flags above)" >&2
 exit $STATUS

@@ -1,0 +1,84 @@
+#!/bin/sh
+# Runs the E11 live line-rate benchmark (BenchmarkE11_Live: the mixed
+# Table-1 datagram blast over real UDP loopback, once per-packet and once
+# through the batched recvmmsg/sendmmsg datapath) and distills the output
+# into BENCH_live.json: a meta header (go version, GOMAXPROCS, CPU model,
+# exact commit) plus ONE record per benchmark name — the best of COUNT
+# runs, where best means lowest ns/pkt. Records are one JSON object per
+# line so scripts/bench_compare.sh can diff runs with awk alone.
+#
+# Two acceptance gates from the batching PR run right here, against THIS
+# run's own A/B rows (machine-independent, unlike the baseline diff):
+#
+#   speedup — batched pkts/s must be at least SPEEDUP_MIN x the per-packet
+#             pkts/s on the same machine in the same run (default 2.0).
+#   allocs  — the batched path must hold steady-state heap allocations per
+#             delivered packet below 1.0.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-3}"
+
+go test -run '^$' -bench 'BenchmarkE11_Live' -count="$COUNT" . | tee BENCH_live.txt
+
+GOVER=$(go version | awk '{print $3}')
+MAXPROCS=${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}
+CPU=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+git diff --quiet HEAD 2>/dev/null || COMMIT="${COMMIT}-dirty"
+
+awk -v gover="$GOVER" -v maxprocs="$MAXPROCS" -v cpu="$CPU" -v commit="$COMMIT" '
+BEGIN {
+    printf "{\n  \"meta\": {\"go\": \"%s\", \"gomaxprocs\": %s, \"cpu\": \"%s\", \"commit\": \"%s\"},\n", gover, maxprocs, cpu, commit
+    print "  \"results\": ["
+}
+/^BenchmarkE11_/ {
+    name = $1
+    pkts = ""; nspkt = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "pkts/s")     pkts   = $(i-1)
+        if ($i == "ns/pkt")     nspkt  = $(i-1)
+        if ($i == "allocs/pkt") allocs = $(i-1)
+    }
+    if (pkts == "") next
+    if (nspkt == "") nspkt = "null"
+    if (allocs == "") allocs = "null"
+    # Keep the best (lowest ns/pkt) of the COUNT runs per name.
+    if (!(name in best) || nspkt + 0 < best[name]) {
+        best[name] = nspkt + 0
+        if (!(name in order)) { order[name] = ++n; names[n] = name }
+        rec[name] = sprintf("    {\"name\": \"%s\", \"gomaxprocs\": %d, \"pkts_per_sec\": %s, \"ns_per_pkt\": %s, \"allocs_per_pkt\": %s}", \
+            name, maxprocs, pkts, nspkt, allocs)
+    }
+}
+END {
+    for (i = 1; i <= n; i++) printf "%s%s\n", rec[names[i]], (i < n ? "," : "")
+    print "  ]\n}"
+}
+' BENCH_live.txt > BENCH_live.json
+
+echo "wrote BENCH_live.json ($(grep -c '"name"' BENCH_live.json) records, best of $COUNT runs)"
+
+# The batching acceptance bars, judged A/B within this run.
+SPEEDUP_MIN="${SPEEDUP_MIN:-2.0}"
+awk -v minspeed="$SPEEDUP_MIN" '
+/"name"/ {
+    pkts = -1; al = -1
+    if (match($0, /"pkts_per_sec": [0-9.eE+-]+/))
+        pkts = substr($0, RSTART + 16, RLENGTH - 16) + 0
+    if (match($0, /"allocs_per_pkt": [0-9.eE+-]+/))
+        al = substr($0, RSTART + 18, RLENGTH - 18) + 0
+    if ($0 ~ /mode=perpkt/) perpkt = pkts
+    if ($0 ~ /mode=batched/) { batched = pkts; batchedallocs = al }
+}
+END {
+    if (perpkt + 0 <= 0 || batched + 0 <= 0) { print "FAIL: E11 A/B rows missing from BENCH_live.json"; exit 1 }
+    speedup = batched / perpkt
+    printf "live blast: %.0f -> %.0f pkts/s (%.2fx), batched allocs/pkt %.4f\n", perpkt, batched, speedup, batchedallocs
+    bad = 0
+    if (speedup < minspeed + 0) { printf "FAIL: batched speedup %.2fx below the %.1fx gate\n", speedup, minspeed; bad = 1 }
+    if (batchedallocs >= 1.0) { printf "FAIL: batched allocs/pkt %.4f >= 1.0\n", batchedallocs; bad = 1 }
+    exit bad
+}
+' BENCH_live.json && echo "live: batched >= ${SPEEDUP_MIN}x per-packet, allocs/pkt < 1.0"
