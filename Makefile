@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify live bench bench-scale bench-live bench-compare faults trace soak soak-smoke clean
+.PHONY: build test verify live bench bench-scale bench-live bench-compare faults e12 trace soak soak-smoke clean
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,13 @@ live:
 faults:
 	./scripts/faults_e9.sh
 	./scripts/scale_e10.sh
+
+# e12 is the cross-host migration gate: the E12 experiment run twice and
+# byte-compared, the adaptivectl handoff in both environments (sim + UDP
+# loopback, each gating exact delivery and stale-epoch fencing), and the
+# targeted migration test suites under the race detector.
+e12:
+	./scripts/e12_migrate.sh
 
 # bench runs the data-path micro-benchmarks (packet codec, message pool,
 # netsim forwarding, sim kernel) 5 times with allocation stats and writes

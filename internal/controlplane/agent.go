@@ -1,0 +1,417 @@
+package controlplane
+
+import (
+	"fmt"
+	"time"
+
+	"adaptive/internal/event"
+	"adaptive/internal/message"
+	"adaptive/internal/netapi"
+	"adaptive/internal/protograph"
+	"adaptive/internal/session"
+	"adaptive/internal/wire"
+)
+
+// Control-plane messages ride TControl PDUs with a TLV payload, so they share
+// the data path's framing, checksum, and layer traversal in both harnesses.
+const (
+	ctlChunk    uint8 = 1 // handoff record fragment (source → target)
+	ctlChunkAck uint8 = 2 // fragment receipt (target → source)
+	ctlOwner    uint8 = 3 // routing flip: new owner announcement (target → peer)
+	ctlOwnerAck uint8 = 4 // flip acknowledged; fence installed (peer → target)
+)
+
+const (
+	ctlTagType  uint16 = 1 // u8: message type above
+	ctlTagConn  uint16 = 2 // u32
+	ctlTagEpoch uint16 = 3 // u64
+	ctlTagIdx   uint16 = 4 // u16: chunk index
+	ctlTagCount uint16 = 5 // u16: total chunks in the record
+	ctlTagData  uint16 = 6 // chunk bytes
+	ctlTagHost  uint16 = 7 // u32: new owner host
+	ctlTagPort  uint16 = 8 // u16: new owner SAP port
+)
+
+const (
+	// chunkSize keeps every chunk message well under the 1400-byte path MTU
+	// after TLV framing and the wire header/trailer.
+	chunkSize = 1024
+	// ctlRetryEvery paces retransmission of unacked chunks and unacked
+	// ownership flips; ctlRetries bounds them before the migration is
+	// declared failed and rolled back.
+	ctlRetryEvery = 40 * time.Millisecond
+	ctlRetries    = 50
+)
+
+// Agent is a host's control-plane arm: it executes handoffs the controller
+// decides. The source side freezes and exports the session and streams the
+// epoch-stamped record in acked chunks; the target side reassembles, adopts,
+// announces the routing flip to the transfer peer, and resumes egress only
+// after the peer's fence is confirmed — so old-epoch packets are rejected and
+// no instant ever has two live owners.
+type Agent struct {
+	ctl   *Controller
+	stack *protograph.Stack
+	host  netapi.HostID
+
+	out    map[uint32]*outboundMigration
+	in     map[uint32]*inboundMigration
+	adopts map[uint32]*adoption
+
+	// OnAdopt is invoked when this host adopts a migrated session, before
+	// egress resumes — install delivery callbacks here.
+	OnAdopt func(s *session.Session)
+
+	ctlPDU wire.PDU
+
+	// Counters (single provider loop; read after Wait in tests).
+	CtlSent     uint64
+	CtlRecv     uint64
+	HandoffsOut uint64
+	HandoffsIn  uint64
+}
+
+type outboundMigration struct {
+	epoch   uint64
+	target  netapi.Addr
+	sess    *session.Session
+	chunks  [][]byte
+	acked   []bool
+	pending int
+	tries   int
+	timer   *event.Event
+}
+
+type inboundMigration struct {
+	epoch     uint64
+	from      netapi.Addr
+	chunks    [][]byte
+	remaining int
+}
+
+type adoption struct {
+	epoch     uint64
+	sess      *session.Session
+	peer      netapi.Addr
+	tries     int
+	timer     *event.Event
+	completed bool
+}
+
+// NewAgent installs a control-plane agent on a host's stack and enrolls the
+// host with the controller under the given capacity budget (<= 0 means
+// unlimited).
+func NewAgent(ctl *Controller, stack *protograph.Stack, capacity int) *Agent {
+	a := &Agent{
+		ctl:    ctl,
+		stack:  stack,
+		host:   stack.LocalAddr().Host,
+		out:    make(map[uint32]*outboundMigration),
+		in:     make(map[uint32]*inboundMigration),
+		adopts: make(map[uint32]*adoption),
+	}
+	stack.ControlHandler = a.onControl
+	ctl.enroll(a, capacity)
+	return a
+}
+
+// Host returns the host this agent serves.
+func (a *Agent) Host() netapi.HostID { return a.host }
+
+// --- source side ---
+
+// beginHandoff freezes the session, exports it, and starts streaming the
+// epoch-stamped record to the target host's agent.
+func (a *Agent) beginHandoff(connID uint32, epoch uint64, target netapi.Addr) error {
+	sess := a.stack.Session(connID)
+	if sess == nil {
+		return fmt.Errorf("controlplane: conn %d not on host %d", connID, a.host)
+	}
+	if _, busy := a.out[connID]; busy {
+		return fmt.Errorf("controlplane: conn %d already handing off", connID)
+	}
+	sess.FreezeEgress()
+	raw := EncodeRecord(epoch, sess.ExportHandoff())
+
+	om := &outboundMigration{epoch: epoch, target: target, sess: sess}
+	for off := 0; off < len(raw); off += chunkSize {
+		end := off + chunkSize
+		if end > len(raw) {
+			end = len(raw)
+		}
+		om.chunks = append(om.chunks, raw[off:end])
+	}
+	om.acked = make([]bool, len(om.chunks))
+	om.pending = len(om.chunks)
+	a.out[connID] = om
+	a.HandoffsOut++
+
+	var resend func()
+	resend = func() {
+		if a.out[connID] != om || om.pending == 0 {
+			return
+		}
+		if om.tries >= ctlRetries {
+			// Target unreachable: give the lease back to the source.
+			a.ctl.failMigration(connID, epoch)
+			return
+		}
+		om.tries++
+		for i, ch := range om.chunks {
+			if !om.acked[i] {
+				a.sendChunk(connID, om, i, ch)
+			}
+		}
+		om.timer = a.stack.Timers().Schedule(ctlRetryEvery, resend)
+	}
+	resend()
+	return nil
+}
+
+func (a *Agent) sendChunk(connID uint32, om *outboundMigration, idx int, data []byte) {
+	var w wire.TLVWriter
+	w.PutU8(ctlTagType, ctlChunk)
+	w.PutU32(ctlTagConn, connID)
+	w.PutU64(ctlTagEpoch, om.epoch)
+	w.PutU16(ctlTagIdx, uint16(idx))
+	w.PutU16(ctlTagCount, uint16(len(om.chunks)))
+	w.Put(ctlTagData, data)
+	a.transmitControl(om.target, w.Bytes())
+}
+
+// retireSource finishes the source side of a completed migration: the local
+// copy answers every later Send with ErrMigrated and leaves the demux table.
+func (a *Agent) retireSource(connID uint32) {
+	om := a.out[connID]
+	if om == nil {
+		return
+	}
+	if om.timer != nil {
+		om.timer.Cancel()
+	}
+	om.sess.Retire()
+	a.stack.Remove(connID)
+	delete(a.out, connID)
+}
+
+// abortHandoff rolls a failed migration back: the source resumes egress with
+// its retransmission state intact, as if the freeze were a long pause.
+func (a *Agent) abortHandoff(connID uint32) {
+	om := a.out[connID]
+	if om == nil {
+		return
+	}
+	if om.timer != nil {
+		om.timer.Cancel()
+	}
+	delete(a.out, connID)
+	om.sess.ResumeEgress()
+}
+
+// --- receive path ---
+
+func (a *Agent) onControl(p *wire.PDU, from netapi.Addr) {
+	defer p.ReleasePayload()
+	a.CtlRecv++
+	var (
+		msgType    uint8
+		connID     uint32
+		epoch      uint64
+		idx, count uint16
+		data       []byte
+		ownHost    uint32
+		ownPort    uint16
+	)
+	r := wire.NewTLVReader(p.PayloadBytes())
+	for {
+		tag, val, ok, err := r.Next()
+		if err != nil || !ok {
+			break
+		}
+		switch tag {
+		case ctlTagType:
+			msgType = wire.U8(val)
+		case ctlTagConn:
+			connID = wire.U32(val)
+		case ctlTagEpoch:
+			epoch = wire.U64(val)
+		case ctlTagIdx:
+			idx = wire.U16(val)
+		case ctlTagCount:
+			count = wire.U16(val)
+		case ctlTagData:
+			data = val
+		case ctlTagHost:
+			ownHost = wire.U32(val)
+		case ctlTagPort:
+			ownPort = wire.U16(val)
+		}
+	}
+	if connID == 0 {
+		return
+	}
+	switch msgType {
+	case ctlChunk:
+		a.onChunk(connID, epoch, int(idx), int(count), data, from)
+	case ctlChunkAck:
+		a.onChunkAck(connID, epoch, int(idx))
+	case ctlOwner:
+		a.onOwner(connID, epoch, netapi.Addr{Host: netapi.HostID(ownHost), Port: ownPort}, from)
+	case ctlOwnerAck:
+		a.onOwnerAck(connID, epoch)
+	}
+}
+
+// --- target side ---
+
+func (a *Agent) onChunk(connID uint32, epoch uint64, idx, count int, data []byte, from netapi.Addr) {
+	// A completed adoption still acks retried chunks.
+	if ad := a.adopts[connID]; ad != nil && ad.epoch == epoch {
+		a.ackChunk(connID, epoch, idx, from)
+		return
+	}
+	im := a.in[connID]
+	if im != nil && im.epoch > epoch {
+		return // stale migration attempt
+	}
+	if im == nil || im.epoch < epoch {
+		if count <= 0 || count > 1<<16 {
+			return
+		}
+		im = &inboundMigration{
+			epoch:     epoch,
+			from:      from,
+			chunks:    make([][]byte, count),
+			remaining: count,
+		}
+		a.in[connID] = im
+	}
+	if idx < 0 || idx >= len(im.chunks) {
+		return
+	}
+	if im.chunks[idx] == nil {
+		im.chunks[idx] = append([]byte(nil), data...)
+		im.remaining--
+	}
+	a.ackChunk(connID, epoch, idx, from)
+	if im.remaining > 0 {
+		return
+	}
+	delete(a.in, connID)
+	var raw []byte
+	for _, ch := range im.chunks {
+		raw = append(raw, ch...)
+	}
+	recEpoch, h, err := DecodeRecord(raw)
+	if err != nil || recEpoch != epoch {
+		return // source retries; persistent corruption rolls back at the source
+	}
+	sess, err := a.stack.AdoptSession(h)
+	if err != nil {
+		return
+	}
+	a.HandoffsIn++
+	ad := &adoption{epoch: epoch, sess: sess, peer: h.PeerNet}
+	a.adopts[connID] = ad
+	if a.OnAdopt != nil {
+		a.OnAdopt(sess)
+	}
+	// Announce the routing flip to the transfer peer; egress stays frozen
+	// until the peer confirms its fence, so the old and new owners can never
+	// transmit concurrently.
+	var announce func()
+	announce = func() {
+		if a.adopts[connID] != ad || ad.completed {
+			return
+		}
+		if ad.tries >= ctlRetries {
+			delete(a.adopts, connID)
+			a.stack.Remove(connID)
+			a.stack.ClearFence(connID)
+			a.ctl.failMigration(connID, epoch)
+			return
+		}
+		ad.tries++
+		var w wire.TLVWriter
+		w.PutU8(ctlTagType, ctlOwner)
+		w.PutU32(ctlTagConn, connID)
+		w.PutU64(ctlTagEpoch, epoch)
+		w.PutU32(ctlTagHost, uint32(a.host))
+		w.PutU16(ctlTagPort, a.stack.LocalAddr().Port)
+		a.transmitControl(ad.peer, w.Bytes())
+		ad.timer = a.stack.Timers().Schedule(ctlRetryEvery, announce)
+	}
+	announce()
+}
+
+func (a *Agent) ackChunk(connID uint32, epoch uint64, idx int, to netapi.Addr) {
+	var w wire.TLVWriter
+	w.PutU8(ctlTagType, ctlChunkAck)
+	w.PutU32(ctlTagConn, connID)
+	w.PutU64(ctlTagEpoch, epoch)
+	w.PutU16(ctlTagIdx, uint16(idx))
+	a.transmitControl(to, w.Bytes())
+}
+
+func (a *Agent) onChunkAck(connID uint32, epoch uint64, idx int) {
+	om := a.out[connID]
+	if om == nil || om.epoch != epoch || idx < 0 || idx >= len(om.acked) {
+		return
+	}
+	if !om.acked[idx] {
+		om.acked[idx] = true
+		om.pending--
+		if om.pending == 0 && om.timer != nil {
+			om.timer.Cancel()
+		}
+	}
+}
+
+// onOwnerAck completes the migration on the target: the peer's fence is in
+// place, so the adopted session may own the egress.
+func (a *Agent) onOwnerAck(connID uint32, epoch uint64) {
+	ad := a.adopts[connID]
+	if ad == nil || ad.epoch != epoch || ad.completed {
+		return
+	}
+	ad.completed = true
+	if ad.timer != nil {
+		ad.timer.Cancel()
+	}
+	ad.sess.ResumeEgress()
+	a.ctl.completeMigration(connID, a.host, epoch)
+}
+
+// --- peer side ---
+
+// onOwner handles a routing flip at the transfer peer: install the epoch
+// fence (atomically rejecting any later packet from the old owner), repoint
+// the session's egress at the new owner, and confirm.
+func (a *Agent) onOwner(connID uint32, epoch uint64, owner netapi.Addr, from netapi.Addr) {
+	applied := a.stack.SetOwner(connID, owner, epoch)
+	if !applied {
+		// Only re-acknowledge flips the fence has already moved past; never
+		// acknowledge an epoch newer than the fence.
+		if _, cur, ok := a.stack.Owner(connID); !ok || cur < epoch {
+			return
+		}
+	} else if sess := a.stack.Session(connID); sess != nil {
+		sess.RebindPeer(owner)
+	}
+	var w wire.TLVWriter
+	w.PutU8(ctlTagType, ctlOwnerAck)
+	w.PutU32(ctlTagConn, connID)
+	w.PutU64(ctlTagEpoch, epoch)
+	a.transmitControl(from, w.Bytes())
+}
+
+func (a *Agent) transmitControl(to netapi.Addr, payload []byte) {
+	p := &a.ctlPDU
+	p.Header = wire.Header{Type: wire.TControl}
+	p.Payload = message.PooledFromBytes(payload)
+	wire.EncodeTo(p, wire.CkCRC32, func(pkt []byte) error {
+		a.CtlSent++
+		return a.stack.Transmit(pkt, to)
+	})
+	p.ReleasePayload()
+}

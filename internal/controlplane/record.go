@@ -1,0 +1,223 @@
+// Package controlplane is the per-deployment control plane for multi-node
+// ADAPTIVE: a controller holding the placement/routing view (session → host
+// endpoint), admission control against per-host capacity budgets, and the
+// lease/epoch authority that guarantees exactly one host owns a session's
+// egress at any instant; plus the per-host agent that executes cross-host
+// session migration — the paper's segue operation lifted to fleet scale.
+//
+// The split follows the adaptation-orchestration pattern of the related
+// work: a small authority decides (Controller), the data path executes
+// (Agent, protograph fences, session freeze/export/import).
+package controlplane
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"adaptive/internal/mechanism"
+	"adaptive/internal/netapi"
+	"adaptive/internal/session"
+	"adaptive/internal/wire"
+)
+
+// Handoff-record wire format (DESIGN §5.19): a TLV document reusing the
+// signaling channel's tag/length/value encoding. Scalar tags appear once;
+// buffer tags repeat, one entry per PDU or segment, in ascending sequence
+// order so the record — and therefore the chunk stream carrying it — is
+// byte-identical across same-seed runs.
+const (
+	recTagEpoch     uint16 = 1  // u64: lease epoch stamped by the controller
+	recTagConnID    uint16 = 2  // u32
+	recTagLocalPort uint16 = 3  // u16
+	recTagPeerPort  uint16 = 4  // u16
+	recTagPeerHost  uint16 = 5  // u32: network-level peer host
+	recTagPeerSAP   uint16 = 6  // u16: network-level peer SAP port
+	recTagSpec      uint16 = 7  // mechanism.EncodeSpec blob
+	recTagSndUna    uint16 = 8  // u32
+	recTagSndNxt    uint16 = 9  // u32
+	recTagRcvNxt    uint16 = 10 // u32
+	recTagRcvBufCap uint16 = 11 // u32
+	recTagSRTT      uint16 = 12 // u64 nanoseconds
+	recTagRTTVar    uint16 = 13 // u64 nanoseconds
+	recTagRTO       uint16 = 14 // u64 nanoseconds
+	recTagRetrans   uint16 = 15 // u64
+	recTagFECRec    uint16 = 16 // u64
+	recTagGapsAband uint16 = 17 // u64
+	recTagSentPDUs  uint16 = 18 // u64
+	recTagSentBytes uint16 = 19 // u64
+	recTagRecvPDUs  uint16 = 20 // u64
+	recTagRecvBytes uint16 = 21 // u64
+	recTagDelivMsg  uint16 = 22 // u64
+	recTagDelivByte uint16 = 23 // u64
+	recTagSegues    uint16 = 24 // u64
+	recTagPeerAdv   uint16 = 25 // u32
+	recTagUnacked   uint16 = 26 // repeated: seq u32 | flags u8 | aux u16 | payload
+	recTagRcvBuf    uint16 = 27 // repeated: same entry layout as recTagUnacked
+	recTagSendQ     uint16 = 28 // repeated: eom u8 | data
+)
+
+func putPDUEntry(w *wire.TLVWriter, tag uint16, p *session.HandoffPDU) {
+	buf := make([]byte, 7+len(p.Payload))
+	binary.BigEndian.PutUint32(buf[0:], p.Seq)
+	buf[4] = p.Flags
+	binary.BigEndian.PutUint16(buf[5:], p.Aux)
+	copy(buf[7:], p.Payload)
+	w.Put(tag, buf)
+}
+
+func pduEntry(val []byte) (session.HandoffPDU, error) {
+	if len(val) < 7 {
+		return session.HandoffPDU{}, fmt.Errorf("controlplane: truncated PDU entry (%d bytes)", len(val))
+	}
+	return session.HandoffPDU{
+		Seq:     binary.BigEndian.Uint32(val[0:]),
+		Flags:   val[4],
+		Aux:     binary.BigEndian.Uint16(val[5:]),
+		Payload: append([]byte(nil), val[7:]...),
+	}, nil
+}
+
+// EncodeRecord serializes an epoch-stamped handoff record.
+func EncodeRecord(epoch uint64, h *session.Handoff) []byte {
+	var w wire.TLVWriter
+	w.PutU64(recTagEpoch, epoch)
+	w.PutU32(recTagConnID, h.ConnID)
+	w.PutU16(recTagLocalPort, h.LocalPort)
+	w.PutU16(recTagPeerPort, h.PeerPort)
+	w.PutU32(recTagPeerHost, uint32(h.PeerNet.Host))
+	w.PutU16(recTagPeerSAP, h.PeerNet.Port)
+	w.Put(recTagSpec, mechanism.EncodeSpec(h.Spec))
+	w.PutU32(recTagSndUna, h.SndUna)
+	w.PutU32(recTagSndNxt, h.SndNxt)
+	w.PutU32(recTagRcvNxt, h.RcvNxt)
+	w.PutU32(recTagRcvBufCap, uint32(h.RcvBufCap))
+	w.PutU64(recTagSRTT, uint64(h.SRTT))
+	w.PutU64(recTagRTTVar, uint64(h.RTTVar))
+	w.PutU64(recTagRTO, uint64(h.RTO))
+	w.PutU64(recTagRetrans, h.Retransmissions)
+	w.PutU64(recTagFECRec, h.FECRecovered)
+	w.PutU64(recTagGapsAband, h.GapsAbandoned)
+	w.PutU64(recTagSentPDUs, h.SentPDUs)
+	w.PutU64(recTagSentBytes, h.SentBytes)
+	w.PutU64(recTagRecvPDUs, h.RecvPDUs)
+	w.PutU64(recTagRecvBytes, h.RecvBytes)
+	w.PutU64(recTagDelivMsg, h.DeliveredMsg)
+	w.PutU64(recTagDelivByte, h.DeliveredBytes)
+	w.PutU64(recTagSegues, h.Segues)
+	w.PutU32(recTagPeerAdv, uint32(h.PeerAdvert))
+	for i := range h.Unacked {
+		putPDUEntry(&w, recTagUnacked, &h.Unacked[i])
+	}
+	for i := range h.RcvBuf {
+		putPDUEntry(&w, recTagRcvBuf, &h.RcvBuf[i])
+	}
+	for i := range h.SendQ {
+		seg := &h.SendQ[i]
+		buf := make([]byte, 1+len(seg.Data))
+		if seg.EOM {
+			buf[0] = 1
+		}
+		copy(buf[1:], seg.Data)
+		w.Put(recTagSendQ, buf)
+	}
+	return w.Bytes()
+}
+
+// DecodeRecord parses an epoch-stamped handoff record.
+func DecodeRecord(raw []byte) (epoch uint64, h *session.Handoff, err error) {
+	h = &session.Handoff{}
+	r := wire.NewTLVReader(raw)
+	for {
+		tag, val, ok, rerr := r.Next()
+		if rerr != nil {
+			return 0, nil, rerr
+		}
+		if !ok {
+			break
+		}
+		switch tag {
+		case recTagEpoch:
+			epoch = wire.U64(val)
+		case recTagConnID:
+			h.ConnID = wire.U32(val)
+		case recTagLocalPort:
+			h.LocalPort = wire.U16(val)
+		case recTagPeerPort:
+			h.PeerPort = wire.U16(val)
+		case recTagPeerHost:
+			h.PeerNet.Host = netapi.HostID(wire.U32(val))
+		case recTagPeerSAP:
+			h.PeerNet.Port = wire.U16(val)
+		case recTagSpec:
+			spec, serr := mechanism.DecodeSpec(val)
+			if serr != nil {
+				return 0, nil, fmt.Errorf("controlplane: handoff spec: %w", serr)
+			}
+			h.Spec = spec
+		case recTagSndUna:
+			h.SndUna = wire.U32(val)
+		case recTagSndNxt:
+			h.SndNxt = wire.U32(val)
+		case recTagRcvNxt:
+			h.RcvNxt = wire.U32(val)
+		case recTagRcvBufCap:
+			h.RcvBufCap = int(wire.U32(val))
+		case recTagSRTT:
+			h.SRTT = time.Duration(wire.U64(val))
+		case recTagRTTVar:
+			h.RTTVar = time.Duration(wire.U64(val))
+		case recTagRTO:
+			h.RTO = time.Duration(wire.U64(val))
+		case recTagRetrans:
+			h.Retransmissions = wire.U64(val)
+		case recTagFECRec:
+			h.FECRecovered = wire.U64(val)
+		case recTagGapsAband:
+			h.GapsAbandoned = wire.U64(val)
+		case recTagSentPDUs:
+			h.SentPDUs = wire.U64(val)
+		case recTagSentBytes:
+			h.SentBytes = wire.U64(val)
+		case recTagRecvPDUs:
+			h.RecvPDUs = wire.U64(val)
+		case recTagRecvBytes:
+			h.RecvBytes = wire.U64(val)
+		case recTagDelivMsg:
+			h.DeliveredMsg = wire.U64(val)
+		case recTagDelivByte:
+			h.DeliveredBytes = wire.U64(val)
+		case recTagSegues:
+			h.Segues = wire.U64(val)
+		case recTagPeerAdv:
+			h.PeerAdvert = int(wire.U32(val))
+		case recTagUnacked:
+			e, perr := pduEntry(val)
+			if perr != nil {
+				return 0, nil, perr
+			}
+			h.Unacked = append(h.Unacked, e)
+		case recTagRcvBuf:
+			e, perr := pduEntry(val)
+			if perr != nil {
+				return 0, nil, perr
+			}
+			h.RcvBuf = append(h.RcvBuf, e)
+		case recTagSendQ:
+			if len(val) < 1 {
+				return 0, nil, fmt.Errorf("controlplane: truncated send-queue entry")
+			}
+			h.SendQ = append(h.SendQ, session.HandoffSeg{
+				EOM:  val[0] == 1,
+				Data: append([]byte(nil), val[1:]...),
+			})
+		}
+	}
+	if h.Spec == nil {
+		return 0, nil, fmt.Errorf("controlplane: handoff record carries no spec")
+	}
+	if h.ConnID == 0 {
+		return 0, nil, fmt.Errorf("controlplane: handoff record carries no connection id")
+	}
+	return epoch, h, nil
+}

@@ -1,0 +1,492 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"adaptive"
+	"adaptive/internal/netapi"
+	"adaptive/internal/netsim"
+	"adaptive/internal/sim"
+	"adaptive/internal/udpnet"
+	"adaptive/internal/wire"
+)
+
+// E12 — cross-host session migration (the fleet-scale segue).
+//
+// The paper's segue (§4.2) renegotiates a session's mechanism configuration
+// in place; E12 lifts the same freeze/transfer/resume discipline across
+// hosts. A three-host deployment — source A, target B, transfer peer P —
+// runs a phased bulk transfer from A to P; mid-stream the control plane
+// migrates the session to B, whose adopted copy finishes the stream. The
+// acceptance gate requires
+//
+//   - zero app-stream divergence: P's delivered bytes are exactly the
+//     source payload, across the migration boundary, in both the simulated
+//     and the live (UDP loopback) environment;
+//   - epoch fencing: after the routing flip a stale-epoch data PDU replayed
+//     from A is rejected at P's stack (counted, never delivered);
+//   - determinism: two same-seed sim runs deliver byte-identical streams
+//     (scripts/e12_migrate.sh gates on the rerun compare).
+
+// E12Scenario parameterizes one migration run.
+type E12Scenario struct {
+	Name string
+	Seed int64
+	// Phase1 is sent from the source host before MigrateSession; Phase2
+	// from the adopted connection on the target (defaults 256 KiB each).
+	Phase1, Phase2 int
+	// ChunkSize segments the payload into Send calls (default 32 KiB).
+	ChunkSize int
+	// Link is the simulator-side link (zero value picks 20 Mbps / 2 ms).
+	Link netsim.LinkConfig
+	// PhaseTimeout caps each live-run wait in wall time (default 30s).
+	PhaseTimeout time.Duration
+	// BatchSize / FlushWindow configure the live provider (udpnet.Config).
+	BatchSize   int
+	FlushWindow time.Duration
+}
+
+func (sc *E12Scenario) phase1() int {
+	if sc.Phase1 > 0 {
+		return sc.Phase1
+	}
+	return 256 << 10
+}
+
+func (sc *E12Scenario) phase2() int {
+	if sc.Phase2 > 0 {
+		return sc.Phase2
+	}
+	return 256 << 10
+}
+
+func (sc *E12Scenario) chunk() int {
+	if sc.ChunkSize > 0 {
+		return sc.ChunkSize
+	}
+	return 32 << 10
+}
+
+func (sc *E12Scenario) timeout() time.Duration {
+	if sc.PhaseTimeout > 0 {
+		return sc.PhaseTimeout
+	}
+	return 30 * time.Second
+}
+
+// Payload generates the deterministic source stream both runs transmit.
+func (sc *E12Scenario) Payload() []byte {
+	buf := make([]byte, sc.phase1()+sc.phase2())
+	rand.New(rand.NewSource(sc.Seed ^ 0x5e90e)).Read(buf)
+	return buf
+}
+
+func (sc *E12Scenario) link() netsim.LinkConfig {
+	if sc.Link.Bandwidth != 0 {
+		return sc.Link
+	}
+	return netsim.LinkConfig{Bandwidth: 20e6, PropDelay: 2 * time.Millisecond, MTU: 1500, QueueLen: 64000}
+}
+
+// E12Run is the outcome of one environment's execution.
+type E12Run struct {
+	Delivered []byte
+	// FencedPDUs is the peer stack's rejected-stale-owner count after the
+	// post-migration replay (the fence proof; must be > 0).
+	FencedPDUs uint64
+	Status     adaptive.ControlStatus
+	Stats      adaptive.Stats // adopted connection, end of run
+	// MigrationTime is how long the handoff took (virtual time in sim,
+	// wall time live): MigrateSession call to Migration.Done.
+	MigrationTime time.Duration
+}
+
+// staleReplay transmits a data PDU for the migrated connection from the old
+// owner's stack — a stale-epoch sender the peer must fence. Must run on the
+// provider's event loop. The sequence is long-acknowledged, so even a fence
+// miss could not corrupt the stream; the gate is the rejection counter.
+func staleReplay(src *adaptive.Node, peer netapi.Addr, connID uint32, srcPort uint16) error {
+	p := wire.GetPDU()
+	p.Header = wire.Header{
+		Type:    wire.TData,
+		ConnID:  connID,
+		SrcPort: srcPort,
+		DstPort: 80,
+		Seq:     1,
+	}
+	err := wire.EncodeTo(p, wire.CkCRC32, func(pkt []byte) error {
+		return src.Stack().Transmit(pkt, peer)
+	})
+	wire.PutPDU(p)
+	return err
+}
+
+// RunSim executes the scenario on the deterministic simulator.
+func (sc *E12Scenario) RunSim() (*E12Run, error) {
+	k := sim.NewKernel(sc.Seed)
+	k.SetEventLimit(200_000_000)
+	net := netsim.New(k)
+	hosts := []*netsim.Host{net.AddHost(), net.AddHost(), net.AddHost()}
+	for i := range hosts {
+		for j := range hosts {
+			if i != j {
+				net.SetRoute(hosts[i].ID(), hosts[j].ID(), net.NewLink(sc.link()))
+			}
+		}
+	}
+	var nodes [3]*adaptive.Node
+	for i, name := range []string{"sim-a", "sim-b", "sim-p"} {
+		n, err := adaptive.NewNode(adaptive.WithProvider(net), adaptive.WithHost(hosts[i].ID()),
+			adaptive.WithSeed(sc.Seed+int64(i)), adaptive.WithName(name))
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = n
+	}
+	na, nb, np := nodes[0], nodes[1], nodes[2]
+
+	cp := adaptive.NewControlPlane()
+	for _, n := range nodes {
+		if err := cp.Enroll(n, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	var delivered []byte
+	if err := np.Listen(80, nil, func(c *adaptive.Conn) {
+		c.OnReceive(func(data []byte, _ bool) { delivered = append(delivered, data...) })
+	}); err != nil {
+		return nil, err
+	}
+	conn, err := na.Dial(&adaptive.ACD{
+		Participants: []adaptive.Addr{np.Addr()},
+		RemotePort:   80,
+		Quant:        adaptive.QuantQoS{AvgThroughputBps: 10e6},
+		Qual:         adaptive.QualQoS{Ordered: true},
+	}, &adaptive.DialOptions{LocalPort: 1000})
+	if err != nil {
+		return nil, err
+	}
+	for !conn.Established() {
+		if k.Now() > 30*time.Second {
+			return nil, fmt.Errorf("%s/sim: establishment stalled", sc.Name)
+		}
+		k.RunFor(time.Millisecond)
+	}
+	if err := cp.Place(conn); err != nil {
+		return nil, err
+	}
+
+	src := sc.Payload()
+	send := func(c *adaptive.Conn, lo, hi int) error {
+		for off := lo; off < hi; {
+			n := sc.chunk()
+			if hi-off < n {
+				n = hi - off
+			}
+			if err := c.Send(src[off : off+n]); err != nil {
+				return err
+			}
+			off += n
+		}
+		return nil
+	}
+	if err := send(conn, 0, sc.phase1()); err != nil {
+		return nil, fmt.Errorf("%s/sim: phase1: %w", sc.Name, err)
+	}
+	// Let roughly a quarter of phase 1 land so the handoff record carries
+	// live state: queued segments, unacked PDUs, meters.
+	for len(delivered) < sc.phase1()/4 {
+		if k.Now() > 5*time.Minute {
+			return nil, fmt.Errorf("%s/sim: phase1 stalled at %d bytes", sc.Name, len(delivered))
+		}
+		k.RunFor(time.Millisecond)
+	}
+
+	migrateAt := k.Now()
+	m, err := cp.MigrateSession(conn, nb.Addr().Host)
+	if err != nil {
+		return nil, err
+	}
+	migrated := func() bool {
+		select {
+		case <-m.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	for !migrated() {
+		if k.Now() > migrateAt+time.Minute {
+			return nil, fmt.Errorf("%s/sim: migration stalled", sc.Name)
+		}
+		k.RunFor(time.Millisecond)
+	}
+	if m.Err() != nil {
+		return nil, fmt.Errorf("%s/sim: %w", sc.Name, m.Err())
+	}
+	run := &E12Run{MigrationTime: k.Now() - migrateAt}
+
+	adopted := m.Conn()
+	if adopted == nil {
+		return nil, fmt.Errorf("%s/sim: migration returned no adopted conn", sc.Name)
+	}
+	if err := send(adopted, sc.phase1(), len(src)); err != nil {
+		return nil, fmt.Errorf("%s/sim: phase2: %w", sc.Name, err)
+	}
+	deadline := k.Now() + 5*time.Minute
+	for len(delivered) < len(src) && k.Now() < deadline {
+		k.RunFor(5 * time.Millisecond)
+	}
+	if len(delivered) < len(src) {
+		return nil, fmt.Errorf("%s/sim: stalled at %d of %d bytes", sc.Name, len(delivered), len(src))
+	}
+
+	if err := staleReplay(na, np.Addr(), conn.ConnID(), conn.Session().LocalPort()); err != nil {
+		return nil, err
+	}
+	k.RunFor(time.Second)
+
+	run.Delivered = delivered
+	run.FencedPDUs = np.Stack().Stats().FencedPDUs
+	run.Status = cp.Status()
+	run.Stats = adopted.Stats()
+	return run, nil
+}
+
+// RunLive executes the scenario over UDP loopback sockets and the wall
+// clock: three in-process hosts on one provider, every datapath interaction
+// on the provider's event loop (via Wait).
+func (sc *E12Scenario) RunLive() (*E12Run, error) {
+	base := udpnet.New(udpnet.WithQueueLen(1<<14), udpnet.WithSocketBuffers(4<<20, 4<<20),
+		udpnet.WithBatch(sc.BatchSize), udpnet.WithFlushWindow(sc.FlushWindow))
+	defer base.Close()
+
+	var nodes [3]*adaptive.Node
+	for i, name := range []string{"live-a", "live-b", "live-p"} {
+		n, err := adaptive.NewNode(adaptive.WithProvider(base), adaptive.WithHost(netapi.HostID(i+1)),
+			adaptive.WithSeed(sc.Seed+int64(i)), adaptive.WithName(name))
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = n
+	}
+	na, nb, np := nodes[0], nodes[1], nodes[2]
+
+	cp := adaptive.NewControlPlane()
+	for _, n := range nodes {
+		if err := cp.Enroll(n, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	var mu sync.Mutex
+	var delivered []byte
+	progress := make(chan struct{}, 1)
+	var listenErr error
+	base.Wait(func() {
+		listenErr = np.Listen(80, nil, func(c *adaptive.Conn) {
+			c.OnReceive(func(data []byte, _ bool) {
+				mu.Lock()
+				delivered = append(delivered, data...)
+				mu.Unlock()
+				select {
+				case progress <- struct{}{}:
+				default:
+				}
+			})
+		})
+	})
+	if listenErr != nil {
+		return nil, listenErr
+	}
+	deliveredLen := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(delivered)
+	}
+	waitDelivered := func(target int, what string) error {
+		timeout := time.After(sc.timeout())
+		for deliveredLen() < target {
+			select {
+			case <-progress:
+			case <-timeout:
+				return fmt.Errorf("%s/live: %s stalled at %d of %d bytes",
+					sc.Name, what, deliveredLen(), target)
+			}
+		}
+		return nil
+	}
+
+	var conn *adaptive.Conn
+	var dialErr error
+	base.Wait(func() {
+		conn, dialErr = na.Dial(&adaptive.ACD{
+			Participants: []adaptive.Addr{np.Addr()},
+			RemotePort:   80,
+			Quant:        adaptive.QuantQoS{AvgThroughputBps: 10e6},
+			Qual:         adaptive.QualQoS{Ordered: true},
+		}, &adaptive.DialOptions{LocalPort: 1000})
+	})
+	if dialErr != nil {
+		return nil, dialErr
+	}
+	establishBy := time.Now().Add(10 * time.Second)
+	for {
+		var est bool
+		base.Wait(func() { est = conn.Established() })
+		if est {
+			break
+		}
+		if time.Now().After(establishBy) {
+			return nil, fmt.Errorf("%s/live: establishment stalled", sc.Name)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	var placeErr error
+	base.Wait(func() { placeErr = cp.Place(conn) })
+	if placeErr != nil {
+		return nil, placeErr
+	}
+
+	src := sc.Payload()
+	send := func(c *adaptive.Conn, lo, hi int) error {
+		var serr error
+		base.Wait(func() {
+			for off := lo; off < hi && serr == nil; {
+				n := sc.chunk()
+				if hi-off < n {
+					n = hi - off
+				}
+				serr = c.Send(src[off : off+n])
+				off += n
+			}
+		})
+		return serr
+	}
+	if err := send(conn, 0, sc.phase1()); err != nil {
+		return nil, fmt.Errorf("%s/live: phase1: %w", sc.Name, err)
+	}
+	if err := waitDelivered(sc.phase1()/4, "pre-migration"); err != nil {
+		return nil, err
+	}
+
+	migrateAt := time.Now()
+	var m *adaptive.Migration
+	var merr error
+	base.Wait(func() { m, merr = cp.MigrateSession(conn, nb.Addr().Host) })
+	if merr != nil {
+		return nil, merr
+	}
+	select {
+	case <-m.Done():
+	case <-time.After(sc.timeout()):
+		return nil, fmt.Errorf("%s/live: migration stalled", sc.Name)
+	}
+	if m.Err() != nil {
+		return nil, fmt.Errorf("%s/live: %w", sc.Name, m.Err())
+	}
+	run := &E12Run{MigrationTime: time.Since(migrateAt)}
+
+	adopted := m.Conn()
+	if adopted == nil {
+		return nil, fmt.Errorf("%s/live: migration returned no adopted conn", sc.Name)
+	}
+	if err := send(adopted, sc.phase1(), len(src)); err != nil {
+		return nil, fmt.Errorf("%s/live: phase2: %w", sc.Name, err)
+	}
+	if err := waitDelivered(len(src), "post-migration"); err != nil {
+		return nil, err
+	}
+
+	var repErr error
+	base.Wait(func() {
+		repErr = staleReplay(na, np.Addr(), conn.ConnID(), conn.Session().LocalPort())
+	})
+	if repErr != nil {
+		return nil, repErr
+	}
+	fencedBy := time.Now().Add(sc.timeout())
+	for {
+		var fenced uint64
+		base.Wait(func() { fenced = np.Stack().Stats().FencedPDUs })
+		if fenced > 0 {
+			run.FencedPDUs = fenced
+			break
+		}
+		if time.Now().After(fencedBy) {
+			break // leave zero; the caller's gate reports it
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	base.Wait(func() {
+		mu.Lock()
+		run.Delivered = append([]byte(nil), delivered...)
+		mu.Unlock()
+		run.Status = cp.Status()
+		run.Stats = adopted.Stats()
+	})
+	return run, nil
+}
+
+// Check gates one run against the scenario's acceptance criteria.
+func (sc *E12Scenario) Check(run *E12Run) error {
+	if !bytes.Equal(run.Delivered, sc.Payload()) {
+		return fmt.Errorf("%s: delivered stream diverges from source (%d of %d bytes)",
+			sc.Name, len(run.Delivered), sc.phase1()+sc.phase2())
+	}
+	if run.Status.Migrations != 1 || run.Status.MigrationsFailed != 0 {
+		return fmt.Errorf("%s: migrations=%d failed=%d, want 1/0",
+			sc.Name, run.Status.Migrations, run.Status.MigrationsFailed)
+	}
+	if run.FencedPDUs == 0 {
+		return fmt.Errorf("%s: stale-epoch replay was not fenced", sc.Name)
+	}
+	return nil
+}
+
+// RunE12 regenerates the E12 artifact: the sim scenario executed twice at
+// the same seed (the determinism gate) with the migration outcome per run.
+func RunE12() []Table {
+	sc := &E12Scenario{Name: "e12", Seed: 12}
+	t := &Table{
+		ID:      "E12",
+		Title:   "Cross-host session migration (fleet-scale segue)",
+		Headers: []string{"run", "delivered", "migration", "fenced", "epochs", "status"},
+	}
+	var first *E12Run
+	for i := 0; i < 2; i++ {
+		run, err := sc.RunSim()
+		status := "ok"
+		if err == nil {
+			err = sc.Check(run)
+		}
+		if err != nil {
+			status = err.Error()
+		}
+		if run == nil {
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("sim#%d", i+1), "-", "-", "-", "-", status})
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("sim#%d", i+1),
+			fmt.Sprintf("%d B", len(run.Delivered)),
+			fmtDur(run.MigrationTime),
+			fmt.Sprintf("%d", run.FencedPDUs),
+			fmt.Sprintf("%d", run.Status.LeaseEpochs),
+			status,
+		})
+		if i == 0 {
+			first = run
+		} else if first != nil {
+			identical := bytes.Equal(first.Delivered, run.Delivered)
+			t.Notes = append(t.Notes, fmt.Sprintf("same-seed reruns byte-identical: %v", identical))
+		}
+	}
+	return []Table{*t}
+}

@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestE12SimMigration runs the migration scenario on the simulator and gates
+// the acceptance criteria: exact delivery across the handoff, exactly one
+// migration, stale-epoch replay fenced.
+func TestE12SimMigration(t *testing.T) {
+	sc := &E12Scenario{Name: "e12-sim", Seed: 12}
+	run, err := sc.RunSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Check(run); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestE12SimDeterministic reruns the same seed and requires byte-identical
+// delivery — the property scripts/e12_migrate.sh gates in CI.
+func TestE12SimDeterministic(t *testing.T) {
+	sc := &E12Scenario{Name: "e12-det", Seed: 12}
+	a, err := sc.RunSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.RunSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Delivered, b.Delivered) {
+		t.Fatal("same-seed sim reruns delivered different streams")
+	}
+	if a.MigrationTime != b.MigrationTime {
+		t.Fatalf("same-seed sim reruns migrated at different speeds: %v vs %v",
+			a.MigrationTime, b.MigrationTime)
+	}
+}
+
+// TestE12LiveMigration is the live half of the parity gate: the same
+// scenario over UDP loopback sockets must migrate host-to-host with zero
+// app-stream divergence, and both environments must deliver the identical
+// byte stream.
+func TestE12LiveMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sockets in -short mode")
+	}
+	sc := &E12Scenario{Name: "e12-live", Seed: 12}
+	simRun, err := sc.RunSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRun, err := sc.RunLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Check(simRun); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Check(liveRun); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(simRun.Delivered, liveRun.Delivered) {
+		t.Fatal("sim and live migration runs delivered different streams")
+	}
+}

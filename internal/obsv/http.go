@@ -53,7 +53,7 @@ func (p *Plane) planeCounters() map[string]uint64 {
 		"obsv.trace.records":         p.recordsSeen.Load(),
 		"obsv.trace.chunks_dropped":  p.TraceDropped(),
 	}
-	for name, read := range p.opts.Counters {
+	for name, read := range p.counters() {
 		out[name] = read()
 	}
 	return out

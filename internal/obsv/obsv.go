@@ -278,6 +278,31 @@ func (p *Plane) Archive() (*trace.Set, error) {
 	return p.archive.Set(), nil
 }
 
+// RegisterCounters merges extra process-level counters into the exported
+// metrics surfaces. This is the post-construction path: a subsystem created
+// after the node (e.g. a control-plane controller) publishes its counters on
+// an already-running plane. Later registrations win on key collisions. The
+// merge is copy-on-write, so an in-flight scrape keeps reading its snapshot.
+func (p *Plane) RegisterCounters(extra map[string]func() uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	merged := make(map[string]func() uint64, len(p.opts.Counters)+len(extra))
+	for k, v := range p.opts.Counters {
+		merged[k] = v
+	}
+	for k, v := range extra {
+		merged[k] = v
+	}
+	p.opts.Counters = merged
+}
+
+// counters returns the current extra-counter map (copy-on-write snapshot).
+func (p *Plane) counters() map[string]func() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.opts.Counters
+}
+
 // MetricsSnapshot captures the repository (empty snapshot when no
 // repository is configured).
 func (p *Plane) MetricsSnapshot() unites.Snapshot {

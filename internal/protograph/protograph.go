@@ -46,8 +46,21 @@ type Listener struct {
 type Stats struct {
 	DecodeErrors   uint64 // checksum failures and malformed packets
 	UnmatchedPDUs  uint64 // no session and no listener
+	FencedPDUs     uint64 // rejected: sent by a non-owner after a migration
+	StaleOwnerUpd  uint64 // ownership updates rejected by epoch ordering
 	SessionsActive int
 	SessionsTotal  uint64
+}
+
+// fence records the epoch-ordered egress owner of a migrated connection.
+// Once installed, data PDUs for the connection are accepted only from the
+// owner host: a stale-epoch sender (the pre-migration owner, or any replay
+// of its frames) is rejected at demux and counted, which is what makes the
+// routing flip atomic from the receiver's point of view — there is no
+// instant at which two hosts' egress is accepted.
+type fence struct {
+	owner netapi.Addr
+	epoch uint64
 }
 
 // MetricFactory supplies a metric sink per session (UNITES instrumentation
@@ -67,10 +80,14 @@ type Stack struct {
 	sessions  map[uint32]*session.Session
 	listeners map[uint16]*Listener
 	layers    []Layer
+	fences    map[uint32]fence
 
 	// SignalHandler receives out-of-band Signal and Probe PDUs (the
 	// MANTTS entity installs itself here).
 	SignalHandler func(p *wire.PDU, from netapi.Addr)
+	// ControlHandler receives control-plane PDUs (wire.TControl): the
+	// migration agent installs itself here. The handler takes ownership.
+	ControlHandler func(p *wire.PDU, from netapi.Addr)
 
 	stats Stats
 }
@@ -113,6 +130,7 @@ func NewStack(cfg Config) (*Stack, error) {
 		tracer:    cfg.Tracer,
 		sessions:  make(map[uint32]*session.Session),
 		listeners: make(map[uint16]*Listener),
+		fences:    make(map[uint32]fence),
 	}
 	ep.SetReceiver(st.onPacket)
 	if be, ok := ep.(netapi.BatchEndpoint); ok {
@@ -272,6 +290,52 @@ func (st *Stack) buildSession(connID uint32, spec *mechanism.Spec, res tko.Resul
 	return s
 }
 
+// SetOwner installs (or advances) the epoch fence for a connection: data
+// PDUs are henceforth accepted only from owner's host. Updates are ordered
+// by epoch — a re-delivered or reordered update carrying an older epoch is
+// rejected and counted, so routing can only move forward. It reports whether
+// the update was applied (an exact re-delivery of the current epoch and
+// owner reports true: the update is idempotent).
+func (st *Stack) SetOwner(connID uint32, owner netapi.Addr, epoch uint64) bool {
+	if f, ok := st.fences[connID]; ok {
+		if epoch < f.epoch || (epoch == f.epoch && owner != f.owner) {
+			st.stats.StaleOwnerUpd++
+			return false
+		}
+		if epoch == f.epoch {
+			return true // idempotent re-delivery
+		}
+	}
+	st.fences[connID] = fence{owner: owner, epoch: epoch}
+	return true
+}
+
+// Owner returns the fenced owner and epoch for a connection, if any.
+func (st *Stack) Owner(connID uint32) (owner netapi.Addr, epoch uint64, ok bool) {
+	f, ok := st.fences[connID]
+	return f.owner, f.epoch, ok
+}
+
+// ClearFence removes a connection's fence (session teardown).
+func (st *Stack) ClearFence(connID uint32) { delete(st.fences, connID) }
+
+// AdoptSession synthesizes a session from a migration handoff and registers
+// it in the demux table already established, with its transfer state,
+// buffers, and meters imported. Egress stays frozen until ResumeEgress. The
+// caller installs callbacks before resuming.
+func (st *Stack) AdoptSession(h *session.Handoff) (*session.Session, error) {
+	if st.sessions[h.ConnID] != nil {
+		return nil, fmt.Errorf("protograph: conn %d already present", h.ConnID)
+	}
+	res, err := st.synth.Synthesize(h.Spec)
+	if err != nil {
+		return nil, err
+	}
+	s := st.buildSession(h.ConnID, h.Spec, res, h.PeerNet, h.LocalPort, h.PeerPort)
+	s.ImportHandoff(h)
+	return s, nil
+}
+
 func (st *Stack) allocConnID() uint32 {
 	for {
 		id := st.rng.Uint32()
@@ -322,8 +386,22 @@ func (st *Stack) dispatch(p *wire.PDU, from netapi.Addr) {
 			p.ReleasePayload()
 		}
 		return
+	case wire.TControl:
+		if st.ControlHandler != nil {
+			st.ControlHandler(p, from)
+		} else {
+			p.ReleasePayload()
+		}
+		return
 	}
 	if s := st.sessions[p.ConnID]; s != nil {
+		if f, fenced := st.fences[p.ConnID]; fenced && from.Host != f.owner.Host {
+			// Stale-epoch sender: a host that no longer owns this
+			// connection's egress. Reject before the session sees it.
+			st.stats.FencedPDUs++
+			wire.PutPDU(p)
+			return
+		}
 		s.HandlePDU(p)
 		return
 	}

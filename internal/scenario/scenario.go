@@ -172,6 +172,15 @@ type EventDoc struct {
 	LinkState    *LinkStateDoc    `json:"link_state"`
 	Impair       *ImpairDoc       `json:"impair"`
 	Partition    *PartitionDoc    `json:"partition"`
+	Migrate      *MigrateDoc      `json:"migrate"`
+}
+
+// MigrateDoc hands a session off to another host mid-run: the control plane
+// freezes the source, transfers the epoch-stamped record, and the workload
+// continues on the adopted connection (sends queue during the handoff).
+type MigrateDoc struct {
+	Session string `json:"session"` // session name
+	To      string `json:"to"`      // target host name
 }
 
 // CrossTrafficDoc starts (or, with rate 0, stops) competing load on a link.
@@ -257,6 +266,45 @@ type Runtime struct {
 	groups map[string]adaptive.HostID
 	links  map[[2]string]*netsim.Link
 	Repo   *unites.Repository
+
+	// Control is the deployment's controller, built only when the document
+	// carries migrate events; every host is enrolled.
+	Control *adaptive.ControlPlane
+	senders map[string]*migratingSender
+}
+
+// migratingSender routes a workload's sends at the session's current owner:
+// the source connection before a handoff, an internal queue while one is in
+// flight, and the adopted connection afterwards. It runs entirely on the
+// kernel loop, like the workload generators driving it.
+type migratingSender struct {
+	cur    *adaptive.Conn
+	frozen bool
+	queued [][]byte
+}
+
+func (ms *migratingSender) Send(data []byte) error {
+	if ms.frozen {
+		ms.queued = append(ms.queued, append([]byte(nil), data...))
+		return nil
+	}
+	return ms.cur.Send(data)
+}
+
+func (ms *migratingSender) freeze() { ms.frozen = true }
+
+// adopt points the sender at the surviving connection (the target's adopted
+// copy on success, the resumed source on rollback) and flushes the queue.
+func (ms *migratingSender) adopt(c *adaptive.Conn) error {
+	ms.cur = c
+	ms.frozen = false
+	for _, data := range ms.queued {
+		if err := c.Send(data); err != nil {
+			return err
+		}
+	}
+	ms.queued = nil
+	return nil
 }
 
 // Parse decodes and validates a scenario document.
@@ -315,6 +363,25 @@ func Parse(raw []byte) (*Document, error) {
 					if !names[n] {
 						return nil, fmt.Errorf("scenario: event %d partition references unknown host %q", i, n)
 					}
+				}
+			}
+		case ev.Migrate != nil:
+			mg := ev.Migrate
+			var sess *SessionDoc
+			for j := range doc.Sessions {
+				if doc.Sessions[j].Name == mg.Session {
+					sess = &doc.Sessions[j]
+				}
+			}
+			if sess == nil {
+				return nil, fmt.Errorf("scenario: event %d migrate references unknown session %q", i, mg.Session)
+			}
+			if !names[mg.To] {
+				return nil, fmt.Errorf("scenario: event %d migrate references unknown host %q", i, mg.To)
+			}
+			for _, g := range doc.Groups {
+				if g.Name == sess.To {
+					return nil, fmt.Errorf("scenario: event %d cannot migrate multicast session %q", i, mg.Session)
 				}
 			}
 		}
@@ -402,6 +469,20 @@ func Build(doc *Document) (*Runtime, error) {
 			Bandwidth: cfg.Bandwidth, RTT: 2 * cfg.PropDelay, BER: cfg.BER, MTU: cfg.MTU,
 		})
 	}
+	// Migration needs the control plane; enroll every host.
+	for _, ev := range doc.Events {
+		if ev.Migrate == nil {
+			continue
+		}
+		rt.Control = adaptive.NewControlPlane()
+		rt.senders = make(map[string]*migratingSender)
+		for _, name := range doc.Hosts {
+			if err := rt.Control.Enroll(rt.Nodes[name], 0); err != nil {
+				return nil, err
+			}
+		}
+		break
+	}
 	return rt, nil
 }
 
@@ -467,6 +548,8 @@ func (rt *Runtime) Run() (*Result, error) {
 					return out
 				}
 				rt.Net.Partition(ids(pt.A), ids(pt.B))
+			case ev.Migrate != nil:
+				rt.startMigration(ev.Migrate)
 			}
 		})
 	}
@@ -540,12 +623,24 @@ func (rt *Runtime) Run() (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scenario: session %q: %v", sd.Name, err)
 		}
+		// With a control plane active, sends go through a migration-aware
+		// proxy and the session is placed under the controller's lease.
+		var out workload.Sender = conn
+		var sender *migratingSender
+		if rt.Control != nil {
+			if err := rt.Control.Place(conn); err != nil {
+				return nil, fmt.Errorf("scenario: session %q: %v", sd.Name, err)
+			}
+			sender = &migratingSender{cur: conn}
+			rt.senders[sd.Name] = sender
+			out = sender
+		}
 
 		mspec, err := measure.Parse(sd.Workload)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: session %q: %v", sd.Name, err)
 		}
-		start, generated, err := mspec.Workload.Build(srcNode.Stack().Timers(), conn)
+		start, generated, err := mspec.Workload.Build(srcNode.Stack().Timers(), out)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: session %q: %v", sd.Name, err)
 		}
@@ -556,17 +651,53 @@ func (rt *Runtime) Run() (*Result, error) {
 		genRef := generated
 		idx := len(res.Sessions)
 		res.Sessions = append(res.Sessions, sr)
-		// Finalize after the run.
+		// Finalize after the run, against whichever connection survived.
 		defer func() {
-			res.Sessions[idx].Spec = connRef.Spec()
+			final := connRef
+			if sender != nil {
+				final = sender.cur
+			}
+			res.Sessions[idx].Spec = final.Spec()
 			res.Sessions[idx].Generated = genRef()
-			res.Sessions[idx].Sent = connRef.Stats()
+			res.Sessions[idx].Sent = final.Stats()
 		}()
 	}
 
 	rt.Kernel.RunUntil(time.Duration(doc.RunMs * float64(time.Millisecond)))
 	res.SimTime = rt.Kernel.Now()
 	return res, nil
+}
+
+// startMigration kicks off one migrate event: freeze the workload's sends
+// into the proxy queue, hand the session off, and poll (on the virtual
+// clock, so runs stay deterministic) until the handoff resolves — flushing
+// the queue into the adopted connection, or back into the resumed source on
+// rollback.
+func (rt *Runtime) startMigration(mg *MigrateDoc) {
+	sender := rt.senders[mg.Session]
+	if sender == nil || rt.Control == nil {
+		return
+	}
+	src := sender.cur
+	m, err := rt.Control.MigrateSession(src, rt.hosts[mg.To].ID())
+	if err != nil {
+		return // e.g. already on the target host; the workload carries on
+	}
+	sender.freeze()
+	var watch func()
+	watch = func() {
+		select {
+		case <-m.Done():
+			if m.Err() == nil && m.Conn() != nil {
+				sender.adopt(m.Conn())
+			} else {
+				sender.adopt(src)
+			}
+		default:
+			rt.Kernel.ScheduleAt(rt.Kernel.Now()+5*time.Millisecond, watch)
+		}
+	}
+	watch()
 }
 
 // Load parses, builds, and runs a scenario in one call.

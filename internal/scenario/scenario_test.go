@@ -1,6 +1,12 @@
 package scenario
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+
+	"adaptive"
 	"strings"
 	"testing"
 	"time"
@@ -186,4 +192,104 @@ func TestDefaultRunDuration(t *testing.T) {
 		t.Fatalf("default run %v", doc.RunMs)
 	}
 	_ = time.Second
+}
+
+func TestScenarioMigration(t *testing.T) {
+	raw, err := os.ReadFile("../../scenarios/migration-handover.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Build(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Sessions[0]
+	// Every CBR frame crosses the migration boundary intact: 3000 x 1024 B.
+	if s.Meter.Messages != 3000 || s.Meter.Bytes != 3000*1024 {
+		t.Fatalf("delivered %d messages / %d bytes across the handover",
+			s.Meter.Messages, s.Meter.Bytes)
+	}
+	st := rt.Control.Status()
+	if st.Migrations != 1 || st.MigrationsFailed != 0 {
+		t.Fatalf("controller status %+v", st)
+	}
+	// The lease moved to the standby host.
+	var pl []PlacementCheck
+	for _, p := range st.Placements {
+		pl = append(pl, PlacementCheck{p.Owner, p.Epoch})
+	}
+	if len(pl) != 1 || pl[0].Owner != rt.Nodes["standby"].Addr().Host || pl[0].Epoch != 2 {
+		t.Fatalf("placements %+v", st.Placements)
+	}
+}
+
+// PlacementCheck is a test-local projection of one placement row.
+type PlacementCheck struct {
+	Owner adaptive.HostID
+	Epoch uint64
+}
+
+// TestMigrateDocRoundTrip re-encodes the migration scenario and parses the
+// result: the migrate event must survive a JSON round trip unchanged.
+func TestMigrateDocRoundTrip(t *testing.T) {
+	raw, err := os.ReadFile("../../scenarios/migration-handover.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := Parse(re)
+	if err != nil {
+		t.Fatalf("re-encoded scenario failed to parse: %v", err)
+	}
+	if !reflect.DeepEqual(doc, doc2) {
+		t.Fatal("scenario document changed across a JSON round trip")
+	}
+	var found bool
+	for _, ev := range doc2.Events {
+		if ev.Migrate != nil && ev.Migrate.Session == "handover" && ev.Migrate.To == "standby" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("migrate event lost in round trip")
+	}
+}
+
+func TestParseRejectsBadMigrations(t *testing.T) {
+	base := `{"hosts":["a","b","c"],
+	  "links":[{"from":"a","to":"b","bandwidth_bps":1e6}],
+	  "sessions":[{"name":"s","from":"a","to":"b","workload":"generate bulk size=10"}],
+	  "events":[%s]}`
+	cases := map[string]string{
+		"unknown session": `{"at_ms":1,"migrate":{"session":"zz","to":"c"}}`,
+		"unknown host":    `{"at_ms":1,"migrate":{"session":"s","to":"zz"}}`,
+	}
+	for name, ev := range cases {
+		if _, err := Parse([]byte(fmt.Sprintf(base, ev))); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+	mc := `{"hosts":["a","b","c"],
+	  "links":[{"from":"a","to":"b","bandwidth_bps":1e6}],
+	  "groups":[{"name":"g","members":["b","c"]}],
+	  "sessions":[{"name":"s","from":"a","to":"g","workload":"generate bulk size=10"}],
+	  "events":[{"at_ms":1,"migrate":{"session":"s","to":"c"}}]}`
+	if _, err := Parse([]byte(mc)); err == nil || !strings.Contains(err.Error(), "multicast") {
+		t.Errorf("multicast migrate: err = %v", err)
+	}
 }

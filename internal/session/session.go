@@ -124,6 +124,8 @@ type Session struct {
 	segues         uint64
 	markSegue      bool
 	reconfigurable bool
+	frozen         bool // egress halted for a migration handoff
+	retired        bool // handed off to another host (ErrMigrated on Send)
 
 	// Stats visible to UNITES and tests.
 	SentPDUs       uint64
@@ -345,6 +347,10 @@ func (s *Session) Send(data []byte) error {
 // SendMessage queues a message (ownership transfers to the session). The
 // final segment carries the end-of-message flag.
 func (s *Session) SendMessage(m *message.Message) error {
+	if s.retired {
+		m.Release()
+		return ErrMigrated
+	}
 	if s.closing || s.slots.Conn.Closed() {
 		m.Release()
 		return errClosed
@@ -371,7 +377,7 @@ func (s *Session) QueuedSegments() int { return s.queuedLen() }
 // pump drives the transmit loop: it emits queued segments while the
 // connection is established, the window has room, and the pacer permits.
 func (s *Session) pump() {
-	if s.slots.Conn.Closed() {
+	if s.frozen || s.slots.Conn.Closed() {
 		return
 	}
 	if !s.slots.Conn.Established() {
@@ -511,6 +517,9 @@ func recoveryUsesRTO(r mechanism.Recovery) bool {
 
 // armRTO (re)starts the retransmission timer while data is outstanding.
 func (s *Session) armRTO() {
+	if s.frozen {
+		return
+	}
 	if s.state.InFlight() == 0 {
 		if s.rtoTimer != nil {
 			s.rtoTimer.Cancel()
@@ -525,7 +534,7 @@ func (s *Session) armRTO() {
 }
 
 func (s *Session) onRTO() {
-	if s.state.InFlight() == 0 {
+	if s.frozen || s.state.InFlight() == 0 {
 		return
 	}
 	s.metrics.Count("rel.rto_fired", 1)
@@ -680,6 +689,12 @@ func (s *Session) startKeepalive() {
 
 func (s *Session) keepaliveTick() {
 	if s.closing || s.slots.Conn.Closed() {
+		return
+	}
+	if s.frozen {
+		// A frozen (migrating) session must not emit probes; keep the
+		// cycle armed in case the migration aborts and egress resumes.
+		s.kaTimer.Reset(s.spec.KeepaliveInterval)
 		return
 	}
 	iv := s.spec.KeepaliveInterval

@@ -319,3 +319,66 @@ func TestPerPacketModeStillWorks(t *testing.T) {
 		t.Fatalf("flush machinery engaged in per-packet mode: %+v", bc)
 	}
 }
+
+// TestFlushRehomesReregisteredPeer is the stale-address regression: frames
+// already sitting on the flush queue when a peer re-registers (restart on a
+// new socket) must flush to the peer's NEW address. The old behavior used the
+// *hostAddr captured at enqueue time, silently black-holing the queued tail
+// into the dead socket.
+func TestFlushRehomesReregisteredPeer(t *testing.T) {
+	// A flush window far beyond the test keeps frames queued until the
+	// explicit Flush below.
+	src := New(WithBatch(64), WithFlushWindow(time.Hour))
+	defer src.Close()
+	a, err := src.Open(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two incarnations of host 2 on separate providers: the pre-restart
+	// socket (which must receive nothing) and the post-restart one.
+	old := New()
+	defer old.Close()
+	oldEp, err := old.Open(2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oldGot atomic.Uint64
+	oldEp.SetReceiver(func(pkt []byte, from netapi.Addr) { oldGot.Add(1) })
+
+	fresh := New()
+	defer fresh.Close()
+	freshEp, err := fresh.Open(2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var freshGot atomic.Uint64
+	freshEp.SetReceiver(func(pkt []byte, from netapi.Addr) { freshGot.Add(1) })
+
+	if err := src.RegisterHost(2, oldEp.(*Endpoint).sock.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := a.Send([]byte{byte(i)}, netapi.Addr{Host: 2, Port: 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Peer "restarts": host 2 re-registers at the new socket, then the
+	// queued tail flushes.
+	if err := src.RegisterHost(2, freshEp.(*Endpoint).sock.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.(*Endpoint).Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 5*time.Second, func() bool { return freshGot.Load() == n }, "rehomed delivery")
+	if got := oldGot.Load(); got != 0 {
+		t.Fatalf("dead socket received %d frames, want 0", got)
+	}
+	if re := src.MetricCounters()["udpnet.rehomed_frames"](); re != n {
+		t.Fatalf("rehomed_frames = %d, want %d", re, n)
+	}
+}

@@ -232,6 +232,7 @@ type Provider struct {
 	sendErrs      atomic.Uint64 // socket write errors on flush paths
 	trainsOut     atomic.Uint64 // coalesced train datagrams written
 	trainFrames   atomic.Uint64 // frames that rode in trains
+	rehomedFrames atomic.Uint64 // queued frames redirected to a re-registered peer
 }
 
 // New returns a provider with a running event loop.
@@ -445,6 +446,7 @@ func (p *Provider) MetricCounters() map[string]func() uint64 {
 		"udpnet.dropped_posts":  p.droppedPosts.Load,
 		"udpnet.trains_out":     p.trainsOut.Load,
 		"udpnet.train_frames":   p.trainFrames.Load,
+		"udpnet.rehomed_frames": p.rehomedFrames.Load,
 		"udpnet.avg_batch_in_milli": func() uint64 {
 			b := p.batchesIn.Load()
 			if b == 0 {
@@ -535,9 +537,10 @@ func (p *Provider) Clock() netapi.Clock { return p.clock }
 // single frame; packTrains turns runs of them into train entries on the
 // wire queue (ep.txq).
 type outMsg struct {
-	frame  []byte // pooled slab; returned after the flush write
-	dst    *hostAddr
-	frames int // protocol frames inside (1 for a single, n for a train)
+	frame   []byte // pooled slab; returned after the flush write
+	dst     *hostAddr
+	dstHost netapi.HostID // re-resolved against the registry at flush time
+	frames  int           // protocol frames inside (1 for a single, n for a train)
 }
 
 // Endpoint is a UDP-backed netapi.Endpoint.
@@ -888,20 +891,20 @@ func (ep *Endpoint) sendTo(reg *registry, pkt []byte, dst netapi.Addr) error {
 		}
 		return err
 	}
-	return ep.enqueue(frame, ha)
+	return ep.enqueue(frame, ha, dst.Host)
 }
 
 // enqueue adds a framed datagram to the flush queue, flushing when it
 // reaches the batch size and arming the window timer when it goes
 // non-empty.
-func (ep *Endpoint) enqueue(frame []byte, dst *hostAddr) error {
+func (ep *Endpoint) enqueue(frame []byte, dst *hostAddr, dstHost netapi.HostID) error {
 	ep.sendMu.Lock()
 	defer ep.sendMu.Unlock()
 	if ep.closed.Load() {
 		message.PutSlab(frame)
 		return errors.New("udpnet: endpoint closed")
 	}
-	ep.sq = append(ep.sq, outMsg{frame: frame, dst: dst, frames: 1})
+	ep.sq = append(ep.sq, outMsg{frame: frame, dst: dst, dstHost: dstHost, frames: 1})
 	if len(ep.sq) >= ep.batch {
 		ep.p.flushesSize.Add(1)
 		return ep.flushLocked()
@@ -997,6 +1000,18 @@ func (ep *Endpoint) buildTrain(run []outMsg) outMsg {
 func (ep *Endpoint) flushLocked() error {
 	if len(ep.sq) == 0 {
 		return nil
+	}
+	// Re-resolve queued destinations against the current registry snapshot:
+	// frames enqueued before a peer re-registered (restart on a new socket)
+	// must flush to its new address, not the one captured at enqueue time.
+	// Entries re-resolve to the snapshot's shared *hostAddr, so packTrains'
+	// pointer-equality coalescing keeps working.
+	reg := ep.p.reg.Load()
+	for i := range ep.sq {
+		if ha := reg.hosts[ep.sq[i].dstHost]; ha != nil && ha != ep.sq[i].dst {
+			ep.sq[i].dst = ha
+			ep.p.rehomedFrames.Add(1)
+		}
 	}
 	ep.p.batchesOut.Add(1)
 	ep.packTrains()

@@ -34,6 +34,7 @@ const (
 	TParity    Type = 10 // FEC parity block covering a group of data PDUs
 	TProbe     Type = 11 // network monitor probe (RTT / liveness)
 	TKeepalive Type = 12 // session keepalive (FlagEcho marks the reply)
+	TControl   Type = 13 // control-plane channel (migration handoff, ownership)
 )
 
 func (t Type) String() string {
@@ -62,6 +63,8 @@ func (t Type) String() string {
 		return "PROBE"
 	case TKeepalive:
 		return "KEEPALIVE"
+	case TControl:
+		return "CONTROL"
 	}
 	return fmt.Sprintf("TYPE(%d)", uint8(t))
 }

@@ -138,6 +138,16 @@ func (o *Observability) Handler() http.Handler {
 	return o.plane.Handler()
 }
 
+// RegisterCounters merges extra process-level counters into the plane's
+// exported metrics surfaces after construction (e.g. a ControlPlane
+// publishing adaptive_ctl_* on every enrolled node). No-op when
+// observability is unconfigured. Later registrations win on key collisions.
+func (o *Observability) RegisterCounters(extra map[string]func() uint64) {
+	if o.plane != nil {
+		o.plane.RegisterCounters(extra)
+	}
+}
+
 // TraceTail attaches a live trace subscription. Attach before traffic
 // starts to capture from record zero (a later attach surfaces as a leading
 // gap when reassembling). The tail ends when the context is canceled, when

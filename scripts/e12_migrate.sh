@@ -1,0 +1,48 @@
+#!/bin/sh
+# E12 migration gate. Four checks:
+#
+#  1. The cross-host migration experiment, run twice via cmd/adaptivebench,
+#     must render byte-identical tables — the controller's epoch grants,
+#     the handoff record transfer, and the adopted session's resumed egress
+#     must all be deterministic under the sim kernel.
+#  2. The table itself must gate: every run row reports status "ok" (exact
+#     delivery, exactly one migration, stale-epoch replay fenced) and the
+#     rerun note confirms byte-identical delivered streams.
+#  3. adaptivectl drives the same handoff end to end (sim and UDP loopback)
+#     and exits nonzero unless the delivery/fencing gate passes.
+#  4. The targeted migration tests: the public-API migration suite at the
+#     repo root (mid-stream handoff, rollback, migration-under-loss table)
+#     and the E12 sim/live parity tests.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/adaptivebench -experiment E12 >FAULTS_e12_run1.txt
+go run ./cmd/adaptivebench -experiment E12 >FAULTS_e12_run2.txt
+
+if ! cmp -s FAULTS_e12_run1.txt FAULTS_e12_run2.txt; then
+    echo "FAIL: two E12 migration runs differ" >&2
+    diff FAULTS_e12_run1.txt FAULTS_e12_run2.txt >&2 || true
+    exit 1
+fi
+cat FAULTS_e12_run1.txt
+
+if ! grep -q 'same-seed reruns byte-identical: true' FAULTS_e12_run1.txt; then
+    echo "FAIL: E12 reruns did not deliver byte-identical streams" >&2
+    exit 1
+fi
+if awk 'NR > 1 && $1 ~ /^sim#/ && $NF != "ok" { bad = 1 } END { exit bad }' FAULTS_e12_run1.txt; then :; else
+    echo "FAIL: an E12 run row reported a failed gate" >&2
+    exit 1
+fi
+
+go run ./cmd/adaptivectl migrate -seed 12 >FAULTS_e12_ctl_sim.txt
+cat FAULTS_e12_ctl_sim.txt
+go run ./cmd/adaptivectl migrate -live -seed 12 >FAULTS_e12_ctl_live.txt
+cat FAULTS_e12_ctl_live.txt
+
+go test -race -count=1 -run 'TestMigrate' .
+go test -race -count=1 -run 'TestE12' ./internal/experiment/
+go test -race -count=1 -run 'TestScenarioMigration|TestMigrateDocRoundTrip' ./internal/scenario/
+
+echo "e12: migration deterministic; delivery exact across the handoff; stale epochs fenced"
