@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify live bench bench-scale bench-live bench-compare faults e12 trace soak soak-smoke clean
+.PHONY: build test verify live bench bench-scale bench-live bench-compare faults e12 e13 trace soak soak-smoke clean
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,13 @@ faults:
 # targeted migration test suites under the race detector.
 e12:
 	./scripts/e12_migrate.sh
+
+# e13 is the bandwidth-arbiter gate: the shared-bottleneck experiment run
+# twice and byte-compared (fairness, isochronous latency, and goodput gates
+# inside), the allocation-free grant-path benchmark, and the targeted
+# arbiter test suites under the race detector.
+e13:
+	./scripts/e13_arbiter.sh
 
 # bench runs the data-path micro-benchmarks (packet codec, message pool,
 # netsim forwarding, sim kernel) 5 times with allocation stats and writes

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"time"
 
+	"adaptive/internal/arbiter"
 	"adaptive/internal/mantts"
 	"adaptive/internal/mechanism"
 	"adaptive/internal/netapi"
@@ -78,6 +79,9 @@ type (
 	Action = mantts.Action
 	// TSC is a Transport Service Class (paper Table 1).
 	TSC = mantts.TSC
+	// StaticPathInfo seeds the network state descriptor with a-priori
+	// link knowledge (Node.SeedPath).
+	StaticPathInfo = mantts.StaticPathInfo
 
 	// Spec is a Session Configuration Specification (SCS).
 	Spec = mechanism.Spec
@@ -93,7 +97,16 @@ type (
 	NotificationKind = mechanism.NotificationKind
 	// Delivery is one received message unit.
 	Delivery = session.Delivery
+
+	// ArbiterPolicy configures the per-host bandwidth arbiter: class
+	// weights and floors over the Table-1 service classes, the AIMD
+	// estimator constants, and the reallocation cadence (WithArbiter).
+	ArbiterPolicy = arbiter.Policy
 )
+
+// DefaultArbiterPolicy returns the standard arbiter policy: guaranteed
+// floors for the isochronous classes and a weight ladder by class urgency.
+func DefaultArbiterPolicy() ArbiterPolicy { return arbiter.DefaultPolicy() }
 
 // Re-exported notification kinds.
 const (
@@ -125,6 +138,7 @@ const (
 	MetricThroughputBps  = mantts.MetricThroughputBps
 	MetricRcvBufFill     = mantts.MetricRcvBufFill
 	MetricJitter         = mantts.MetricJitter
+	MetricArbiterSqueeze = mantts.MetricArbiterSqueeze
 
 	OpGT = mantts.OpGT
 	OpLT = mantts.OpLT
@@ -191,6 +205,9 @@ type Options struct {
 	// Rules are node-level default TSA rules, applied to dialed
 	// connections whose ACD carries no policy of its own.
 	Rules []Rule
+	// Arbiter, when set, enables the per-host bandwidth arbiter under the
+	// policy (WithArbiter).
+	Arbiter *ArbiterPolicy
 }
 
 // Option configures one aspect of a Node (functional options for NewNode).
@@ -241,12 +258,25 @@ func WithRules(rules ...Rule) Option {
 	return func(o *Options) { o.Rules = append(o.Rules, rules...) }
 }
 
+// WithArbiter enables the per-host bandwidth arbiter: a congestion manager
+// that aggregates loss, RTT-inflation, and environment congestion hints
+// across every session dialed on this node into one shared bottleneck
+// estimate, and divides the estimated capacity into per-session pacing
+// budgets by Table-1 class policy (floors for isochronous classes, weighted
+// shares above them, work-conserving redistribution). Sessions receive
+// budget changes through Conn.OnBudgetChange; arbiter state appears as
+// adaptive_arbiter_* gauges on the observability plane's /metrics.
+func WithArbiter(pol ArbiterPolicy) Option {
+	return func(o *Options) { o.Arbiter = &pol }
+}
+
 // Node is one host's complete ADAPTIVE transport system instance: a
 // protocol graph (TKO), a MANTTS entity, and UNITES instrumentation.
 type Node struct {
 	stack  *protograph.Stack
 	entity *mantts.Entity
 	obs    *Observability
+	arb    *arbiter.Arbiter
 	name   string
 	rules  []Rule
 }
@@ -332,6 +362,11 @@ func newNode(opts Options) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{stack: stack, entity: mantts.NewEntity(stack), name: name, rules: opts.Rules}
+	if opts.Arbiter != nil {
+		n.arb = arbiter.New(*opts.Arbiter)
+		n.entity.SetArbiter(n.arb)
+		n.startHintPoller(opts.Provider)
+	}
 	n.obs = &Observability{}
 	if obs != nil {
 		var recs []*trace.Recorder
@@ -357,7 +392,71 @@ func newNode(opts Options) (*Node, error) {
 			}
 		}
 	}
+	if n.arb != nil {
+		// Arbiter state rides the same plane as every other process gauge
+		// (rendered adaptive_arbiter_* on /metrics).
+		n.obs.RegisterCounters(n.arb.MetricCounters())
+	}
 	return n, nil
+}
+
+// hintPollEvery is the cadence of the environment congestion-hint poll.
+const hintPollEvery = 100 * time.Millisecond
+
+// startHintPoller turns a provider's drop counters into ECN-like arbiter
+// hints: when the environment (the impair shim's fault plan, the udpnet
+// loop's shed posts) discards packets between polls, the arbiter learns of
+// congestion no single session's signal can attribute. Providers without
+// drop counters (plain netsim) contribute nothing; loss and RTT inflation
+// carry the signal there.
+func (n *Node) startHintPoller(p Provider) {
+	type pktDrops interface{ DroppedPackets() uint64 }
+	type postDrops interface{ DroppedPosts() uint64 }
+	var read func() uint64
+	switch d := p.(type) {
+	case pktDrops:
+		read = d.DroppedPackets
+	case postDrops:
+		read = d.DroppedPosts
+	}
+	if read == nil {
+		return
+	}
+	clock := n.stack.Clock()
+	last := read()
+	n.stack.Timers().SchedulePeriodic(hintPollEvery, hintPollEvery, func() {
+		if d := read(); d != last {
+			last = d
+			n.arb.Hint(clock.Now())
+		}
+	})
+}
+
+// ArbiterStatus is a scrape-safe snapshot of the bandwidth arbiter.
+type ArbiterStatus struct {
+	Enabled     bool
+	CapacityBps float64 // shared bottleneck estimate
+	Sessions    int     // sessions under arbitration
+	Grants      uint64  // budget deliveries
+	Decreases   uint64  // multiplicative decreases
+	Hints       uint64  // environment congestion hints accepted
+}
+
+// ArbiterStatus reports the bandwidth arbiter's current state (zero value
+// when the node runs without WithArbiter). Safe from any goroutine.
+func (n *Node) ArbiterStatus() ArbiterStatus {
+	if n.arb == nil {
+		return ArbiterStatus{}
+	}
+	c := n.arb.MetricCounters()
+	return ArbiterStatus{
+		Enabled:     true,
+		CapacityBps: float64(c["arbiter.capacity_bps"]()),
+		Sessions:    int(c["arbiter.sessions"]()),
+		Grants:      n.arb.Grants(),
+		Decreases:   n.arb.Decreases(),
+		Hints:       n.arb.Hints(),
+	}
 }
 
 // Observability returns the node's observability handle. It is never nil;

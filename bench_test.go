@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"adaptive"
+	"adaptive/internal/arbiter"
 	"adaptive/internal/experiment"
 	"adaptive/internal/mantts"
 	"adaptive/internal/mechanism"
@@ -170,6 +171,40 @@ func BenchmarkE3_CongestionPolicy(b *testing.B) { benchRunTables(b, experiment.R
 func BenchmarkE4_RouteSwitch(b *testing.B)      { benchRunTables(b, experiment.RunE4) }
 func BenchmarkE7_Preservation(b *testing.B)     { benchRunTables(b, experiment.RunE7) }
 func BenchmarkE8_JoinLeave(b *testing.B)        { benchRunTables(b, experiment.RunE8) }
+
+// BenchmarkE13_ArbiterGrant is the grant hot path: one congestion Observe
+// plus a full Reallocate (virtual time advanced by ReallocEvery each
+// iteration, so every iteration recomputes and fires grants across all
+// registered sessions — harsher than the per-packet steady state, where
+// reallocation is rate-limited). The bench_compare baseline pins this at
+// zero allocs/op: every MANTTS sampler tick pays this cost, so an
+// allocation here is an allocation per sample across every session on the
+// host.
+func BenchmarkE13_ArbiterGrant(b *testing.B) {
+	pol := arbiter.DefaultPolicy()
+	a := arbiter.New(pol)
+	a.SeedCapacity(100e6)
+	var sink float64
+	for id := uint32(1); id <= 8; id++ {
+		a.Register(id, arbiter.Class(id%arbiter.NumClasses), 1, 10e6,
+			func(bps float64) { sink = bps })
+	}
+	now := time.Duration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate clean and congested samples so both estimator branches
+		// (probe and multiplicative decrease) stay on the measured path.
+		sig := arbiter.Signal{
+			LossRate: float64(i%8) * 0.005,
+			RTT:      time.Duration(5+i%3) * time.Millisecond,
+		}
+		a.Observe(now, uint32(i%8)+1, sig)
+		now += pol.ReallocEvery
+		a.Reallocate(now)
+	}
+	_ = sink
+}
 
 // benchRunTables executes a full experiment runner per iteration.
 func benchRunTables(b *testing.B, run func() []experiment.Table) {

@@ -105,6 +105,34 @@ func (c *Conn) Reconfigure(mutate func(s *Spec)) error {
 	return c.sess.ApplySpec(&ns)
 }
 
+// OnBudgetChange installs the content-adaptation callback for the host
+// bandwidth arbiter: fn receives every pacing-budget grant (bits per
+// second) the arbiter issues to this connection. A video source steps its
+// bitrate ladder here; a bulk transfer may ignore it (the pacer enforces
+// the budget regardless). The callback runs on the node's event loop —
+// return quickly. Returns ErrUnmanaged for connections without MANTTS
+// machinery; a node without WithArbiter never fires it.
+func (c *Conn) OnBudgetChange(fn func(budgetBps float64)) error {
+	if c.managed == nil {
+		return ErrUnmanaged
+	}
+	c.managed.OnBudget = fn
+	return nil
+}
+
+// SetBandwidthDemand updates this connection's declared bandwidth appetite
+// with the host arbiter (a codec that stepped its ladder down releases its
+// unused share to other sessions immediately rather than at the next
+// squeeze). No-op on nodes without WithArbiter; ErrUnmanaged without MANTTS
+// machinery.
+func (c *Conn) SetBandwidthDemand(bps float64) error {
+	if c.managed == nil {
+		return ErrUnmanaged
+	}
+	c.node.entity.SetDemand(c.managed, bps)
+	return nil
+}
+
 // AddParticipant invites a host into a multicast connection. It returns
 // ErrUnmanaged for connections without MANTTS machinery and ErrNotMulticast
 // for unicast ones.

@@ -196,6 +196,7 @@ func All() []Runner {
 		{"E9", "Fault sweep: burst loss, link flap, partition", RunE9},
 		{"E10", "Scale soak: many-session sharded simulation", RunE10},
 		{"E12", "Cross-host session migration (fleet-scale segue)", RunE12},
+		{"E13", "Shared-bottleneck bandwidth arbitration (host congestion manager)", RunE13},
 		{"A1", "Ablation: delayed acknowledgments", RunA1},
 		{"A2", "Ablation: FEC group size", RunA2},
 		{"A3", "Ablation: NAK/retransmission throttling", RunA3},

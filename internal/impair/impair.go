@@ -88,6 +88,11 @@ func (p *Provider) Open(host netapi.HostID, port uint16) (netapi.Endpoint, error
 	return &endpoint{Endpoint: ep, p: p}, nil
 }
 
+// DroppedPackets returns the cumulative packets discarded by the fault
+// plan. The node's bandwidth arbiter polls it as an ECN-like environment
+// congestion hint; safe from any goroutine.
+func (p *Provider) DroppedPackets() uint64 { return p.dropped.Load() }
+
 // Counters snapshots the impairment tallies.
 func (p *Provider) Counters() Counters {
 	return Counters{

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adaptive/internal/arbiter"
 	"adaptive/internal/event"
 	"adaptive/internal/mechanism"
 	"adaptive/internal/message"
@@ -59,9 +60,15 @@ type Managed struct {
 	TSC     TSC
 	Engine  *Engine
 
-	peerHost netapi.HostID
-	members  map[netapi.HostID]bool // multicast membership (sender side)
-	group    netapi.Addr
+	// OnBudget, when set, receives every bandwidth-arbiter grant for this
+	// session (the content-adaptation hook: a video source steps its
+	// bitrate ladder here). Runs on the provider event loop.
+	OnBudget func(budgetBps float64)
+
+	peerHost  netapi.HostID
+	members   map[netapi.HostID]bool // multicast membership (sender side)
+	group     netapi.Addr
+	demandBps float64 // declared appetite registered with the arbiter
 
 	sampler *event.Event
 	// Deltas for rate-style metrics.
@@ -84,6 +91,7 @@ type Entity struct {
 	stack    *protograph.Stack
 	netstate *NetState
 	managed  map[uint32]*Managed
+	arb      *arbiter.Arbiter // optional host bandwidth arbiter
 
 	// Notify is the application-facing notification hook (call-back
 	// reconfiguration path, §4.1.2 "Application-Specific").
@@ -139,6 +147,48 @@ func NewEntity(stack *protograph.Stack) *Entity {
 // NetState exposes the network state descriptor (seeding, inspection).
 func (e *Entity) NetState() *NetState { return e.netstate }
 
+// SetArbiter installs the host bandwidth arbiter: every session opened
+// after this call registers with it, feeds it congestion signals from the
+// policy sampler, and has its pacing governed by the arbiter's grants.
+// Call before opening sessions (typically at node construction).
+func (e *Entity) SetArbiter(a *arbiter.Arbiter) { e.arb = a }
+
+// Arbiter returns the installed bandwidth arbiter, or nil.
+func (e *Entity) Arbiter() *arbiter.Arbiter { return e.arb }
+
+// demandFor derives a session's bandwidth appetite from its ACD: the peak
+// throughput quantification when declared, else the average, else the
+// arbiter's per-session minimum.
+func demandFor(acd *ACD, pol arbiter.Policy) float64 {
+	d := acd.Quant.PeakThroughputBps
+	if d == 0 {
+		d = acd.Quant.AvgThroughputBps
+	}
+	if d < pol.MinBps {
+		d = pol.MinBps
+	}
+	return d
+}
+
+// applyBudget actuates one arbiter grant: retune the session's pacer and
+// forward the budget to the application's content-adaptation hook.
+func (e *Entity) applyBudget(m *Managed, bps float64) {
+	m.Session.SetPaceBps(bps)
+	if m.OnBudget != nil {
+		m.OnBudget(bps)
+	}
+}
+
+// SetDemand updates a managed session's declared bandwidth appetite with
+// the arbiter (a codec stepping its ladder, a bulk phase ending).
+func (e *Entity) SetDemand(m *Managed, bps float64) {
+	if e.arb == nil || m == nil {
+		return
+	}
+	m.demandBps = bps
+	e.arb.SetDemand(m.Session.ConnID(), bps)
+}
+
 // Stack returns the underlying protocol graph.
 func (e *Entity) Stack() *protograph.Stack { return e.stack }
 
@@ -183,6 +233,17 @@ func (e *Entity) OpenSessionWith(acd *ACD, opts OpenOptions) (*Managed, error) {
 	if acd.TMC.SampleRate == 0 {
 		acd.TMC.SampleRate = 50 * time.Millisecond
 	}
+	var demand float64
+	if e.arb != nil {
+		// Arbitrated hosts pace every session: DeriveSCS leaves RateBps 0
+		// for non-isochronous classes (window-limited, no pacer), but a
+		// grant is only enforceable through a rate mechanism, so seed the
+		// spec with the session's appetite and let grants retune it.
+		demand = demandFor(acd, e.arb.Policy())
+		if spec.RateBps == 0 {
+			spec.RateBps = demand
+		}
+	}
 
 	var peer netapi.Addr
 	if acd.Multicast() {
@@ -216,6 +277,17 @@ func (e *Entity) OpenSessionWith(acd *ACD, opts OpenOptions) (*Managed, error) {
 	}
 	e.managed[s.ConnID()] = m
 	s.SetNotifier(func(n mechanism.Notification) { e.onNote(m, n) })
+	if e.arb != nil {
+		// Seed the shared bottleneck estimate with a-priori path knowledge
+		// and register the session under its Table-1 class. TSC values map
+		// one-to-one onto arbiter classes.
+		if path.Bandwidth > 0 {
+			e.arb.SeedCapacity(path.Bandwidth)
+		}
+		m.demandBps = demand
+		e.arb.Register(s.ConnID(), arbiter.Class(tsc), float64(spec.Priority+1), demand,
+			func(bps float64) { e.applyBudget(m, bps) })
+	}
 
 	if acd.Multicast() {
 		m.group = peer
@@ -688,6 +760,31 @@ func (e *Entity) sample(m *Managed) {
 		MetricThroughputBps:  float64(dDeliv) * 8 / dt,
 		MetricRcvBufFill:     float64(len(st.RcvBuf)) / float64(st.RcvBufCap),
 	}
+	if e.arb != nil {
+		// Feed the host arbiter this session's congestion view and pick up
+		// its squeeze as a TSA condition input. Multicast sessions have no
+		// per-window retransmit signal; their loss rides the quality-report
+		// EWMA instead.
+		loss := retxRate
+		if m.members != nil {
+			loss = path.LossRate
+		}
+		id := s.ConnID()
+		// The raw last sample, not the SRTT EWMA: the smoothed value stays
+		// inflated for seconds after a queue episode drains and would latch
+		// the arbiter's delay detector into repeated decreases.
+		rttSig := st.LastRTT
+		if rttSig == 0 {
+			rttSig = st.SRTT
+		}
+		e.arb.Observe(now, id, arbiter.Signal{
+			LossRate:      loss,
+			RTT:           rttSig,
+			ThroughputBps: values[MetricThroughputBps],
+		})
+		values[MetricArbiterSqueeze] = e.arb.SqueezeOf(id)
+		e.arb.Reallocate(now)
+	}
 	for _, act := range m.Engine.Evaluate(now, values) {
 		e.apply(m, act)
 	}
@@ -744,9 +841,13 @@ func (e *Entity) apply(m *Managed, act Action) {
 
 func (e *Entity) onNote(m *Managed, n mechanism.Notification) {
 	if n.Kind == mechanism.NoteClosed {
-		// Release resources and drop policy state.
+		// Release resources and drop policy state; the session's bandwidth
+		// budget returns to the arbiter's pool.
 		if m.sampler != nil {
 			m.sampler.Cancel()
+		}
+		if e.arb != nil {
+			e.arb.Unregister(m.Session.ConnID())
 		}
 		e.stack.Remove(m.Session.ConnID())
 		delete(e.managed, m.Session.ConnID())

@@ -1,0 +1,88 @@
+package mantts
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"adaptive/internal/mechanism"
+)
+
+// fuzzFloatsClose compares the rule codec's two float fields across a
+// re-encode generation. The wire format quantizes floats to nanounits
+// (uint64(v * 1e9)), so a decoded value re-encoded and decoded again may
+// drift by one quantum of rounding; anything beyond a tiny relative error
+// is a codec bug.
+func fuzzFloatsClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= scale*1e-6+1e-9
+}
+
+// FuzzDecodeRule throws arbitrary bytes at the TSA rule codec. Properties:
+// DecodeRule never panics or reads out of bounds on any input; any rule
+// that decodes can be re-encoded and decoded again without error; and the
+// second generation matches the first — exactly on discrete fields, within
+// quantization error on the floats.
+func FuzzDecodeRule(f *testing.F) {
+	seeds := []*Rule{
+		{
+			Cond:     Cond{Metric: MetricCongestion, Op: OpLT, Threshold: 0.125},
+			Action:   Action{Kind: ActSetWindowKind, Window: mechanism.WindowAdaptive, Size: 64, Factor: 1.5, Note: "hello"},
+			Cooldown: 3 * time.Second,
+			OneShot:  true,
+		},
+		{
+			Cond:   Cond{Metric: MetricArbiterSqueeze, Op: OpGT, Threshold: 0.3},
+			Action: Action{Kind: ActScaleRate, Factor: 0.5},
+		},
+		{
+			Cond:     Cond{Metric: MetricLossRate, Op: OpGT, Threshold: 0.02},
+			Action:   Action{Kind: ActSetRecovery, Recovery: mechanism.RecoveryFECHybrid, Note: "lossy path"},
+			Cooldown: 250 * time.Millisecond,
+		},
+	}
+	for _, r := range seeds {
+		f.Add(EncodeRule(r))
+	}
+	// Structural edge cases: empty, a bare tag, a truncated header, and a
+	// length that overruns the buffer.
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})
+	f.Add([]byte{0, 1, 0, 4, 0xff})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r1, err := DecodeRule(raw)
+		if err != nil {
+			return // malformed input rejected cleanly: the property we want
+		}
+		r2, err := DecodeRule(EncodeRule(r1))
+		if err != nil {
+			t.Fatalf("re-decode of a decoded rule failed: %v", err)
+		}
+		if r2.Cond.Metric != r1.Cond.Metric || r2.Cond.Op != r1.Cond.Op {
+			t.Fatalf("condition drift: %+v vs %+v", r2.Cond, r1.Cond)
+		}
+		// The nanounit quantization overflows uint64 for absurd thresholds
+		// (>= ~1.8e10 after the first decode); the codec is not obligated to
+		// preserve values no sampled metric can produce.
+		if r1.Cond.Threshold < 1e9 && !fuzzFloatsClose(r2.Cond.Threshold, r1.Cond.Threshold) {
+			t.Fatalf("threshold drift: %v vs %v", r2.Cond.Threshold, r1.Cond.Threshold)
+		}
+		if r2.Action.Kind != r1.Action.Kind || r2.Action.Recovery != r1.Action.Recovery ||
+			r2.Action.Window != r1.Action.Window || r2.Action.Size != r1.Action.Size ||
+			r2.Action.Note != r1.Action.Note {
+			t.Fatalf("action drift: %+v vs %+v", r2.Action, r1.Action)
+		}
+		if r1.Action.Factor < 1e9 && !fuzzFloatsClose(r2.Action.Factor, r1.Action.Factor) {
+			t.Fatalf("factor drift: %v vs %v", r2.Action.Factor, r1.Action.Factor)
+		}
+		if r2.Cooldown != r1.Cooldown || r2.OneShot != r1.OneShot {
+			t.Fatalf("rule drift: %+v vs %+v", r2, r1)
+		}
+	})
+}

@@ -244,6 +244,29 @@ func TestEngineMissingMetricDoesNotFire(t *testing.T) {
 	}
 }
 
+func TestEngineRulesAreNotAliased(t *testing.T) {
+	rules := []Rule{
+		{Cond: Cond{Metric: MetricRTT, Op: OpGT, Threshold: 0.1}, Action: Action{Kind: ActScaleRate, Factor: 0.5}},
+	}
+	e := NewEngine(rules)
+
+	// Mutating the caller's original slice after construction must not
+	// rewrite live policy: raise its threshold out of reach.
+	rules[0].Cond.Threshold = 1e9
+	hot := map[MetricID]float64{MetricRTT: 0.5}
+	if got := e.Evaluate(time.Second, hot); len(got) != 1 {
+		t.Fatalf("engine aliases the constructor slice: fired %d actions", len(got))
+	}
+
+	// Mutating the slice Rules() returns must not change behavior either.
+	snap := e.Rules()
+	snap[0].Cond.Threshold = 1e9
+	snap[0].Action.Factor = 99
+	if got := e.Evaluate(3*time.Second, hot); len(got) != 1 || got[0].Factor != 0.5 {
+		t.Fatalf("engine aliases the Rules() snapshot: %v", got)
+	}
+}
+
 func TestCondOps(t *testing.T) {
 	v := map[MetricID]float64{MetricRTT: 0.2}
 	if !(Cond{MetricRTT, OpGT, 0.1}).Holds(v) || (Cond{MetricRTT, OpGT, 0.3}).Holds(v) {

@@ -19,8 +19,9 @@ const (
 	MetricCongestion                     // estimate [0,1]
 	MetricRetransmitRate                 // retransmissions / data PDUs sent (per window)
 	MetricThroughputBps
-	MetricRcvBufFill // receiver buffer occupancy fraction
-	MetricJitter     // seconds (RTT variance proxy)
+	MetricRcvBufFill     // receiver buffer occupancy fraction
+	MetricJitter         // seconds (RTT variance proxy)
+	MetricArbiterSqueeze // 1 - granted/demand from the host bandwidth arbiter [0,1]
 )
 
 func (m MetricID) String() string {
@@ -39,6 +40,8 @@ func (m MetricID) String() string {
 		return "rcvbuf-fill"
 	case MetricJitter:
 		return "jitter"
+	case MetricArbiterSqueeze:
+		return "arbiter-squeeze"
 	}
 	return fmt.Sprintf("metric(%d)", uint8(m))
 }
@@ -154,17 +157,26 @@ type Engine struct {
 	Fired     uint64
 }
 
-// NewEngine returns an engine over the rules.
+// NewEngine returns an engine over the rules. The slice is copied: the
+// engine's policy state must not alias caller-owned storage, or a later
+// mutation of the caller's slice would rewrite live rules.
 func NewEngine(rules []Rule) *Engine {
+	owned := make([]Rule, len(rules))
+	copy(owned, rules)
 	return &Engine{
-		rules:     rules,
+		rules:     owned,
 		lastFired: make([]time.Duration, len(rules)),
 		disabled:  make([]bool, len(rules)),
 	}
 }
 
-// Rules returns the engine's rule set.
-func (e *Engine) Rules() []Rule { return e.rules }
+// Rules returns a copy of the engine's rule set. Mutating the returned
+// slice does not affect evaluation.
+func (e *Engine) Rules() []Rule {
+	out := make([]Rule, len(e.rules))
+	copy(out, e.rules)
+	return out
+}
 
 // Evaluate returns the actions whose conditions hold at now, honoring
 // cooldowns and one-shot flags.

@@ -148,9 +148,15 @@ func DeriveSCS(tsc TSC, acd *ACD, path PathState) *mechanism.Spec {
 	if s.RTOInit < 20*time.Millisecond {
 		s.RTOInit = 20 * time.Millisecond
 	}
-	s.RTOMin = path.RTT / 2
-	if s.RTOMin < 2*time.Millisecond {
-		s.RTOMin = 2 * time.Millisecond
+	// The retransmission floor must sit above one full round trip plus the
+	// peer's ack-coalescing delay: no ack can arrive sooner, so a floor
+	// below that (an earlier revision used RTT/2) guarantees spurious
+	// retransmissions for lone-PDU flows once RTTVar decays on smooth
+	// traffic — and Karn's rule then freezes SRTT at its handshake value,
+	// latching the condition.
+	s.RTOMin = path.RTT * 3 / 2
+	if s.RTOMin < 10*time.Millisecond {
+		s.RTOMin = 10 * time.Millisecond
 	}
 	s.RTOMax = 10 * time.Second
 	s.RcvBufPDUs = bdp * 4

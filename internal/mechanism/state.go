@@ -42,6 +42,11 @@ type TransferState struct {
 	SRTT   time.Duration
 	RTTVar time.Duration
 	RTO    time.Duration
+	// LastRTT is the most recent raw sample, unsmoothed. Congestion
+	// detectors that compare against a minimum baseline read this one: the
+	// SRTT EWMA keeps reporting an inflated value for seconds after a queue
+	// drains, which latches delay-based detectors into a decrease spiral.
+	LastRTT time.Duration
 
 	// Counters strategies share.
 	Retransmissions uint64
@@ -158,6 +163,7 @@ func (s *TransferState) Advertise() uint16 {
 
 // ObserveRTT folds a fresh round-trip sample into SRTT/RTTVar/RTO.
 func (s *TransferState) ObserveRTT(sample, rtoMin, rtoMax time.Duration) {
+	s.LastRTT = sample
 	if s.SRTT == 0 {
 		s.SRTT = sample
 		s.RTTVar = sample / 2
@@ -169,7 +175,14 @@ func (s *TransferState) ObserveRTT(sample, rtoMin, rtoMax time.Duration) {
 		s.RTTVar += (diff - s.RTTVar) / 4
 		s.SRTT += (sample - s.SRTT) / 8
 	}
-	rto := s.SRTT + 4*s.RTTVar
+	// RFC 6298 shape: the variance term carries a granularity guard so the
+	// timeout never converges to exactly SRTT when identical samples decay
+	// RTTVar to zero (any jitter would then fire a spurious retransmit).
+	varTerm := 4 * s.RTTVar
+	if varTerm < time.Millisecond {
+		varTerm = time.Millisecond
+	}
+	rto := s.SRTT + varTerm
 	if rto < rtoMin {
 		rto = rtoMin
 	}

@@ -111,6 +111,11 @@ func (s *Session) ResumeEgress() {
 		s.armRTO()
 	}
 	if iv := s.spec.KeepaliveInterval; iv > 0 {
+		// Re-base the dead-peer idle clock: a freeze can outlast
+		// DeadInterval (a slow handoff), and silence while probes were
+		// suppressed is not evidence the peer died. The peer gets a full
+		// DeadInterval from resume before it can be declared dead.
+		s.lastHeard = s.clock.Now()
 		if s.kaTimer != nil {
 			s.kaTimer.Reset(iv)
 		} else {
@@ -298,6 +303,11 @@ func (s *Session) ImportHandoff(h *Handoff) {
 	adopted := conn.NewImplicit()
 	s.slots.Conn = adopted
 	adopted.StartPassive(s.env())
+	// Keepalive state starts fresh on the adopting host: the last-heard
+	// timestamp from the source host's clock does not travel (it is
+	// meaningless here), and leaving the zero value would count the entire
+	// local uptime as peer silence.
+	s.lastHeard = now
 	s.metrics.Count("session.migrate_imported", 1)
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"adaptive/internal/mechanism"
 	"adaptive/internal/trace"
+	"adaptive/internal/wire"
 )
 
 // parityFlusher is implemented by FEC recovery so a segue away from it can
@@ -213,4 +214,30 @@ func (s *Session) ApplySpec(ns *mechanism.Spec) error {
 		return errors.New("session: segue refused (session is not reconfigurable)")
 	}
 	return nil
+}
+
+// SetPaceBps retunes the live rate mechanism to a new pacing budget (the
+// host bandwidth arbiter's grant path). It deliberately pokes only the
+// mechanism, never s.spec: the spec may be shared with the TKO template
+// cache, and a grant is transient operating state, not configuration. On a
+// NoRate slot (unpaced session) this is a no-op — callers that need grants
+// enforced must ensure a pacer was synthesized (spec.RateBps > 0).
+func (s *Session) SetPaceBps(bps float64) {
+	if s.retired || bps <= 0 {
+		return
+	}
+	// Grants are application-payload rates (ACD throughput figures describe
+	// payload), but the pacer charges wire bytes per PDU. Scale the budget by
+	// the session's observed framing overhead so a grant actually carries
+	// that much payload: a pacer set to the raw payload rate runs a few
+	// percent slow and drifts an unbounded sender queue under a constant-rate
+	// source.
+	if s.SentPDUs > 0 {
+		mean := float64(s.SentBytes) / float64(s.SentPDUs)
+		if payload := mean - wire.Overhead; payload > 0 {
+			bps *= mean / payload
+		}
+	}
+	s.slots.Rate.SetRate(bps)
+	s.pump()
 }

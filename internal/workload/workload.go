@@ -225,15 +225,62 @@ type VBR struct {
 	Burst     float64 // peak/mean ratio (intra-frame size multiplier)
 	GroupLen  int     // frames per group-of-pictures
 
+	// Tiers is an optional DASH-style bitrate ladder: mean frame sizes in
+	// descending quality order. OnBudget (wired to the transport's
+	// bandwidth-grant callback) picks the highest tier whose bitrate fits
+	// the granted budget and retunes MeanSize live.
+	Tiers []int
+	// Tier is the current ladder index (meaningful once OnBudget ran).
+	Tier int
+	// Downshifts / Upshifts count ladder steps away from / back toward
+	// quality.
+	Downshifts, Upshifts uint64
+
 	Generated uint64
 	BytesOut  uint64
 	ev        *event.Event
 	buf       []byte
 }
 
+// OnBudget is the content-adaptation hook: given a send budget in bits per
+// second, step the bitrate ladder to the best tier that fits (the lowest
+// tier if none does) and adopt its mean frame size. A VBR without Tiers
+// ignores budgets — the transport's pacer still enforces them. Safe to
+// call before Start and from grant callbacks while running.
+func (v *VBR) OnBudget(budgetBps float64) {
+	if len(v.Tiers) == 0 {
+		return
+	}
+	pick := len(v.Tiers) - 1
+	for i, sz := range v.Tiers {
+		// Tier bitrate must fit inside the budget with a little headroom:
+		// the intra-frame burst rides above the mean.
+		if float64(sz)*8*v.FrameRate <= budgetBps*0.95 {
+			pick = i
+			break
+		}
+	}
+	if pick == v.Tier && v.MeanSize == v.Tiers[pick] {
+		return
+	}
+	if pick > v.Tier {
+		v.Downshifts++
+	} else if pick < v.Tier {
+		v.Upshifts++
+	}
+	v.Tier = pick
+	v.MeanSize = v.Tiers[pick]
+}
+
 // Start begins emission of total frames (0 = until Stop). Frame sizes are
 // derived from MeanSize at each tick, so a codec reacting to a transport
 // call-back (dropping an enhancement layer) simply lowers MeanSize live.
+//
+// Frame deadlines are absolute — start + i/FrameRate computed in float ns
+// from the frame index — not a truncated fixed period. A periodic timer at
+// Duration(1e9/rate) rounds the period down to whole nanoseconds, and the
+// rounding error compounds every frame, so non-divisible rates drift early
+// over long soaks (extra frames per simulated minute at high rates).
 func (v *VBR) Start(total uint64) {
 	if v.GroupLen <= 0 {
 		v.GroupLen = 12
@@ -242,11 +289,12 @@ func (v *VBR) Start(total uint64) {
 		v.Burst = 1
 	}
 	clock := v.Timers.Clock()
-	interval := time.Duration(float64(time.Second) / v.FrameRate)
+	start := clock.Now()
 	v.buf = staging(v.buf, int(float64(v.MeanSize)*v.Burst))
-	v.ev = v.Timers.SchedulePeriodic(0, interval, func() {
+	var frames uint64 // frames emitted since this Start; indexes the deadline ladder
+	var tick func()
+	tick = func() {
 		if total > 0 && v.Generated >= total {
-			v.ev.Cancel()
 			return
 		}
 		// Size the delta frames so the long-run mean stays MeanSize.
@@ -264,7 +312,22 @@ func (v *VBR) Start(total uint64) {
 		v.Out.Send(StampInto(v.buf, v.Generated, clock.Now()))
 		v.Generated++
 		v.BytesOut += uint64(size)
-	})
+		frames++
+		if total > 0 && v.Generated >= total {
+			return
+		}
+		next := start + time.Duration(float64(frames)*float64(time.Second)/v.FrameRate)
+		d := next - clock.Now()
+		if d < 0 {
+			d = 0
+		}
+		v.ev.Reset(d)
+	}
+	// Frame 0 goes out synchronously at start (same virtual instant the old
+	// periodic schedule fired it); the one-shot is then re-armed to each
+	// absolute deadline, so v.ev exists before any callback touches it.
+	v.ev = v.Timers.Schedule(time.Duration(float64(time.Second)/v.FrameRate), tick)
+	tick()
 }
 
 // Stop halts emission.

@@ -107,6 +107,47 @@ func TestVBRMeanAndBurst(t *testing.T) {
 	}
 }
 
+func TestVBRPacingNoDrift(t *testing.T) {
+	k, timers := rig()
+	// 7001 fps puts a large fractional nanosecond in the frame interval
+	// (1e9/7001 = 142836.73...ns). A periodic timer truncates that to whole
+	// nanoseconds and compounds the error every frame, which at this rate
+	// emits several extra frames per simulated minute. Absolute deadlines
+	// keep the count at rate*60 within rounding of the final boundary.
+	const rate = 7001.0
+	g := &VBR{
+		Timers: timers, Out: senderFunc(func([]byte) error { return nil }),
+		FrameRate: rate, MeanSize: 64, Burst: 2, GroupLen: 12,
+	}
+	g.Start(0)
+	k.RunUntil(time.Minute)
+	g.Stop()
+	want := uint64(rate * 60)
+	if g.Generated < want-1 || g.Generated > want+1 {
+		t.Fatalf("frames over a simulated minute = %d, want %d +/-1", g.Generated, want)
+	}
+}
+
+func TestVBRStopAndTotal(t *testing.T) {
+	k, timers := rig()
+	out := &collect{}
+	g := &VBR{Timers: timers, Out: out, FrameRate: 30, MeanSize: 1000, Burst: 2, GroupLen: 6}
+	g.Start(10)
+	k.RunUntil(10 * time.Second)
+	if g.Generated != 10 {
+		t.Fatalf("generated %d with total=10", g.Generated)
+	}
+	g2 := &VBR{Timers: timers, Out: out, FrameRate: 30, MeanSize: 1000, Burst: 2, GroupLen: 6}
+	g2.Start(0)
+	k.RunUntil(k.Now() + 100*time.Millisecond)
+	g2.Stop()
+	n := g2.Generated
+	k.RunUntil(k.Now() + time.Second)
+	if g2.Generated != n {
+		t.Fatal("VBR kept generating after Stop")
+	}
+}
+
 func TestBulkChunking(t *testing.T) {
 	k, _ := rig()
 	out := &collect{}
@@ -245,5 +286,38 @@ func TestStampMinimumSize(t *testing.T) {
 	b := Stamp(1, time.Second, 0)
 	if len(b) != headerLen {
 		t.Fatalf("stamp %d bytes", len(b))
+	}
+}
+
+// TestVBRBudgetLadder exercises the DASH-style content-adaptation hook: the
+// generator steps to the best tier fitting each granted budget, falls to
+// the lowest tier when nothing fits, and counts shifts in each direction.
+func TestVBRBudgetLadder(t *testing.T) {
+	v := &VBR{FrameRate: 30, Tiers: []int{4000, 2000, 1000}, MeanSize: 4000}
+
+	v.OnBudget(2e6) // top tier needs 960 kbps; plenty
+	if v.Tier != 0 || v.MeanSize != 4000 {
+		t.Fatalf("tier %d size %d under 2 Mbps, want top tier", v.Tier, v.MeanSize)
+	}
+	v.OnBudget(600e3) // 480 kbps middle tier fits, top does not
+	if v.Tier != 1 || v.MeanSize != 2000 || v.Downshifts != 1 {
+		t.Fatalf("tier %d size %d downshifts %d under 600 kbps, want middle tier", v.Tier, v.MeanSize, v.Downshifts)
+	}
+	v.OnBudget(100e3) // nothing fits: floor at the lowest tier
+	if v.Tier != 2 || v.MeanSize != 1000 || v.Downshifts != 2 {
+		t.Fatalf("tier %d size %d under 100 kbps, want bottom tier", v.Tier, v.MeanSize)
+	}
+	v.OnBudget(5e6) // recovery steps back to quality
+	if v.Tier != 0 || v.Upshifts != 1 {
+		t.Fatalf("tier %d upshifts %d after recovery, want top tier", v.Tier, v.Upshifts)
+	}
+}
+
+// TestVBRWithoutTiersIgnoresBudget pins the no-ladder behavior.
+func TestVBRWithoutTiersIgnoresBudget(t *testing.T) {
+	v := &VBR{FrameRate: 30, MeanSize: 4000}
+	v.OnBudget(1)
+	if v.MeanSize != 4000 || v.Downshifts != 0 {
+		t.Fatalf("budget changed a ladderless VBR: size %d", v.MeanSize)
 	}
 }

@@ -1,0 +1,99 @@
+package adaptive_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"adaptive"
+	"adaptive/internal/mechanism"
+	"adaptive/internal/netsim"
+)
+
+// TestAdoptedSessionSurvivesSlowHandoffKeepalive is the regression test for
+// the keepalive-vs-migration interaction: a session with dead-peer detection
+// enabled migrates through a handoff that takes longer than DeadInterval.
+// The adopted session's idle clock must be re-based when egress resumes —
+// the silence accumulated while the session was frozen (probes suppressed,
+// peer still routed to the old owner) is not evidence the peer died. Before
+// the fix, the first keepalive tick after ResumeEgress measured idle time
+// from the moment of adoption and tore the live session down with a spurious
+// "peer dead" abort.
+func TestAdoptedSessionSurvivesSlowHandoffKeepalive(t *testing.T) {
+	k, na, nb, np := simTriangle(t, netsim.LinkConfig{
+		Bandwidth: 20e6, PropDelay: 2 * time.Millisecond, MTU: 1500,
+	})
+
+	var got []byte
+	var peer *adaptive.Conn
+	np.Listen(80, nil, func(c *adaptive.Conn) {
+		peer = c
+		c.OnReceive(func(data []byte, eom bool) { got = append(got, data...) })
+	})
+
+	// The peer side keeps keepalive off (the dialing spec has none), so the
+	// handoff window below is genuinely silent toward the new owner; only
+	// the migrating session runs dead-peer detection.
+	conn, err := na.DialSpec(mechanism.DefaultSpec(), np.Addr(), 1000, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keepalive = 20 * time.Millisecond
+	const dead = 3 * keepalive
+	if err := conn.Reconfigure(func(s *adaptive.Spec) {
+		s.KeepaliveInterval = keepalive
+		s.DeadInterval = dead
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	phase1 := bytes.Repeat([]byte("keepalive-migration-"), 4000)
+	phase2 := bytes.Repeat([]byte("post-adoption-data!!"), 4000)
+	if err := conn.Send(phase1); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(20 * time.Millisecond)
+	if peer == nil {
+		t.Fatal("peer connection not accepted")
+	}
+
+	// Hand the session off by hand so the handoff duration is under test
+	// control: each leg of the migration takes longer than DeadInterval.
+	sess := conn.Session()
+	sess.FreezeEgress()
+	h := sess.ExportHandoff()
+	sess.Retire()
+
+	// Slow record transfer: the frozen source answers probes but emits no
+	// data, the target has not adopted yet.
+	k.RunUntil(k.Now() + 5*dead)
+
+	adopted, err := nb.Stack().AdoptSession(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The routing flip reaches the peer; the new owner's egress stays
+	// frozen until the flip is confirmed.
+	peer.Session().RebindPeer(nb.Addr())
+
+	// Slow flip confirmation: the adopted session sits frozen, hearing
+	// nothing, for well past DeadInterval.
+	k.RunUntil(k.Now() + 5*dead)
+
+	adopted.ResumeEgress()
+	k.RunUntil(k.Now() + 10*time.Second)
+
+	if adopted.Closed() {
+		t.Fatal("adopted session tore down after a slow handoff (spurious dead-peer)")
+	}
+	if err := adopted.Send(phase2); err != nil {
+		t.Fatalf("Send on adopted session after slow handoff: %v", err)
+	}
+	k.RunUntil(k.Now() + 30*time.Second)
+
+	want := append(append([]byte(nil), phase1...), phase2...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("delivered %d bytes, want %d (first divergence at %d)",
+			len(got), len(want), firstDiff(got, want))
+	}
+}

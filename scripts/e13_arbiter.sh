@@ -1,0 +1,52 @@
+#!/bin/sh
+# E13 bandwidth-arbiter gate. Four checks:
+#
+#  1. The shared-bottleneck experiment, run twice via cmd/adaptivebench,
+#     must render byte-identical tables — the arbiter's AIMD estimate, the
+#     per-class water-fill, the grant callbacks, and the video ladder's
+#     downshift/upshift sequence must all be deterministic under the sim
+#     kernel.
+#  2. The table itself must gate: the arbitrated arm reports "gates
+#     (arbitrated arm): ok" (Jain >= 0.9, isochronous p99 improved over the
+#     isolated arm, aggregate goodput held, ladder engaged) and the rerun
+#     note confirms byte-identical fingerprints.
+#  3. The grant hot path stays allocation-free: BenchmarkE13_ArbiterGrant
+#     (one Observe plus a full Reallocate per iteration) must report
+#     0 allocs/op — the < 1 alloc/pkt acceptance gate, enforced exactly.
+#  4. The targeted arbiter tests under the race detector: the public-API
+#     mixed-session governance test, the E13 sim/determinism/live tests,
+#     and the internal estimator/allocator suite.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/adaptivebench -experiment E13 >FAULTS_e13_run1.txt
+go run ./cmd/adaptivebench -experiment E13 >FAULTS_e13_run2.txt
+
+if ! cmp -s FAULTS_e13_run1.txt FAULTS_e13_run2.txt; then
+    echo "FAIL: two E13 arbiter runs differ" >&2
+    diff FAULTS_e13_run1.txt FAULTS_e13_run2.txt >&2 || true
+    exit 1
+fi
+cat FAULTS_e13_run1.txt
+
+if ! grep -q 'same-seed reruns byte-identical: true' FAULTS_e13_run1.txt; then
+    echo "FAIL: E13 same-seed reruns diverged" >&2
+    exit 1
+fi
+if ! grep -q 'gates (arbitrated arm): ok' FAULTS_e13_run1.txt; then
+    echo "FAIL: E13 arbitrated arm failed its gates" >&2
+    exit 1
+fi
+
+go test -run '^$' -bench 'BenchmarkE13_ArbiterGrant' -benchmem -count=1 . | tee FAULTS_e13_bench.txt
+if ! awk '$1 == "BenchmarkE13_ArbiterGrant" { for (i = 2; i <= NF; i++) if ($i == "allocs/op") { exit ($(i-1) + 0 != 0) } exit 1 }' FAULTS_e13_bench.txt; then
+    echo "FAIL: arbiter grant path allocates (must be 0 allocs/op)" >&2
+    exit 1
+fi
+
+go test -race -count=1 -run 'TestArbiterGovernsMixedSessions' .
+go test -race -count=1 -run 'TestE13' ./internal/experiment/
+go test -race -count=1 ./internal/arbiter/
+
+echo "e13: arbiter deterministic; fairness/latency/goodput gates hold; grant path allocation-free"
